@@ -1,0 +1,243 @@
+// Command tpupoint runs a workload on the simulated Cloud TPU under the
+// TPUPoint profiler, analyzes the profile into phases, and writes the
+// chrome://tracing and CSV artifacts.
+//
+// Usage:
+//
+//	tpupoint -workload resnet-imagenet -version 3 -algo ols -out ./out
+//	tpupoint -list
+//	tpupoint -workload qanet-squad -optimize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+
+	tpupoint "repro"
+	"repro/internal/core/analyzer"
+	"repro/internal/core/profiler"
+	"repro/internal/estimator"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload = flag.String("workload", "", "workload name (see -list)")
+		version  = flag.Int("version", 2, "TPU generation: 2 or 3")
+		steps    = flag.Int("steps", 0, "override the workload's train-step count")
+		algo     = flag.String("algo", "ols", "phase algorithm: ols, kmeans, dbscan")
+		outDir   = flag.String("out", "", "directory for trace.json and report.csv (omit to skip)")
+		naive    = flag.Bool("naive", false, "use the untuned (naive) input pipeline")
+		small    = flag.Bool("small", false, "use the reduced-dataset variant")
+		optimize = flag.Bool("optimize", false, "run TPUPoint-Optimizer instead of profiling")
+		serve    = flag.String("serve", "", "run the workload and serve its TPU profile service at this TCP address (for tpuprof -addr)")
+		analyze  = flag.String("analyze", "", "offline mode: analyze profile records previously exported to this directory")
+		export   = flag.String("export", "", "after profiling, export the recorded profiles to this directory (input for -analyze)")
+	)
+	flag.Parse()
+
+	if *analyze != "" {
+		if err := analyzeDir(*analyze, *algo); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *list {
+		for _, name := range tpupoint.Workloads() {
+			w, err := tpupoint.GetWorkload(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(tpupoint.Describe(w))
+		}
+		return
+	}
+	if *workload == "" {
+		fatal(fmt.Errorf("missing -workload (try -list)"))
+	}
+	ver := tpupoint.V2
+	if *version == 3 {
+		ver = tpupoint.V3
+	}
+
+	if *serve != "" {
+		if err := serveProfile(*workload, ver, *steps, *serve); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *optimize {
+		res, err := tpupoint.Optimize(*workload, tpupoint.OptimizeOptions{
+			Version: ver, Steps: *steps, Naive: *naive,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload:  %s on %s\n", res.Workload, res.Version)
+		fmt.Printf("speedup:   measured %.3fx, projected %.3fx\n", res.MeasuredSpeedup, res.ProjectedSpeedup)
+		fmt.Printf("idle:      %.1f%% -> %.1f%%\n", 100*res.BaselineIdle, 100*res.OptimizedIdle)
+		fmt.Printf("mxu util:  %.1f%% -> %.1f%%\n", 100*res.BaselineMXU, 100*res.OptimizedMXU)
+		fmt.Printf("pipeline:  %v -> %v\n", res.InitialParams, res.FinalParams)
+		for _, m := range res.Moves {
+			verdict := "rejected"
+			if m.Accepted {
+				verdict = "accepted"
+			}
+			fmt.Printf("  move %-14s %6d -> %-6d %s (%.0fus -> %.0fus)\n",
+				m.Param, m.From, m.To, verdict, m.PeriodBefore, m.PeriodAfter)
+		}
+		return
+	}
+
+	s, err := tpupoint.NewSession(*workload, tpupoint.Options{
+		Version: ver, Steps: *steps,
+		NaivePipeline: *naive, SmallDataset: *small,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p, err := s.StartProfiler(true)
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		fatal(err)
+	}
+	records, err := p.Stop()
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := s.Analyze(records, tpupoint.Algorithm(*algo))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload:    %s (%s, %s)\n", s.Workload().Name, s.Workload().Model, ver)
+	fmt.Printf("sim time:    %.2fs over %d profiled steps (%d records)\n",
+		s.TotalSeconds(), rep.Steps, len(records))
+	fmt.Printf("idle:        %.1f%%   mxu util: %.1f%%\n", 100*s.IdleFraction(), 100*s.MXUUtilization())
+	fmt.Printf("phases:      %d (%s); top-3 cover %.1f%%\n", len(rep.Phases), rep.Algorithm, 100*rep.CoverageTop3)
+	fmt.Printf("longest:     %d steps, checkpoint %q\n", len(rep.Longest.Steps), rep.Longest.Checkpoint)
+	fmt.Println("top TPU ops of the longest phase:")
+	for _, op := range rep.TopTPUOps {
+		fmt.Printf("  %-32s x%-8d %8.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+	fmt.Println("top host ops of the longest phase:")
+	for _, op := range rep.TopHostOps {
+		fmt.Printf("  %-32s x%-8d %8.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		tracePath := filepath.Join(*outDir, "trace.json")
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.WriteTrace(tf, rep, records); err != nil {
+			fatal(err)
+		}
+		tf.Close()
+		csvPath := filepath.Join(*outDir, "report.csv")
+		cf, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.WriteCSV(cf, rep); err != nil {
+			fatal(err)
+		}
+		cf.Close()
+		fmt.Printf("artifacts:   %s (open in chrome://tracing), %s\n", tracePath, csvPath)
+	}
+	if *export != "" {
+		n, err := s.Bucket().ExportDir(*export, "profiles/")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exported:    %d profile records to %s (re-analyze with -analyze)\n", n, *export)
+	}
+}
+
+// analyzeDir runs TPUPoint-Analyzer over profile records exported to a
+// directory (see the session bucket's ExportDir) — post-execution analysis
+// without rerunning the workload.
+func analyzeDir(dir, algo string) error {
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket("offline")
+	if err != nil {
+		return err
+	}
+	n, err := bucket.ImportDir(dir)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no profile records under %s", dir)
+	}
+	records, err := profiler.LoadRecords(bucket, "")
+	if err != nil {
+		return err
+	}
+	rep, err := analyzer.Analyze(dir, records, analyzer.Algorithm(algo), analyzer.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline analysis of %d records (%d steps) from %s\n", len(records), rep.Steps, dir)
+	fmt.Printf("phases: %d (%s); top-3 cover %.1f%%; idle %.1f%%, mxu %.1f%%\n",
+		len(rep.Phases), rep.Algorithm, 100*rep.CoverageTop3, 100*rep.IdleFrac, 100*rep.MXUUtil)
+	fmt.Println("top TPU ops of the longest phase:")
+	for _, op := range rep.TopTPUOps {
+		fmt.Printf("  %-32s x%-8d %8.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+	fmt.Println("top host ops of the longest phase:")
+	for _, op := range rep.TopHostOps {
+		fmt.Printf("  %-32s x%-8d %8.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+	return nil
+}
+
+// serveProfile trains the workload and keeps its profile service reachable
+// over TCP, so external tools (tpuprof, a remote TPUPoint-Profiler) can
+// request profile windows — the Cloud TPU deployment shape.
+func serveProfile(workload string, ver tpupoint.Version, steps int, addr string) error {
+	w, err := workloads.Get(workload)
+	if err != nil {
+		return err
+	}
+	runner, err := estimator.New(w, estimator.Options{Version: ver, Steps: steps})
+	if err != nil {
+		return err
+	}
+	srv := rpc.NewServer()
+	runner.ProfileService().Register(srv)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("serving %s profile service on %s (methods: tpu.Profile, tpu.Status)\n",
+		w.Name, l.Addr())
+	go srv.Serve(l)
+	if err := runner.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("training finished: %.2fs simulated, idle %.1f%%, mxu %.1f%%\n",
+		runner.TotalTime().Seconds(), 100*runner.IdleFraction(), 100*runner.MXUUtilization())
+	fmt.Println("profile windows remain available; ctrl-c to stop")
+	select {} // serve until interrupted
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpupoint:", err)
+	os.Exit(1)
+}

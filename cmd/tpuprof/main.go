@@ -1,0 +1,100 @@
+// Command tpuprof reproduces the CLOUD-TPU-PROFILER command-line tool the
+// paper contrasts TPUPoint against: it grabs a single bounded profile
+// window from a running (simulated) TPU over the RPC interface.
+//
+// Its limits are the real tool's limits, which motivate TPUPoint: it
+// cannot be integrated into training code, only sees a bounded window
+// (at most 60,000 ms / 1,000,000 events), and only offers post-hoc
+// insight into that window.
+//
+// Usage:
+//
+//	tpuprof -workload bert-squad          # in-process demo run
+//	tpuprof -addr 127.0.0.1:8470          # profile a served TPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/estimator"
+	"repro/internal/rpc"
+	"repro/internal/tpu"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bert-squad", "workload for the in-process demo run")
+		addr     = flag.String("addr", "", "profile a remote TPU service at this TCP address instead")
+		steps    = flag.Int("steps", 200, "demo run train steps")
+	)
+	flag.Parse()
+
+	var resp *tpu.ProfileResponse
+	if *addr != "" {
+		client, err := rpc.Dial(*addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Close()
+		raw, err := client.Call(tpu.MethodProfile, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if resp, err = tpu.UnmarshalProfileResponse(raw); err != nil {
+			fatal(err)
+		}
+	} else {
+		w, err := workloads.Get(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		runner, err := estimator.New(w, estimator.Options{Steps: *steps})
+		if err != nil {
+			fatal(err)
+		}
+		if err := runner.Run(); err != nil {
+			fatal(err)
+		}
+		// One request, like the real tool: whatever fits the window.
+		svc := runner.ProfileService()
+		r := svc.NextWindow()
+		resp = &r
+	}
+
+	fmt.Printf("profile window: [%.1fms, %.1fms) — %d events, truncated=%v\n",
+		float64(resp.WindowStart)/1000, float64(resp.WindowEnd)/1000,
+		len(resp.Events), resp.Truncated)
+	fmt.Printf("tpu idle: %.1f%%   mxu utilization: %.1f%%\n",
+		100*resp.IdleFrac, 100*resp.MXUUtil)
+	if resp.Truncated {
+		fmt.Println("note: execution continued past the window; this tool cannot see it (use TPUPoint)")
+	}
+
+	rec := trace.Reduce(0, resp.WindowStart, resp.Events, resp.IdleFrac, resp.MXUUtil)
+	steps2 := rec.Steps
+	for _, dev := range []trace.Device{trace.TPU, trace.Host} {
+		fmt.Printf("top %s ops in the window:\n", dev)
+		for _, op := range trace.TopOps(steps2, dev, 5) {
+			fmt.Printf("  %-32s x%-8d %10.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+		}
+	}
+	// Per-step summary (the window's coarse repetition structure).
+	var ids []int64
+	for _, s := range steps2 {
+		ids = append(ids, s.Step)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > 0 {
+		fmt.Printf("steps covered: %d (first %d, last %d)\n", len(ids), ids[0], ids[len(ids)-1])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpuprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Autotune: run TPUPoint-Optimizer on the naive QANet implementation
+// (Section VII-C) and watch it rediscover a sane input pipeline.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tpupoint "repro"
+)
+
+func main() {
+	res, err := tpupoint.Optimize("qanet-squad", tpupoint.OptimizeOptions{
+		Version: tpupoint.V2,
+		Naive:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s on %s (naive implementation)\n\n", res.Workload, res.Version)
+	fmt.Printf("critical phase detected at step %d; tuning decisions:\n", res.CriticalPhaseStep)
+	for _, m := range res.Moves {
+		verdict := "rolled back (checkpoint restore)"
+		if m.Accepted {
+			verdict = "kept"
+		}
+		fmt.Printf("  %-14s %6d -> %-6d step period %7.1fms -> %7.1fms   %s\n",
+			m.Param, m.From, m.To, m.PeriodBefore/1000, m.PeriodAfter/1000, verdict)
+	}
+
+	fmt.Printf("\npipeline: %v\n      ->  %v\n", res.InitialParams, res.FinalParams)
+	fmt.Printf("speedup:  %.2fx measured on the run (%.2fx projected at full scale)\n",
+		res.MeasuredSpeedup, res.ProjectedSpeedup)
+	fmt.Printf("idle:     %.1f%% -> %.1f%%\n", 100*res.BaselineIdle, 100*res.OptimizedIdle)
+	fmt.Printf("mxu util: %.1f%% -> %.1f%%\n", 100*res.BaselineMXU, 100*res.OptimizedMXU)
+}

@@ -1,0 +1,45 @@
+// Datasetshift: Observation 6 — the performance bottleneck moves when the
+// input dataset changes, even for the same model.
+//
+// Runs each of the paper's reduced-dataset subjects (QANet on half-SQuAD,
+// RetinaNet on half-COCO, ResNet-50 on CIFAR-10) against its reference
+// configuration and compares idle time and MXU utilization.
+//
+//	go run ./examples/datasetshift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tpupoint "repro"
+)
+
+func run(name string, small bool) (idle, mxu float64, dataset string) {
+	s, err := tpupoint.NewSession(name, tpupoint.Options{
+		Steps:        300,
+		SmallDataset: small,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		log.Fatal(err)
+	}
+	return s.IdleFraction(), s.MXUUtilization(), s.Workload().Dataset.Name
+}
+
+func main() {
+	fmt.Printf("%-18s %-14s %10s %10s\n", "model", "dataset", "idle", "mxu util")
+	for _, name := range []string{"qanet-squad", "retinanet-coco", "resnet-imagenet"} {
+		ri, rm, rd := run(name, false)
+		si, sm, sd := run(name, true)
+		fmt.Printf("%-18s %-14s %9.1f%% %9.1f%%\n", name, rd, 100*ri, 100*rm)
+		fmt.Printf("%-18s %-14s %9.1f%% %9.1f%%   (idle %+.1f pts, mxu %+.1f pts)\n",
+			"", sd, 100*si, 100*sm, 100*(si-ri), 100*(sm-rm))
+	}
+	fmt.Println("\nSmaller inputs starve the same pipeline: idle rises and MXU utilization")
+	fmt.Println("falls, with ResNet-50 on CIFAR-10 showing by far the greatest change —")
+	fmt.Println("an optimization tuned for one dataset does not carry to another, which is")
+	fmt.Println("why the paper argues for dynamic runtime optimization (TPUPoint-Optimizer).")
+}

@@ -1,0 +1,68 @@
+// Quickstart: the paper's Figure 2 workflow in Go.
+//
+// Train ResNet-50 on the simulated TPUv2 with TPUPoint-Profiler attached
+// in analyzer mode, then run TPUPoint-Analyzer over the recorded profile
+// and print the phases it finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tpupoint "repro"
+)
+
+func main() {
+	// estimator = tf.contrib.tpu.TPUEstimator(...)
+	s, err := tpupoint.NewSession("resnet-imagenet", tpupoint.Options{
+		Version: tpupoint.V2,
+		Steps:   400, // shortened demo run
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// tpprofiler = TP(...); tpprofiler.Start(analyzer=true)
+	prof, err := s.StartProfiler(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// estimator.train(...)
+	if err := s.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// tpprofiler.Stop()
+	records, err := prof.Stop()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d statistical records over %.1fs of simulated training\n",
+		len(records), s.TotalSeconds())
+	fmt.Printf("TPU idle %.1f%%, MXU utilization %.1f%%\n\n",
+		100*s.IdleFraction(), 100*s.MXUUtilization())
+
+	// Post-execution analysis (records are also in the session bucket;
+	// LoadRecords would read them back the offline way).
+	rep, err := s.Analyze(records, tpupoint.OLS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OLS at the default 70%% threshold found %d phases; top 3 cover %.1f%% of execution\n",
+		len(rep.Phases), 100*rep.CoverageTop3)
+	for _, p := range rep.Phases {
+		fmt.Printf("  phase %d: %4d steps, %10.1fms total, nearest checkpoint %q\n",
+			p.ID, len(p.Steps), p.Total.Milliseconds(), p.Checkpoint)
+	}
+
+	fmt.Println("\nmost time-consuming ops of the longest phase:")
+	for _, op := range rep.TopTPUOps {
+		fmt.Printf("  [tpu]  %-28s x%-7d %10.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+	for _, op := range rep.TopHostOps {
+		fmt.Printf("  [host] %-28s x%-7d %10.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+}

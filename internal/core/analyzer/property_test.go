@@ -1,0 +1,122 @@
+package analyzer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// randomSteps builds a plausible step series: contiguous steps with a base
+// op set plus random extras, so OLS sees realistic similarity structure.
+func randomSteps(seed uint64, n int) []*trace.StepStat {
+	rng := prng.New(seed)
+	base := []string{"fusion", "MatMul", "Reshape", "Outfeed", "Infeed"}
+	extras := []string{"a", "b", "c", "d", "e", "f"}
+	var out []*trace.StepStat
+	at := simclock.Time(0)
+	for i := 0; i < n; i++ {
+		s := trace.NewStepStat(int64(i))
+		for _, op := range base {
+			d := simclock.Duration(1 + rng.Intn(100))
+			s.Observe(trace.Event{Name: op, Device: trace.TPU, Start: at, Dur: d, Step: int64(i)})
+			at = at.Add(d)
+		}
+		for _, op := range extras {
+			if rng.Float64() < 0.3 {
+				d := simclock.Duration(1 + rng.Intn(10))
+				s.Observe(trace.Event{Name: op, Device: trace.Host, Start: at, Dur: d, Step: int64(i)})
+				at = at.Add(d)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Property: OLS partitions the steps — every step lands in exactly one
+// phase, phases are contiguous runs, and order is preserved.
+func TestPropertyOLSPartitions(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, thRaw uint8) bool {
+		n := 1 + int(nRaw%80)
+		th := float64(thRaw%101) / 100
+		steps := randomSteps(seed, n)
+		phases := OLS(steps, th)
+		total := 0
+		next := int64(0)
+		for _, p := range phases {
+			if len(p.Steps) == 0 {
+				return false
+			}
+			for _, s := range p.Steps {
+				if s.Step != next {
+					return false // out of order or duplicated
+				}
+				next++
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: phase count is monotone non-decreasing in the threshold, and
+// bounded by [1, n].
+func TestPropertyOLSMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%80)
+		steps := randomSteps(seed, n)
+		prev := 0
+		for _, th := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			c := len(OLS(steps, th))
+			if c < prev || c < 1 || c > n {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coverage is within (0, 1] and non-decreasing in n, reaching 1
+// when n covers all phases.
+func TestPropertyCoverageBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%60)
+		steps := randomSteps(seed, n)
+		phases := OLS(steps, 0.8)
+		prev := 0.0
+		for k := 1; k <= len(phases); k++ {
+			c := Coverage(phases, k)
+			if c <= 0 || c > 1.0000001 || c+1e-12 < prev {
+				return false
+			}
+			prev = c
+		}
+		return Coverage(phases, len(phases)) > 0.999999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StepSimilarity is symmetric and within [0, 1].
+func TestPropertyStepSimilaritySymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		steps := randomSteps(seed, 2)
+		a, b := steps[0], steps[1]
+		sab, sba := StepSimilarity(a, b), StepSimilarity(b, a)
+		return sab == sba && sab >= 0 && sab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Report is the full output of one analysis: phases plus the derived
+// tables the paper presents.
+type Report struct {
+	Workload  string
+	Algorithm Algorithm
+
+	Steps  int
+	Phases []*Phase
+
+	// Longest is the most time-consuming phase.
+	Longest *Phase
+
+	// TopHostOps / TopTPUOps are the top-5 operators of the longest
+	// phase per device — one column of Table II.
+	TopHostOps []trace.OpTotal
+	TopTPUOps  []trace.OpTotal
+
+	// CoverageTop3 is the execution-time share of the three longest
+	// phases (Figures 7-9).
+	CoverageTop3 float64
+
+	// Sweep diagnostics (whichever the algorithm produced).
+	KMeansSSD    []float64 // Figure 4 series
+	ChosenK      int
+	DBSCANGrid   []int     // Figure 5 x-axis
+	DBSCANNoise  []float64 // Figure 5 series
+	ChosenMinPts int
+
+	// Window metadata averaged over all steps.
+	IdleFrac float64
+	MXUUtil  float64
+
+	TotalTime simclock.Duration
+}
+
+// Analyze reduces profile records to a phase report with one algorithm.
+func Analyze(workload string, records []*trace.ProfileRecord, algo Algorithm, opts Options) (*Report, error) {
+	steps := trace.AggregateSteps(records)
+	return AnalyzeSteps(workload, steps, algo, opts)
+}
+
+// AnalyzeSteps is Analyze for already-aggregated step statistics.
+func AnalyzeSteps(workload string, steps []*trace.StepStat, algo Algorithm, opts Options) (*Report, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("analyzer: no steps to analyze")
+	}
+	opts = opts.withDefaults()
+	r := &Report{Workload: workload, Algorithm: algo, Steps: len(steps)}
+
+	switch algo {
+	case OLSAlgo:
+		r.Phases = OLS(steps, opts.Threshold)
+	case KMeansAlgo:
+		phases, ssd, k, err := KMeansPhases(steps, opts)
+		if err != nil {
+			return nil, err
+		}
+		r.Phases, r.KMeansSSD, r.ChosenK = phases, ssd, k
+	case DBSCANAlgo:
+		phases, grid, noise, minPts, err := DBSCANPhases(steps, opts)
+		if err != nil {
+			return nil, err
+		}
+		r.Phases, r.DBSCANGrid, r.DBSCANNoise, r.ChosenMinPts = phases, grid, noise, minPts
+	default:
+		return nil, fmt.Errorf("analyzer: unknown algorithm %q", algo)
+	}
+
+	ordered := SortByTotal(r.Phases)
+	r.Longest = ordered[0]
+	r.TopHostOps = r.Longest.TopOps(trace.Host, 5)
+	r.TopTPUOps = r.Longest.TopOps(trace.TPU, 5)
+	r.CoverageTop3 = Coverage(r.Phases, 3)
+
+	var weighted float64
+	var span simclock.Duration
+	var first, last simclock.Time
+	for i, s := range steps {
+		d := s.End.Sub(s.Start)
+		span += d
+		weighted += float64(d)
+		r.IdleFrac += s.IdleFrac * float64(d)
+		r.MXUUtil += s.MXUUtil * float64(d)
+		if i == 0 || s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	if weighted > 0 {
+		r.IdleFrac /= weighted
+		r.MXUUtil /= weighted
+	}
+	r.TotalTime = last.Sub(first)
+	return r, nil
+}
+
+// OLSSweep counts phases across similarity thresholds (Figure 6's data).
+// Thresholds are fractions in [0, 1].
+func OLSSweep(steps []*trace.StepStat, thresholds []float64) []int {
+	out := make([]int, len(thresholds))
+	for i, th := range thresholds {
+		out[i] = len(OLS(steps, th))
+	}
+	return out
+}

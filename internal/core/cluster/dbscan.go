@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Noise is the DBSCAN label for unclustered points.
+const Noise = -1
+
+// DBSCANResult holds one DBSCAN clustering.
+type DBSCANResult struct {
+	MinPts     int
+	Eps        float64
+	Labels     []int // cluster id per row, Noise for outliers
+	Clusters   int
+	NoiseCount int
+}
+
+// NoiseRatio returns the fraction of unlabeled (noise) points — the metric
+// the paper sweeps in Figure 5.
+func (r *DBSCANResult) NoiseRatio() float64 {
+	if len(r.Labels) == 0 {
+		return 0
+	}
+	return float64(r.NoiseCount) / float64(len(r.Labels))
+}
+
+// DBSCAN clusters the matrix with the classic density algorithm. eps <= 0
+// selects it automatically from the 4-NN distance distribution. budget
+// bounds the O(n²) distance work (0 disables the check).
+func DBSCAN(m *Matrix, minPts int, eps float64, budget int64) (*DBSCANResult, error) {
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	n := m.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty matrix")
+	}
+	// The neighbor-set pass holds the pairwise distance structure; that
+	// is the allocation that blows up on large runs.
+	need := int64(n) * int64(n) * 8
+	if err := validateBudget(need, budget, "dbscan"); err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		eps = autoEps(m)
+	}
+	eps2 := eps * eps
+
+	// Precompute neighbor lists.
+	neighbors := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		ri := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			if sqDist(ri, m.Row(j)) <= eps2 {
+				neighbors[i] = append(neighbors[i], int32(j))
+				neighbors[j] = append(neighbors[j], int32(i))
+			}
+		}
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		if len(neighbors[i])+1 < minPts {
+			continue // not a core point (may later be claimed as border)
+		}
+		// Expand a new cluster from this core point.
+		labels[i] = cluster
+		queue := append([]int32(nil), neighbors[i]...)
+		for qi := 0; qi < len(queue); qi++ {
+			p := int(queue[qi])
+			if labels[p] == Noise {
+				labels[p] = cluster // border or core point joins
+			}
+			if visited[p] {
+				continue
+			}
+			visited[p] = true
+			if len(neighbors[p])+1 >= minPts {
+				queue = append(queue, neighbors[p]...)
+			}
+		}
+		cluster++
+	}
+	noise := 0
+	for _, l := range labels {
+		if l == Noise {
+			noise++
+		}
+	}
+	return &DBSCANResult{
+		MinPts: minPts, Eps: eps, Labels: labels,
+		Clusters: cluster, NoiseCount: noise,
+	}, nil
+}
+
+// autoEps picks ε as the 90th percentile of 4-NN distances — a standard
+// heuristic that keeps the bulk of a dense phase connected while leaving
+// genuinely unusual steps as noise.
+func autoEps(m *Matrix) float64 {
+	n := m.Rows
+	if n < 2 {
+		return 1
+	}
+	const kth = 4
+	kdist := make([]float64, 0, n)
+	d := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		d = d[:0]
+		ri := m.Row(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d = append(d, sqDist(ri, m.Row(j)))
+		}
+		sort.Float64s(d)
+		idx := kth - 1
+		if idx >= len(d) {
+			idx = len(d) - 1
+		}
+		kdist = append(kdist, d[idx])
+	}
+	sort.Float64s(kdist)
+	v := kdist[(len(kdist)*9)/10]
+	if v <= 0 {
+		// Degenerate geometry (many identical rows): any positive radius
+		// connects duplicates.
+		return 1e-9
+	}
+	return math.Sqrt(v)
+}
+
+// NoiseSweep runs DBSCAN across the paper's min-samples grid (5 to maxPts
+// in steps of `step`) and returns the noise ratios (Figure 5's series).
+func NoiseSweep(m *Matrix, maxPts, step int, budget int64) (minPts []int, ratios []float64, err error) {
+	if step < 1 {
+		return nil, nil, fmt.Errorf("cluster: sweep step must be >= 1")
+	}
+	eps := 0.0
+	for p := 5; p <= maxPts; p += step {
+		r, err := DBSCAN(m, p, eps, budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		if eps == 0 {
+			eps = r.Eps // reuse the auto choice across the sweep
+		}
+		minPts = append(minPts, p)
+		ratios = append(ratios, r.NoiseRatio())
+	}
+	return minPts, ratios, nil
+}

@@ -1,0 +1,145 @@
+// Package cluster implements the clustering machinery behind
+// TPUPoint-Analyzer: step feature-vector construction, PCA dimensionality
+// reduction, k-means with the elbow method, and DBSCAN with a
+// minimum-samples sweep — the SimPoint-style toolkit of Section IV.
+//
+// All algorithms operate on a dense feature matrix whose rows are training
+// steps and whose columns are per-operator statistics (invocation count
+// and total duration per op), exactly the "frequency vector
+// representation" the paper builds before clustering.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// ErrMemoryBudget is returned when a clustering run would exceed the
+// configured memory budget — the failure mode the paper reports for
+// k-means/DBSCAN on its largest workloads (Table II).
+var ErrMemoryBudget = errors.New("cluster: memory budget exceeded")
+
+// MaxFeatureOps caps the operator vocabulary per the paper: "we have at
+// most 100 distinct operations for frequency vector representation."
+const MaxFeatureOps = 100
+
+// Matrix is a dense row-major feature matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Bytes returns the matrix's approximate memory footprint.
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }
+
+// Features builds the step × (2·ops) feature matrix from aggregated step
+// statistics. Columns come in (count, duration) pairs per operator. If the
+// vocabulary exceeds MaxFeatureOps, only the MaxFeatureOps most
+// time-consuming operators are kept.
+func Features(steps []*trace.StepStat) (*Matrix, []trace.OpKey) {
+	if len(steps) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	totals := make(map[trace.OpKey]float64)
+	for _, s := range steps {
+		for k, st := range s.Ops {
+			totals[k] += float64(st.Total)
+		}
+	}
+	keys := make([]trace.OpKey, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if totals[keys[i]] != totals[keys[j]] {
+			return totals[keys[i]] > totals[keys[j]]
+		}
+		if keys[i].Device != keys[j].Device {
+			return keys[i].Device < keys[j].Device
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	if len(keys) > MaxFeatureOps {
+		keys = keys[:MaxFeatureOps]
+	}
+	idx := make(map[trace.OpKey]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	m := NewMatrix(len(steps), 2*len(keys))
+	for i, s := range steps {
+		row := m.Row(i)
+		for k, st := range s.Ops {
+			j, ok := idx[k]
+			if !ok {
+				continue
+			}
+			row[2*j] = float64(st.Count)
+			row[2*j+1] = float64(st.Total)
+		}
+	}
+	return m, keys
+}
+
+// Standardize rescales each column to zero mean and unit variance in
+// place; constant columns become zero. It returns the matrix for chaining.
+func Standardize(m *Matrix) *Matrix {
+	for j := 0; j < m.Cols; j++ {
+		var mean float64
+		for i := 0; i < m.Rows; i++ {
+			mean += m.At(i, j)
+		}
+		mean /= float64(m.Rows)
+		var variance float64
+		for i := 0; i < m.Rows; i++ {
+			d := m.At(i, j) - mean
+			variance += d * d
+		}
+		variance /= float64(m.Rows)
+		sd := math.Sqrt(variance)
+		for i := 0; i < m.Rows; i++ {
+			if sd == 0 {
+				m.Set(i, j, 0)
+			} else {
+				m.Set(i, j, (m.At(i, j)-mean)/sd)
+			}
+		}
+	}
+	return m
+}
+
+// sqDist returns the squared Euclidean distance of two vectors.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// validateBudget fails if need exceeds budget (budget <= 0 disables).
+func validateBudget(need, budget int64, what string) error {
+	if budget > 0 && need > budget {
+		return fmt.Errorf("%w: %s needs %d bytes, budget %d", ErrMemoryBudget, what, need, budget)
+	}
+	return nil
+}

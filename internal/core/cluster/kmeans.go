@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// KMeansResult holds one k-means clustering.
+type KMeansResult struct {
+	K          int
+	Assignment []int   // per-row cluster id in [0, K)
+	Centroids  *Matrix // K × dims
+	SSD        float64 // sum of squared distances to assigned centroids
+	Sizes      []int   // rows per cluster
+	Iterations int
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding. seed makes runs
+// reproducible. budget bounds the working memory (0 disables the check).
+func KMeans(m *Matrix, k int, seed uint64, budget int64) (*KMeansResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if m.Rows == 0 {
+		return nil, fmt.Errorf("cluster: empty matrix")
+	}
+	if k > m.Rows {
+		k = m.Rows
+	}
+	need := m.Bytes() + int64(k*m.Cols)*8 + int64(m.Rows)*8
+	if err := validateBudget(need, budget, "k-means"); err != nil {
+		return nil, err
+	}
+
+	rng := prng.New(seed)
+	centroids := seedPlusPlus(m, k, rng)
+	assign := make([]int, m.Rows)
+	sizes := make([]int, k)
+
+	var ssd float64
+	iterations := 0
+	for iter := 0; iter < 200; iter++ {
+		iterations = iter + 1
+		// Assignment step.
+		changed := false
+		ssd = 0
+		for i := 0; i < m.Rows; i++ {
+			row := m.Row(i)
+			best, bestD := 0, sqDist(row, centroids.Row(0))
+			for c := 1; c < k; c++ {
+				if d := sqDist(row, centroids.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			ssd += bestD
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		next := NewMatrix(k, m.Cols)
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i := 0; i < m.Rows; i++ {
+			c := assign[i]
+			sizes[c]++
+			crow := next.Row(c)
+			row := m.Row(i)
+			for j := range crow {
+				crow[j] += row[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(next.Row(c), m.Row(rng.Intn(m.Rows)))
+				continue
+			}
+			crow := next.Row(c)
+			for j := range crow {
+				crow[j] /= float64(sizes[c])
+			}
+		}
+		centroids = next
+	}
+	return &KMeansResult{
+		K: k, Assignment: assign, Centroids: centroids,
+		SSD: ssd, Sizes: sizes, Iterations: iterations,
+	}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy.
+func seedPlusPlus(m *Matrix, k int, rng *prng.Source) *Matrix {
+	centroids := NewMatrix(k, m.Cols)
+	copy(centroids.Row(0), m.Row(rng.Intn(m.Rows)))
+	d2 := make([]float64, m.Rows)
+	for c := 1; c < k; c++ {
+		var total float64
+		for i := 0; i < m.Rows; i++ {
+			best := sqDist(m.Row(i), centroids.Row(0))
+			for cc := 1; cc < c; cc++ {
+				if d := sqDist(m.Row(i), centroids.Row(cc)); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			copy(centroids.Row(c), m.Row(rng.Intn(m.Rows)))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := m.Rows - 1
+		for i := 0; i < m.Rows; i++ {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		copy(centroids.Row(c), m.Row(pick))
+	}
+	return centroids
+}
+
+// SSDSweep runs k-means for k = 1..kMax and returns the SSD series the
+// elbow method (and the paper's Figure 4) consumes.
+func SSDSweep(m *Matrix, kMax int, seed uint64, budget int64) ([]float64, error) {
+	out := make([]float64, 0, kMax)
+	for k := 1; k <= kMax; k++ {
+		r, err := KMeans(m, k, seed+uint64(k), budget)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r.SSD)
+	}
+	return out, nil
+}
+
+// Elbow returns the 1-based index of the elbow in a decreasing series: the
+// point with maximum distance from the line joining the first and last
+// points. A series shorter than 3 returns its length.
+func Elbow(series []float64) int {
+	n := len(series)
+	if n < 3 {
+		return n
+	}
+	x1, y1 := 1.0, series[0]
+	x2, y2 := float64(n), series[n-1]
+	dx, dy := x2-x1, y2-y1
+	den := dx*dx + dy*dy
+	best, bestD := 1, -1.0
+	for i := 0; i < n; i++ {
+		x, y := float64(i+1), series[i]
+		// Perpendicular distance to the chord (scaled; monotone in true
+		// distance since den is constant).
+		d := dx*(y1-y) - (x1-x)*dy
+		dist := d * d / den
+		if dist > bestD {
+			best, bestD = i+1, dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// PCA projects the (already standardized) matrix onto its top-k principal
+// components using power iteration with deflation — the dimensional
+// reduction step the paper applies before k-means.
+//
+// If k >= m.Cols the input is returned unchanged (projection would be a
+// rotation with no reduction, and the clustering metrics are rotation-
+// invariant anyway).
+func PCA(m *Matrix, k int) *Matrix {
+	if m.Rows == 0 || k >= m.Cols || k <= 0 {
+		return m
+	}
+	cov := covariance(m)
+	d := m.Cols
+	components := make([][]float64, 0, k)
+	rng := prng.New(0x9ca)
+
+	work := make([]float64, d)
+	for c := 0; c < k; c++ {
+		// Power iteration for the dominant eigenvector of the (deflated)
+		// covariance.
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.Float64() - 0.5
+		}
+		normalize(v)
+		var lambda float64
+		for iter := 0; iter < 100; iter++ {
+			matVec(cov, v, work)
+			l := norm(work)
+			if l == 0 {
+				break
+			}
+			for i := range v {
+				v[i] = work[i] / l
+			}
+			if math.Abs(l-lambda) < 1e-9*math.Max(1, l) {
+				lambda = l
+				break
+			}
+			lambda = l
+		}
+		if lambda == 0 {
+			break
+		}
+		components = append(components, append([]float64(nil), v...))
+		// Deflate: cov -= λ v vᵀ.
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cov[i*d+j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+	out := NewMatrix(m.Rows, len(components))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for c, comp := range components {
+			var dot float64
+			for j := range row {
+				dot += row[j] * comp[j]
+			}
+			out.Set(i, c, dot)
+		}
+	}
+	return out
+}
+
+// covariance returns the d×d covariance matrix (rows assumed centered —
+// Standardize guarantees it).
+func covariance(m *Matrix) []float64 {
+	d := m.Cols
+	cov := make([]float64, d*d)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := i; j < d; j++ {
+				cov[i*d+j] += row[i] * row[j]
+			}
+		}
+	}
+	scale := 1 / float64(maxInt(1, m.Rows-1))
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i*d+j] *= scale
+			cov[j*d+i] = cov[i*d+j]
+		}
+	}
+	return cov
+}
+
+func matVec(a []float64, x, out []float64) {
+	d := len(x)
+	for i := 0; i < d; i++ {
+		var s float64
+		row := a[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			s += row[j] * x[j]
+		}
+		out[i] = s
+	}
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

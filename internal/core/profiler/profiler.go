@@ -1,0 +1,264 @@
+// Package profiler implements TPUPoint-Profiler, the core of the TPUPoint
+// toolchain (Section III).
+//
+// On Start, the profiler launches a dedicated profiling goroutine that
+// periodically requests profiles from the TPU's profile service,
+// independent of the training loop — training continues uninterrupted
+// while profiling takes place. Each response (raw events plus idle/MXU
+// metadata) is immediately reduced to a statistical ProfileRecord, which
+// keeps memory bounded: the profiler never retains raw events.
+//
+// If the analyzer flag is set on Start (the paper's Figure 2 API), a
+// second recording goroutine streams each record to Cloud Storage while
+// the profiling goroutine keeps requesting the next window. Stop sends the
+// final request, drains both goroutines, and returns the records.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/tpu"
+	"repro/internal/trace"
+)
+
+// Client fetches the next profile window. Implementations exist for the
+// in-process service and the RPC transport.
+type Client interface {
+	NextProfile() (*tpu.ProfileResponse, error)
+}
+
+// ServiceClient profiles an in-process tpu.ProfileService.
+type ServiceClient struct {
+	Service *tpu.ProfileService
+}
+
+// NextProfile implements Client.
+func (c *ServiceClient) NextProfile() (*tpu.ProfileResponse, error) {
+	resp := c.Service.NextWindow()
+	return &resp, nil
+}
+
+// RPCClient profiles a remote service over the rpc transport — the
+// client-to-master gRPC call path of the real tool.
+type RPCClient struct {
+	Conn *rpc.Client
+}
+
+// NextProfile implements Client.
+func (c *RPCClient) NextProfile() (*tpu.ProfileResponse, error) {
+	raw, err := c.Conn.Call(tpu.MethodProfile, nil)
+	if err != nil {
+		return nil, err
+	}
+	return tpu.UnmarshalProfileResponse(raw)
+}
+
+// Options configure a profiler.
+type Options struct {
+	// Interval is the wall-clock pause between profile requests when the
+	// last window was empty (training hasn't produced new activity).
+	// Defaults to 200µs — the simulation runs faster than real time.
+	Interval time.Duration
+
+	// Bucket receives serialized records when the analyzer flag is set.
+	Bucket *storage.Bucket
+
+	// ObjectPrefix prefixes record object names (default "profiles/").
+	ObjectPrefix string
+
+	// BreakpointStep, when positive, ends profiling once a record covers
+	// this training step — the paper's "user-specified breakpoint": the
+	// profiling thread sends its final request and shuts down even
+	// though training continues.
+	BreakpointStep int64
+}
+
+// Profiler is the TPUPoint-Profiler front end (the paper's Figure 2
+// tpprofiler object).
+type Profiler struct {
+	client Client
+	opts   Options
+
+	mu       sync.Mutex
+	started  bool
+	stopping bool
+	records  []*trace.ProfileRecord
+	err      error
+
+	recCh  chan *trace.ProfileRecord
+	doneCh chan struct{}
+	recWG  sync.WaitGroup
+}
+
+// New builds a profiler over a profile client.
+func New(client Client, opts Options) *Profiler {
+	if opts.Interval <= 0 {
+		opts.Interval = 200 * time.Microsecond
+	}
+	if opts.ObjectPrefix == "" {
+		opts.ObjectPrefix = "profiles/"
+	}
+	return &Profiler{client: client, opts: opts}
+}
+
+// Start launches the profiling goroutine. With analyzer=true a recording
+// goroutine persists every record to the bucket for post-execution
+// analysis; with analyzer=false records are only buffered in memory (the
+// optimizer-only mode).
+func (p *Profiler) Start(analyzer bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return errors.New("profiler: already started")
+	}
+	if analyzer && p.opts.Bucket == nil {
+		return errors.New("profiler: analyzer mode needs a storage bucket")
+	}
+	p.started = true
+	p.doneCh = make(chan struct{})
+	if analyzer {
+		p.recCh = make(chan *trace.ProfileRecord, 64)
+		p.recWG.Add(1)
+		go p.recordLoop(p.recCh)
+	}
+	go p.profileLoop()
+	return nil
+}
+
+// profileLoop is the profiling thread: request, reduce, hand off, repeat.
+func (p *Profiler) profileLoop() {
+	defer close(p.doneCh)
+	seq := int64(0)
+	for {
+		resp, err := p.client.NextProfile()
+		if err != nil {
+			p.fail(fmt.Errorf("profiler: profile request: %w", err))
+			break
+		}
+		breakpointHit := false
+		if len(resp.Events) > 0 {
+			rec := trace.Reduce(seq, resp.WindowStart, resp.Events, resp.IdleFrac, resp.MXUUtil)
+			rec.Truncated = rec.Truncated || resp.Truncated
+			seq++
+			p.mu.Lock()
+			p.records = append(p.records, rec)
+			ch := p.recCh
+			p.mu.Unlock()
+			if ch != nil {
+				ch <- rec
+			}
+			if bp := p.opts.BreakpointStep; bp > 0 {
+				for _, s := range rec.Steps {
+					if s.Step >= bp {
+						breakpointHit = true
+						break
+					}
+				}
+			}
+		}
+		if resp.EndOfStream || breakpointHit {
+			break
+		}
+		p.mu.Lock()
+		stopping := p.stopping
+		p.mu.Unlock()
+		if stopping && len(resp.Events) == 0 {
+			// Final request made and nothing new arrived: done.
+			break
+		}
+		if len(resp.Events) == 0 {
+			time.Sleep(p.opts.Interval)
+		}
+	}
+	p.mu.Lock()
+	ch := p.recCh
+	p.recCh = nil
+	p.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// recordLoop is the recording thread: persist records as they arrive so
+// the profiling thread can keep requesting the next profile.
+func (p *Profiler) recordLoop(ch <-chan *trace.ProfileRecord) {
+	defer p.recWG.Done()
+	i := 0
+	for rec := range ch {
+		name := fmt.Sprintf("%srecord-%06d", p.opts.ObjectPrefix, i)
+		i++
+		if _, err := p.opts.Bucket.Put(name, trace.MarshalRecord(rec)); err != nil {
+			p.fail(fmt.Errorf("profiler: recording %s: %w", name, err))
+			return
+		}
+	}
+}
+
+func (p *Profiler) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Stop sends the final profile request, waits for both goroutines to
+// drain, and returns the collected records.
+func (p *Profiler) Stop() ([]*trace.ProfileRecord, error) {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return nil, errors.New("profiler: not started")
+	}
+	p.stopping = true
+	done := p.doneCh
+	p.mu.Unlock()
+
+	<-done
+	p.recWG.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.started = false
+	p.stopping = false
+	return p.records, p.err
+}
+
+// Records returns the records collected so far (safe to call while
+// profiling; returns a snapshot).
+func (p *Profiler) Records() []*trace.ProfileRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*trace.ProfileRecord, len(p.records))
+	copy(out, p.records)
+	return out
+}
+
+// LoadRecords reads persisted records back from storage, ordered by
+// sequence number — the input to offline TPUPoint-Analyzer runs.
+func LoadRecords(b *storage.Bucket, prefix string) ([]*trace.ProfileRecord, error) {
+	if prefix == "" {
+		prefix = "profiles/"
+	}
+	names := b.List(prefix)
+	out := make([]*trace.ProfileRecord, 0, len(names))
+	for _, name := range names {
+		obj, err := b.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := trace.UnmarshalRecord(obj.Data)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: decoding %s: %w", name, err)
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if d.SizeBytes <= 0 || d.Records <= 0 || d.DecodedBytes <= 0 {
+			t.Fatalf("%s has degenerate fields: %+v", name, d)
+		}
+		if d.RecordBytes() < 1 {
+			t.Fatalf("%s record bytes = %d", name, d.RecordBytes())
+		}
+	}
+}
+
+func TestTable1Sizes(t *testing.T) {
+	// Spot-check against Table I (within 1%).
+	cases := map[string]float64{
+		"squad":    422.27,
+		"mrpc":     2.85,
+		"mnli":     430.61,
+		"cola":     1.44,
+		"cifar10":  178.87,
+		"mnist":    56.21,
+		"coco":     48.49 * 1024,
+		"imagenet": 143.38 * 1024,
+	}
+	for name, wantMiB := range cases {
+		d := MustGet(name)
+		gotMiB := float64(d.SizeBytes) / (1 << 20)
+		if gotMiB < wantMiB*0.99 || gotMiB > wantMiB*1.01 {
+			t.Errorf("%s size = %.2f MiB, want %.2f", name, gotMiB, wantMiB)
+		}
+	}
+}
+
+func TestKinds(t *testing.T) {
+	for _, name := range []string{"squad", "mrpc", "mnli", "cola"} {
+		if MustGet(name).Kind != Text {
+			t.Errorf("%s should be text", name)
+		}
+	}
+	for _, name := range []string{"cifar10", "mnist", "coco", "imagenet"} {
+		if MustGet(name).Kind != Image {
+			t.Errorf("%s should be image", name)
+		}
+	}
+	if Text.String() != "text" || Image.String() != "image" {
+		t.Error("kind names")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("fake"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet did not panic")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestHalved(t *testing.T) {
+	d := MustGet("squad")
+	h := d.Halved()
+	if h.Records != d.Records/2 || h.SizeBytes != d.SizeBytes/2 {
+		t.Fatalf("halved: %+v", h)
+	}
+	if h.Name != "squad-half" {
+		t.Fatalf("halved name %q", h.Name)
+	}
+	if h.DecodedBytes != d.DecodedBytes {
+		t.Fatal("halving changed decoded record size")
+	}
+	// Halving a degenerate 1-record set stays valid.
+	tiny := Dataset{Name: "t", Records: 1, SizeBytes: 10, DecodedBytes: 1}
+	if tiny.Halved().Records != 1 {
+		t.Fatal("halved records hit zero")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	svc := storage.NewService()
+	b, _ := svc.CreateBucket("data")
+	n, err := Generate(b, MustGet("mrpc"), 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("generated %d records", n)
+	}
+	objs := b.List("mrpc/records/")
+	if len(objs) != 100 {
+		t.Fatalf("bucket holds %d objects", len(objs))
+	}
+	sz, err := b.Size(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MustGet("mrpc").RecordBytes(); sz != want {
+		t.Fatalf("record size = %d, want %d", sz, want)
+	}
+}
+
+func TestGenerateCapsAtDatasetSize(t *testing.T) {
+	svc := storage.NewService()
+	b, _ := svc.CreateBucket("data")
+	tiny := Dataset{Name: "t", Kind: Text, SizeBytes: 1000, Records: 7, DecodedBytes: 10}
+	n, err := Generate(b, tiny, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("generated %d, want 7", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	svc := storage.NewService()
+	b1, _ := svc.CreateBucket("d1")
+	b2, _ := svc.CreateBucket("d2")
+	Generate(b1, MustGet("cola"), 10, 7)
+	Generate(b2, MustGet("cola"), 10, 7)
+	o1, _ := b1.Get("cola/records/000003")
+	o2, _ := b2.Get("cola/records/000003")
+	if string(o1.Data) != string(o2.Data) {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(nil, MustGet("cola"), 10, 1); err == nil {
+		t.Fatal("nil bucket accepted")
+	}
+	svc := storage.NewService()
+	b, _ := svc.CreateBucket("d")
+	if _, err := Generate(b, MustGet("cola"), 0, 1); err == nil {
+		t.Fatal("zero maxRecords accepted")
+	}
+}
+
+func TestGenerateCapsHugePayloads(t *testing.T) {
+	svc := storage.NewService()
+	b, _ := svc.CreateBucket("d")
+	// COCO records average ~430KB; payloads must be capped at 64KiB.
+	if _, err := Generate(b, MustGet("coco"), 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := b.Size("coco/records/000000")
+	if sz > 64<<10 {
+		t.Fatalf("payload %d exceeds cap", sz)
+	}
+}

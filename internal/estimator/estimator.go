@@ -1,0 +1,449 @@
+// Package estimator implements the TPUEstimator-style training loop that
+// couples the host input pipeline to the TPU device, mirroring how
+// TensorFlow drives Cloud TPU training:
+//
+//   - the host pipeline runs ahead of the device, bounded by the prefetch
+//     depth (batch i cannot start until the device has consumed batch
+//     i−depth);
+//   - the device idles whenever the next batch has not reached its infeed
+//     queue — the idle time the paper measures;
+//   - every IterationsPerLoop steps the loop returns to the host for an
+//     outfeed dequeue and session bookkeeping, serializing briefly;
+//   - eval blocks run a forward-only program on cached data; checkpoints
+//     and summaries are written on their Table I cadences.
+//
+// A Runner implements tpu.EventSource over the merged host+device event
+// stream, which is what the profile service hands to TPUPoint-Profiler.
+package estimator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/host"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/tpu"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/xla"
+)
+
+// Options configure a training run beyond the workload's defaults.
+type Options struct {
+	Version    tpu.Version     // TPU generation (default V2)
+	HostParams *host.Params    // override the workload's pipeline parameters
+	Steps      int             // override the workload's TrainSteps
+	Seed       uint64          // override the workload's seed
+	Bucket     *storage.Bucket // checkpoint destination (optional)
+
+	// DisableEval skips eval blocks (used by microbenchmarks).
+	DisableEval bool
+
+	// StartStep fast-forwards the run: training begins at this global
+	// step instead of zero, restoring model state from RestoreFrom. This
+	// is the paper's checkpoint/restart feature (Section IV-C): TPUPoint
+	// associates phases with checkpoints so an application can be
+	// "executed without starting from step zero".
+	StartStep int64
+
+	// RestoreFrom names the checkpoint object (in Bucket) to restore
+	// when StartStep > 0. The object must exist.
+	RestoreFrom string
+
+	// StepOverheadUs adds fixed host-side work to every training step —
+	// how TPUPoint-Optimizer's instrumentation cost is charged.
+	StepOverheadUs float64
+
+	// OnTrainStep, when set, runs after every training step. TPUPoint-
+	// Optimizer's online tuning hooks in here. It may call SetHostParams.
+	OnTrainStep func(r *Runner, step int64, timing tpu.StepTiming)
+}
+
+// Checkpoint records one saved model state.
+type Checkpoint struct {
+	Step   int64
+	At     simclock.Time
+	Object string
+}
+
+// Runner executes one training run.
+type Runner struct {
+	W    *workloads.Workload
+	opts Options
+
+	mu        sync.RWMutex
+	dev       *tpu.Device
+	hst       *host.Host
+	trainProg *xla.Program
+	evalProg  *xla.Program
+
+	consumedAt  []simclock.Time // per train-batch consumption time
+	now         simclock.Time
+	done        bool
+	ran         bool
+	checkpoints []Checkpoint
+	totalSteps  int64
+
+	merged     []trace.Event // sort-merged cache, built lazily
+	mergedUpTo int           // host+dev event counts at merge time
+}
+
+// New prepares a runner. The workload's graphs are compiled here, so a
+// model that does not fit the chip's HBM fails fast.
+func New(w *workloads.Workload, opts Options) (*Runner, error) {
+	if w == nil {
+		return nil, errors.New("estimator: nil workload")
+	}
+	if opts.Version == 0 {
+		opts.Version = tpu.V2
+	}
+	seed := w.Seed
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+	params := w.HostParams
+	if opts.HostParams != nil {
+		params = *opts.HostParams
+	}
+
+	// The TensorFlow master's optimization pipeline runs before the
+	// worker sees the graph: constant folding, then XLA lowering.
+	trainProg, err := compileLikeMaster(w.TrainGraph)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: compiling train graph: %w", err)
+	}
+	evalProg, err := compileLikeMaster(w.EvalGraph)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: compiling eval graph: %w", err)
+	}
+	dev := tpu.NewDevice(tpu.NewChipSpec(opts.Version), seed)
+	if err := dev.LoadProgram(trainProg); err != nil {
+		return nil, err
+	}
+	hst, err := host.New(host.DefaultSpec(), params, w.Input, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		W:         w,
+		opts:      opts,
+		dev:       dev,
+		hst:       hst,
+		trainProg: trainProg,
+		evalProg:  evalProg,
+	}, nil
+}
+
+// compileLikeMaster applies the master's graph optimizations (constant
+// folding; partitioning is a no-op for these single-device step graphs)
+// and lowers the result through XLA.
+func compileLikeMaster(g *graph.Graph) (*xla.Program, error) {
+	folded, _, err := graph.FoldConstants(g)
+	if err != nil {
+		return nil, err
+	}
+	return xla.Compile(folded)
+}
+
+// trainSteps returns the effective train-step count.
+func (r *Runner) trainSteps() int {
+	if r.opts.Steps > 0 {
+		return r.opts.Steps
+	}
+	return r.W.TrainSteps
+}
+
+// Run executes the full training schedule. It may be called once.
+func (r *Runner) Run() error {
+	r.mu.Lock()
+	if r.ran {
+		r.mu.Unlock()
+		return errors.New("estimator: Run called twice")
+	}
+	r.ran = true
+	r.mu.Unlock()
+
+	steps := r.trainSteps()
+
+	// Session init: host brings up the TPU system and restores state;
+	// the device spends a moment in program compilation/warmup. A
+	// fast-forwarded run restores the named checkpoint instead of the
+	// initial weights.
+	r.mu.Lock()
+	if r.opts.StartStep > 0 {
+		if r.opts.RestoreFrom == "" {
+			r.mu.Unlock()
+			return errors.New("estimator: StartStep without RestoreFrom")
+		}
+		if r.opts.Bucket == nil || !r.opts.Bucket.Exists(r.opts.RestoreFrom) {
+			r.mu.Unlock()
+			return fmt.Errorf("estimator: restore checkpoint %q not found", r.opts.RestoreFrom)
+		}
+	}
+	initEnd := r.hst.EmitInit(0, r.trainProg.WeightBytes)
+	r.dev.InjectEvent("StartProgram", initEnd, 2000, -1)
+	r.now = initEnd.Add(2000)
+	r.mu.Unlock()
+
+	var loopGate simclock.Time  // batches wait for loop-boundary syncs
+	var loopStart simclock.Time // when the current loop's dequeue posted
+	globalStep := r.opts.StartStep
+	trainDone := 0
+	sinceEval := 0
+
+	for trainDone < steps {
+		r.mu.Lock()
+		// --- one training step ------------------------------------------
+		gate := loopGate
+		var slotFree simclock.Time
+		// Prefetch depth is re-read every step: the optimizer may retune
+		// it mid-run.
+		if idx := trainDone - r.hst.Params().PrefetchDepth; idx >= 0 {
+			slotFree = r.consumedAt[idx]
+		}
+		if r.opts.StepOverheadUs > 0 {
+			r.hst.Instrument(globalStep, r.opts.StepOverheadUs)
+		}
+		ready := r.hst.ProduceBatch(globalStep, gate, slotFree)
+		st, err := r.dev.RunStep(globalStep, ready)
+		if err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		r.consumedAt = append(r.consumedAt, st.Start)
+		r.hst.StepNoise(globalStep, st.End, r.W.NoiseP)
+		trainDone++
+		globalStep++
+		sinceEval++
+		r.advance(st.End)
+
+		// --- loop boundary: outfeed sync + bookkeeping ------------------
+		// The host posts the loop's outfeed dequeue when the loop starts
+		// and blocks until the TPU finishes the last iteration, so the
+		// profiled OutfeedDequeueTuple spans most of the loop — which is
+		// why it tops host profiles.
+		if trainDone%r.W.IterationsPerLoop == 0 || trainDone == steps {
+			deqEnd := r.hst.DequeueOutfeed(globalStep-1, loopStart, st.End, r.trainProg.OutfeedBytes)
+			r.hst.StepBookkeeping(globalStep-1, deqEnd)
+			loopGate = deqEnd.Add(200)
+			loopStart = loopGate
+			r.advance(loopGate)
+		}
+		// --- summaries and checkpoints ----------------------------------
+		if r.W.SummaryEvery > 0 && trainDone%r.W.SummaryEvery == 0 {
+			r.advance(r.hst.EmitSummary(globalStep-1, r.now))
+		}
+		if r.W.CheckpointEvery > 0 && trainDone%r.W.CheckpointEvery == 0 {
+			end := r.hst.EmitCheckpoint(globalStep-1, r.now, r.trainProg.WeightBytes)
+			ck := Checkpoint{Step: globalStep - 1, At: end,
+				Object: fmt.Sprintf("ckpt/model.ckpt-%d", globalStep-1)}
+			if r.opts.Bucket != nil {
+				blob := []byte(fmt.Sprintf("checkpoint step=%d weights=%d", ck.Step, r.trainProg.WeightBytes))
+				if _, err := r.opts.Bucket.Put(ck.Object, blob); err != nil {
+					r.mu.Unlock()
+					return err
+				}
+			}
+			r.checkpoints = append(r.checkpoints, ck)
+			loopGate = end
+			r.advance(end)
+		}
+		hook := r.opts.OnTrainStep
+		r.mu.Unlock()
+
+		if hook != nil {
+			hook(r, globalStep-1, st)
+		}
+
+		// --- mid-run eval block (only when the workload asks for it) ----
+		if !r.opts.DisableEval && r.W.EvalEvery > 0 && sinceEval >= r.W.EvalEvery && trainDone < steps {
+			sinceEval = 0
+			if err := r.runEvalBlock(&globalStep); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Final evaluation after training, the TPUEstimator train-then-
+	// evaluate shape; this is the third phase the analyzer finds.
+	if !r.opts.DisableEval && r.W.EvalSteps > 0 {
+		if err := r.runEvalBlock(&globalStep); err != nil {
+			return err
+		}
+	}
+
+	r.mu.Lock()
+	r.totalSteps = globalStep
+	// Shutdown ops belong to the last executed step's phase.
+	end := r.hst.EmitShutdown(globalStep-1, r.now)
+	r.advance(end)
+	r.done = true
+	r.mu.Unlock()
+	return nil
+}
+
+// runEvalBlock switches the device to the eval program, runs the block on
+// cached data (no host pipeline, so no infeed waits), then switches back.
+func (r *Runner) runEvalBlock(globalStep *int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.dev.LoadProgram(r.evalProg); err != nil {
+		return err
+	}
+	for i := 0; i < r.W.EvalSteps; i++ {
+		st, err := r.dev.RunStep(*globalStep, 0)
+		if err != nil {
+			return err
+		}
+		*globalStep++
+		r.advance(st.End)
+	}
+	return r.dev.LoadProgram(r.trainProg)
+}
+
+// advance moves the run's progress clock forward (never backward).
+func (r *Runner) advance(t simclock.Time) {
+	if t > r.now {
+		r.now = t
+	}
+}
+
+// SetHostParams swaps pipeline parameters mid-run (the optimizer's lever).
+func (r *Runner) SetHostParams(p host.Params) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hst.SetParams(p)
+}
+
+// SetStepOverheadUs adjusts the per-step instrumentation cost mid-run.
+func (r *Runner) SetStepOverheadUs(us float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opts.StepOverheadUs = us
+}
+
+// Stall halts the input pipeline for d simulated time — the cost of a
+// checkpoint restore when the optimizer rolls back a bad parameter move.
+func (r *Runner) Stall(d simclock.Duration, step int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hst.StallPipeline(d, step)
+}
+
+// HostParams returns the active pipeline parameters.
+func (r *Runner) HostParams() host.Params {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hst.Params()
+}
+
+// Done reports whether the run has completed.
+func (r *Runner) Done() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.done
+}
+
+// Now returns the run's simulated progress time.
+func (r *Runner) Now() simclock.Time {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.now
+}
+
+// TotalTime returns the simulated wall time of the completed run.
+func (r *Runner) TotalTime() simclock.Duration {
+	return simclock.Duration(r.Now())
+}
+
+// Checkpoints returns the checkpoints saved during the run.
+func (r *Runner) Checkpoints() []Checkpoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Checkpoint, len(r.checkpoints))
+	copy(out, r.checkpoints)
+	return out
+}
+
+// IdleFraction returns the device's idle share over the run.
+func (r *Runner) IdleFraction() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dev.IdleFraction()
+}
+
+// MXUUtilization returns the device's FLOP-weighted MXU occupancy.
+func (r *Runner) MXUUtilization() float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dev.MXUUtilization()
+}
+
+// Spec returns the device chip spec.
+func (r *Runner) Spec() tpu.ChipSpec {
+	return r.dev.Spec
+}
+
+// StepTimings returns the device's per-step timing records.
+func (r *Runner) StepTimings() []tpu.StepTiming {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]tpu.StepTiming, len(r.dev.Timings()))
+	copy(out, r.dev.Timings())
+	return out
+}
+
+// WeightBytes returns the train program's parameter footprint.
+func (r *Runner) WeightBytes() int64 { return r.trainProg.WeightBytes }
+
+// ensureMerged rebuilds the merged event cache if new events arrived.
+// Callers must hold at least the read lock; the cache swap upgrades.
+func (r *Runner) mergedEvents() []trace.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	de, he := r.dev.Events(), r.hst.Events()
+	if total := len(de) + len(he); total != r.mergedUpTo {
+		m := make([]trace.Event, 0, total)
+		m = append(m, de...)
+		m = append(m, he...)
+		sort.SliceStable(m, func(i, j int) bool { return m[i].Start < m[j].Start })
+		r.merged = m
+		r.mergedUpTo = total
+	}
+	return r.merged
+}
+
+// Events returns the merged host+device event stream, time-ordered.
+func (r *Runner) Events() []trace.Event {
+	return r.mergedEvents()
+}
+
+// EventsInWindow implements tpu.EventSource over the merged stream.
+func (r *Runner) EventsInWindow(from, to simclock.Time) []trace.Event {
+	m := r.mergedEvents()
+	lo := sort.Search(len(m), func(i int) bool { return m[i].Start >= from })
+	hi := sort.Search(len(m), func(i int) bool { return m[i].Start >= to })
+	out := make([]trace.Event, hi-lo)
+	copy(out, m[lo:hi])
+	return out
+}
+
+// WindowMetrics implements tpu.EventSource, delegating to the device.
+func (r *Runner) WindowMetrics(from, to simclock.Time) (float64, float64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dev.WindowMetrics(from, to)
+}
+
+// ProfileService returns a profile service bound to this run.
+func (r *Runner) ProfileService() *tpu.ProfileService {
+	return tpu.NewProfileService(r, r.dev.Spec,
+		func() simclock.Time { return r.Now() },
+		func() bool { return r.Done() })
+}
+
+var _ tpu.EventSource = (*Runner)(nil)

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+func spec(dims ...int) tensor.Spec {
+	return tensor.NewSpec(tensor.BFloat16, dims...)
+}
+
+// buildDiamond builds a small a -> (b, c) -> d graph on the TPU.
+func buildDiamond(t *testing.T) (*Graph, *Node, *Node, *Node, *Node) {
+	t.Helper()
+	g := New("diamond")
+	a := g.MustAdd("a", OpPlaceholder, trace.TPU, spec(4, 4))
+	b := g.MustAdd("b", OpRelu, trace.TPU, spec(4, 4), a)
+	c := g.MustAdd("c", OpTanh, trace.TPU, spec(4, 4), a)
+	d := g.MustAdd("d", OpAdd, trace.TPU, spec(4, 4), b, c)
+	return g, a, b, c, d
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g, a, _, _, _ := buildDiamond(t)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Lookup("a") != a {
+		t.Fatal("Lookup failed")
+	}
+	if g.Lookup("zzz") != nil {
+		t.Fatal("Lookup of missing node returned non-nil")
+	}
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	g := New("g")
+	g.MustAdd("x", OpConst, trace.Host, spec(1))
+	if _, err := g.Add("x", OpConst, trace.Host, spec(1)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestAddRejectsEmptyName(t *testing.T) {
+	g := New("g")
+	if _, err := g.Add("", OpConst, trace.Host, spec(1)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestAddRejectsForeignInput(t *testing.T) {
+	g1 := New("g1")
+	g2 := New("g2")
+	alien := g1.MustAdd("alien", OpConst, trace.Host, spec(1))
+	if _, err := g2.Add("y", OpRelu, trace.Host, spec(1), alien); err == nil {
+		t.Fatal("cross-graph input accepted")
+	}
+}
+
+func TestAddRejectsNilInput(t *testing.T) {
+	g := New("g")
+	if _, err := g.Add("y", OpRelu, trace.Host, spec(1), nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+}
+
+func TestToposortOrder(t *testing.T) {
+	g, a, b, c, d := buildDiamond(t)
+	order, err := g.Toposort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[*Node]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	if !(pos[a] < pos[b] && pos[a] < pos[c] && pos[b] < pos[d] && pos[c] < pos[d]) {
+		t.Fatalf("bad topo order: a=%d b=%d c=%d d=%d", pos[a], pos[b], pos[c], pos[d])
+	}
+}
+
+func TestToposortDetectsCycle(t *testing.T) {
+	g, a, b, _, _ := buildDiamond(t)
+	// Corrupt the graph: make a depend on b.
+	a.Inputs = append(a.Inputs, b)
+	if _, err := g.Toposort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed the cycle")
+	}
+}
+
+func TestValidateDeviceConstraints(t *testing.T) {
+	g := New("g")
+	g.MustAdd("inf", OpInfeed, trace.Host, spec(1)) // wrong device
+	if err := g.Validate(); err == nil {
+		t.Fatal("Infeed on host passed validation")
+	}
+}
+
+func TestValidateShapes(t *testing.T) {
+	g := New("g")
+	n := g.MustAdd("x", OpConst, trace.Host, spec(1))
+	n.Out.Shape = tensor.NewShape(-1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("invalid shape passed validation")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g, a, b, c, d := buildDiamond(t)
+	cons := g.Consumers()
+	if len(cons[a]) != 2 {
+		t.Fatalf("a consumers = %d", len(cons[a]))
+	}
+	if len(cons[b]) != 1 || cons[b][0] != d {
+		t.Fatal("b consumer wrong")
+	}
+	if len(cons[c]) != 1 {
+		t.Fatal("c consumer wrong")
+	}
+	if len(cons[d]) != 0 {
+		t.Fatal("d should have no consumers")
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]Kind{
+		OpMatMul:      KindContraction,
+		OpConv2D:      KindContraction,
+		OpReshape:     KindDataMove,
+		OpAdd:         KindElementwise,
+		OpSum:         KindReduction,
+		OpFusedBN:     KindNormalize,
+		OpInfeed:      KindTransfer,
+		OpAdamUpdate:  KindOptimizer,
+		OpConst:       KindStructural,
+		"UnknownOp99": KindStructural,
+	}
+	for op, want := range cases {
+		if got := KindOf(op); got != want {
+			t.Errorf("KindOf(%s) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestTotalFLOPs(t *testing.T) {
+	g := New("g")
+	a := g.MustAdd("a", OpConst, trace.Host, spec(1))
+	a.FLOPs = 10
+	b := g.MustAdd("b", OpMatMul, trace.TPU, spec(1), a)
+	b.FLOPs = 100
+	if f := g.TotalFLOPs(trace.TPU); f != 100 {
+		t.Fatalf("TPU FLOPs = %d", f)
+	}
+	if f := g.TotalFLOPs(trace.Host); f != 10 {
+		t.Fatalf("host FLOPs = %d", f)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	s := g.ComputeStats()
+	if s.Nodes != 4 {
+		t.Fatalf("Nodes = %d", s.Nodes)
+	}
+	if s.NodesByKind[KindElementwise] != 3 {
+		t.Fatalf("elementwise = %d", s.NodesByKind[KindElementwise])
+	}
+	if s.NodesByKind[KindStructural] != 1 {
+		t.Fatalf("structural = %d", s.NodesByKind[KindStructural])
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd did not panic on duplicate")
+		}
+	}()
+	g := New("g")
+	g.MustAdd("x", OpConst, trace.Host, spec(1))
+	g.MustAdd("x", OpConst, trace.Host, spec(1))
+}

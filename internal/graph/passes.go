@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// FoldConstants performs the constant-folding optimization the TensorFlow
+// master applies before dispatching subgraphs to workers: any node all of
+// whose inputs are constant (and which is deterministic and side-effect
+// free) is replaced by a Const node with the same output spec.
+//
+// It returns a new graph plus the number of nodes folded; the input graph
+// is not modified.
+func FoldConstants(g *Graph) (*Graph, int, error) {
+	order, err := g.Toposort()
+	if err != nil {
+		return nil, 0, err
+	}
+	folded := 0
+	isConst := make(map[*Node]bool, len(order))
+	ng := New(g.name)
+	mapping := make(map[*Node]*Node, len(order))
+
+	for _, n := range order {
+		allConst := len(n.Inputs) > 0
+		for _, in := range n.Inputs {
+			if !isConst[in] {
+				allConst = false
+				break
+			}
+		}
+		foldable := allConst && foldableOp(n.Op)
+
+		switch {
+		case n.ConstValue:
+			isConst[n] = true
+			nn, err := ng.Add(n.Name, OpConst, n.Device, n.Out)
+			if err != nil {
+				return nil, 0, err
+			}
+			mapping[n] = nn
+		case foldable:
+			isConst[n] = true
+			folded++
+			nn, err := ng.Add(n.Name, OpConst, n.Device, n.Out)
+			if err != nil {
+				return nil, 0, err
+			}
+			nn.ConstValue = true
+			mapping[n] = nn
+		default:
+			ins := make([]*Node, len(n.Inputs))
+			for i, in := range n.Inputs {
+				ins[i] = mapping[in]
+			}
+			nn, err := ng.Add(n.Name, n.Op, n.Device, n.Out, ins...)
+			if err != nil {
+				return nil, 0, err
+			}
+			nn.FLOPs, nn.Bytes = n.FLOPs, n.Bytes
+			mapping[n] = nn
+		}
+	}
+	return ng, folded, nil
+}
+
+// foldableOp reports whether an op may be evaluated at graph-construction
+// time. Transfers, optimizer updates, and stateful ops must not fold.
+func foldableOp(op string) bool {
+	switch KindOf(op) {
+	case KindElementwise, KindDataMove, KindReduction, KindContraction:
+		return op != OpDropout // dropout is stochastic
+	default:
+		return false
+	}
+}
+
+// Partition splits a graph into per-device subgraphs, inserting paired
+// Send/Recv-style boundary metadata where an edge crosses devices. This is
+// the master's job in the TensorFlow execution model: "the master ...
+// partitions the graph into subgraphs to be executed by the workers."
+type Partition struct {
+	Device trace.Device
+	Graph  *Graph
+	// CrossEdges counts edges arriving from the other device; each one
+	// corresponds to a host<->TPU transfer the runtime must schedule.
+	CrossEdges int
+	// CrossBytes is the total tensor traffic across the boundary into
+	// this partition.
+	CrossBytes int64
+}
+
+// PartitionByDevice splits g into one partition per device present.
+// Cross-device edges are cut; the consumer partition records the traffic.
+func PartitionByDevice(g *Graph) (map[trace.Device]*Partition, error) {
+	order, err := g.Toposort()
+	if err != nil {
+		return nil, err
+	}
+	parts := make(map[trace.Device]*Partition)
+	part := func(dev trace.Device) *Partition {
+		p, ok := parts[dev]
+		if !ok {
+			p = &Partition{
+				Device: dev,
+				Graph:  New(fmt.Sprintf("%s/%s", g.name, dev)),
+			}
+			parts[dev] = p
+		}
+		return p
+	}
+	mapping := make(map[*Node]*Node, len(order))
+	for _, n := range order {
+		p := part(n.Device)
+		var ins []*Node
+		for _, in := range n.Inputs {
+			if in.Device == n.Device {
+				ins = append(ins, mapping[in])
+				continue
+			}
+			// Cross-device edge: surrogate placeholder in this partition.
+			p.CrossEdges++
+			p.CrossBytes += in.OutBytes()
+			surName := "recv/" + in.Name
+			sur := p.Graph.Lookup(surName)
+			if sur == nil {
+				sur, err = p.Graph.Add(surName, OpPlaceholder, n.Device, in.Out)
+				if err != nil {
+					return nil, err
+				}
+			}
+			ins = append(ins, sur)
+		}
+		nn, err := p.Graph.Add(n.Name, n.Op, n.Device, n.Out, ins...)
+		if err != nil {
+			return nil, err
+		}
+		nn.FLOPs, nn.Bytes, nn.ConstValue = n.FLOPs, n.Bytes, n.ConstValue
+		mapping[n] = nn
+	}
+	return parts, nil
+}

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+func TestFoldConstantsFoldsPureConstSubtree(t *testing.T) {
+	g := New("g")
+	c1 := g.MustAdd("c1", OpConst, trace.TPU, spec(4))
+	c2 := g.MustAdd("c2", OpConst, trace.TPU, spec(4))
+	add := g.MustAdd("add", OpAdd, trace.TPU, spec(4), c1, c2)
+	p := g.MustAdd("p", OpPlaceholder, trace.TPU, spec(4))
+	g.MustAdd("mul", OpMul, trace.TPU, spec(4), add, p)
+
+	ng, folded, err := FoldConstants(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 1 {
+		t.Fatalf("folded = %d, want 1", folded)
+	}
+	if ng.Lookup("add").Op != OpConst {
+		t.Fatal("add was not folded to Const")
+	}
+	if ng.Lookup("mul").Op != OpMul {
+		t.Fatal("mul with non-const input was folded")
+	}
+	// Original graph untouched.
+	if g.Lookup("add").Op != OpAdd {
+		t.Fatal("FoldConstants mutated its input")
+	}
+}
+
+func TestFoldConstantsCascades(t *testing.T) {
+	g := New("g")
+	c := g.MustAdd("c", OpConst, trace.TPU, spec(2, 2))
+	r := g.MustAdd("r", OpRelu, trace.TPU, spec(2, 2), c)
+	g.MustAdd("t", OpTanh, trace.TPU, spec(2, 2), r)
+	_, folded, err := FoldConstants(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 2 {
+		t.Fatalf("cascade folded = %d, want 2", folded)
+	}
+}
+
+func TestFoldConstantsSkipsStochasticAndStateful(t *testing.T) {
+	g := New("g")
+	c := g.MustAdd("c", OpConst, trace.TPU, spec(4))
+	g.MustAdd("drop", OpDropout, trace.TPU, spec(4), c)
+	g.MustAdd("upd", OpAdamUpdate, trace.TPU, spec(4), c)
+	_, folded, err := FoldConstants(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 0 {
+		t.Fatalf("folded stochastic/stateful ops: %d", folded)
+	}
+}
+
+func TestFoldConstantsZeroInputNodesNotFolded(t *testing.T) {
+	g := New("g")
+	g.MustAdd("p", OpPlaceholder, trace.TPU, spec(4))
+	_, folded, err := FoldConstants(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 0 {
+		t.Fatalf("placeholder folded: %d", folded)
+	}
+}
+
+func TestPartitionByDevice(t *testing.T) {
+	g := New("g")
+	// Host pipeline produces a batch, TPU consumes it; loss comes back.
+	batch := g.MustAdd("batch", OpPlaceholder, trace.Host, tensor.NewSpec(tensor.Float32, 32, 128))
+	deq := g.MustAdd("deq", OpInfeedDequeue, trace.TPU, tensor.NewSpec(tensor.BFloat16, 32, 128), batch)
+	w := g.MustAdd("w", OpConst, trace.TPU, spec(128, 64))
+	mm := g.MustAdd("mm", OpMatMul, trace.TPU, spec(32, 64), deq, w)
+	g.MustAdd("report", OpIdentity, trace.Host, tensor.NewSpec(tensor.Float32, 32, 64), mm)
+
+	parts, err := PartitionByDevice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, tp := parts[trace.Host], parts[trace.TPU]
+	if hp == nil || tp == nil {
+		t.Fatal("missing partitions")
+	}
+	// TPU partition: deq, w, mm + recv surrogate for batch.
+	if tp.Graph.Len() != 4 {
+		t.Fatalf("TPU partition size = %d", tp.Graph.Len())
+	}
+	if tp.CrossEdges != 1 {
+		t.Fatalf("TPU cross edges = %d", tp.CrossEdges)
+	}
+	wantBytes := batch.OutBytes()
+	if tp.CrossBytes != wantBytes {
+		t.Fatalf("TPU cross bytes = %d, want %d", tp.CrossBytes, wantBytes)
+	}
+	// Host partition: batch, report + recv surrogate for mm.
+	if hp.Graph.Len() != 3 {
+		t.Fatalf("host partition size = %d", hp.Graph.Len())
+	}
+	if hp.CrossEdges != 1 || hp.CrossBytes != mm.OutBytes() {
+		t.Fatalf("host cross: %d edges, %d bytes", hp.CrossEdges, hp.CrossBytes)
+	}
+	for _, p := range parts {
+		if err := p.Graph.Validate(); err != nil {
+			t.Fatalf("partition %v invalid: %v", p.Device, err)
+		}
+	}
+}
+
+func TestPartitionSharedCrossEdgeSurrogateReused(t *testing.T) {
+	g := New("g")
+	h := g.MustAdd("h", OpPlaceholder, trace.Host, spec(8))
+	g.MustAdd("t1", OpRelu, trace.TPU, spec(8), h)
+	g.MustAdd("t2", OpTanh, trace.TPU, spec(8), h)
+	parts, err := PartitionByDevice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := parts[trace.TPU]
+	// One surrogate, two consumers, two cross edges counted.
+	if tp.Graph.Len() != 3 {
+		t.Fatalf("TPU partition size = %d, want 3 (shared surrogate)", tp.Graph.Len())
+	}
+	if tp.CrossEdges != 2 {
+		t.Fatalf("cross edges = %d, want 2", tp.CrossEdges)
+	}
+}
+
+func TestPartitionSingleDevice(t *testing.T) {
+	g, _, _, _, _ := buildDiamond(t)
+	parts, err := PartitionByDevice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	if parts[trace.TPU].CrossEdges != 0 {
+		t.Fatal("single-device graph has cross edges")
+	}
+	if parts[trace.TPU].Graph.Len() != 4 {
+		t.Fatal("partition lost nodes")
+	}
+}
+
+func TestFoldThenPartitionPipeline(t *testing.T) {
+	// The master folds constants before partitioning; both passes must
+	// compose without error on a mixed-device graph.
+	g := New("g")
+	c1 := g.MustAdd("c1", OpConst, trace.TPU, spec(4))
+	c2 := g.MustAdd("c2", OpConst, trace.TPU, spec(4))
+	sum := g.MustAdd("sum", OpAdd, trace.TPU, spec(4), c1, c2)
+	h := g.MustAdd("h", OpPlaceholder, trace.Host, spec(4))
+	g.MustAdd("out", OpMul, trace.TPU, spec(4), sum, h)
+
+	ng, folded, err := FoldConstants(g)
+	if err != nil || folded != 1 {
+		t.Fatalf("fold: %d %v", folded, err)
+	}
+	parts, err := PartitionByDevice(ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[trace.TPU].Graph.Lookup("sum").Op != OpConst {
+		t.Fatal("folded node lost through partition")
+	}
+}

@@ -1,0 +1,350 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func imageInput() InputSpec {
+	return InputSpec{
+		Name:          "imagenet-like",
+		BatchSize:     64,
+		RecordBytes:   110 << 10,
+		DecodedBytes:  600 << 10,
+		Records:       10000,
+		ImagePipeline: true,
+	}
+}
+
+func nlpInput() InputSpec {
+	return InputSpec{
+		Name:          "squad-like",
+		BatchSize:     32,
+		RecordBytes:   4 << 10,
+		DecodedBytes:  2 << 10,
+		Records:       88000,
+		ImagePipeline: false,
+	}
+}
+
+func newHost(t testing.TB, p Params, in InputSpec) *Host {
+	t.Helper()
+	h, err := New(DefaultSpec(), p, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	bad := DefaultParams()
+	bad.DecodeThreads = 0
+	if _, err := New(DefaultSpec(), bad, imageInput(), 1); err == nil {
+		t.Fatal("zero decode threads accepted")
+	}
+	if _, err := New(DefaultSpec(), DefaultParams(), InputSpec{}, 1); err == nil {
+		t.Fatal("empty input spec accepted")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NaiveParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.ReaderThreads = 0 },
+		func(p *Params) { p.PrefetchDepth = 0 },
+		func(p *Params) { p.ShuffleBuffer = 0 },
+		func(p *Params) { p.InfeedThreads = -1 },
+	} {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestParamsClamp(t *testing.T) {
+	p := Params{ReaderThreads: 1000, DecodeThreads: -5, PrefetchDepth: 9999, InfeedThreads: 100, ShuffleBuffer: 0}
+	c := p.Clamp(DefaultSpec())
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clamped params invalid: %v (%+v)", err, c)
+	}
+	if c.ReaderThreads > 32 || c.DecodeThreads < 1 || c.PrefetchDepth > 64 || c.InfeedThreads > 8 {
+		t.Fatalf("clamp out of bounds: %+v", c)
+	}
+}
+
+func TestProduceBatchEmitsPipelineOps(t *testing.T) {
+	h := newHost(t, DefaultParams(), imageInput())
+	ready := h.ProduceBatch(0, 0, 0)
+	if ready <= 0 {
+		t.Fatal("batch never ready")
+	}
+	names := map[string]bool{}
+	for _, e := range h.Events() {
+		names[e.Name] = true
+		if e.Device != trace.Host {
+			t.Fatalf("host op %q on %v", e.Name, e.Device)
+		}
+	}
+	for _, want := range []string{"DecodeAndCropJpeg", "ResizeBicubic", "LinearizeX32", "TransferBufferToInfeedLocked", "InfeedEnqueueTuple"} {
+		if !names[want] {
+			t.Fatalf("missing host op %q; have %v", want, names)
+		}
+	}
+	if names["BuildPaddedOutput"] {
+		t.Fatal("NLP op emitted for image pipeline")
+	}
+}
+
+func TestNLPPipelineOps(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	h.ProduceBatch(0, 0, 0)
+	names := map[string]bool{}
+	for _, e := range h.Events() {
+		names[e.Name] = true
+	}
+	if !names["BuildPaddedOutput"] {
+		t.Fatal("missing BuildPaddedOutput")
+	}
+	if names["DecodeAndCropJpeg"] {
+		t.Fatal("image op emitted for NLP pipeline")
+	}
+}
+
+func TestMoreThreadsHigherThroughput(t *testing.T) {
+	produce := func(p Params) simclock.Time {
+		h := newHost(t, p, imageInput())
+		var last simclock.Time
+		for i := int64(0); i < 20; i++ {
+			last = h.ProduceBatch(i, 0, 0)
+		}
+		return last
+	}
+	naive := produce(NaiveParams())
+	tuned := produce(DefaultParams())
+	if tuned >= naive {
+		t.Fatalf("tuned pipeline not faster: %d vs %d", tuned, naive)
+	}
+	if float64(naive)/float64(tuned) < 1.5 {
+		t.Fatalf("thread scaling too weak: %.2fx", float64(naive)/float64(tuned))
+	}
+}
+
+func TestGateDelaysBatch(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	r1 := h.ProduceBatch(0, 0, 0)
+	gate := r1.Add(1_000_000)
+	r2 := h.ProduceBatch(1, gate, 0)
+	if r2 < gate {
+		t.Fatalf("batch ready %d before gate %d", r2, gate)
+	}
+}
+
+func TestEpochBoundaryStall(t *testing.T) {
+	in := nlpInput()
+	in.Records = 64 // tiny dataset: epoch boundary every 2 batches
+	small := newHost(t, DefaultParams(), in)
+	in2 := nlpInput() // large dataset: boundary only at start
+	big := newHost(t, DefaultParams(), in2)
+	var smallLast, bigLast simclock.Time
+	for i := int64(0); i < 50; i++ {
+		smallLast = small.ProduceBatch(i, 0, 0)
+		bigLast = big.ProduceBatch(i, 0, 0)
+	}
+	if smallLast <= bigLast {
+		t.Fatalf("small dataset not slower: %d vs %d", smallLast, bigLast)
+	}
+}
+
+func TestDequeueOutfeedCoversWait(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	end := h.DequeueOutfeed(3, 100, 50_000, 1<<20)
+	if end < 50_000 {
+		t.Fatalf("dequeue finished at %d before data ready", end)
+	}
+	var op trace.Event
+	for _, e := range h.Events() {
+		if e.Name == "OutfeedDequeueTuple" {
+			op = e
+		}
+	}
+	if op.Name == "" {
+		t.Fatal("no OutfeedDequeueTuple emitted")
+	}
+	// The op's duration covers the wait (from ~100 to past 50000).
+	if op.Dur < 49_000 {
+		t.Fatalf("dequeue duration %v does not include the wait", op.Dur)
+	}
+}
+
+func TestStepBookkeepingOps(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	h.StepBookkeeping(1, 0)
+	var names []string
+	for _, e := range h.Events() {
+		names = append(names, e.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"RunGraph", "Send", "Recv"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("bookkeeping missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestStepNoiseProbability(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	for i := int64(0); i < 1000; i++ {
+		h.StepNoise(i, simclock.Time(i*100), 0.1)
+	}
+	n := len(h.Events())
+	// 24 optional ops at p=0.1 over 1000 steps ≈ 2400 events.
+	if n < 2000 || n > 2900 {
+		t.Fatalf("noise ops with p=0.1 over 1000 steps = %d", n)
+	}
+	h2 := newHost(t, DefaultParams(), nlpInput())
+	for i := int64(0); i < 100; i++ {
+		h2.StepNoise(i, 0, 0)
+	}
+	if len(h2.Events()) != 0 {
+		t.Fatal("p=0 emitted noise ops")
+	}
+}
+
+func TestEmitSummaryAndCheckpoint(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	end := h.EmitSummary(5, 100)
+	if end <= 100 {
+		t.Fatal("summary took no time")
+	}
+	end2 := h.EmitCheckpoint(5, end, 100<<20)
+	if end2 <= end {
+		t.Fatal("checkpoint took no time")
+	}
+	names := map[string]bool{}
+	for _, e := range h.Events() {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"ScalarSummary", "MergeSummary", "SaveV2", "MergeV2Checkpoints"} {
+		if !names[want] {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestEmitInitAndShutdown(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	end := h.EmitInit(0, 500<<20)
+	if end <= 0 {
+		t.Fatal("init took no time")
+	}
+	end2 := h.EmitShutdown(99, end)
+	if end2 <= end {
+		t.Fatal("shutdown took no time")
+	}
+	names := map[string]bool{}
+	for _, e := range h.Events() {
+		names[e.Name] = true
+		if e.Name == "DisconnectHostFromDistributedTPUSystem" {
+			if e.Step != 99 {
+				t.Fatalf("shutdown op attributed to step %d, want 99", e.Step)
+			}
+		} else if e.Step != -1 {
+			t.Fatalf("init op %q attributed to step %d", e.Name, e.Step)
+		}
+	}
+	for _, want := range []string{"InitializeHostForDistributedTpu", "StartProgram", "RestoreV2", "DisconnectHostFromDistributedTPUSystem"} {
+		if !names[want] {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestEmitInitWithoutRestore(t *testing.T) {
+	h := newHost(t, DefaultParams(), nlpInput())
+	h.EmitInit(0, 0)
+	for _, e := range h.Events() {
+		if e.Name == "RestoreV2" {
+			t.Fatal("RestoreV2 emitted with no checkpoint")
+		}
+	}
+}
+
+func TestSetParamsMidRun(t *testing.T) {
+	h := newHost(t, NaiveParams(), imageInput())
+	for i := int64(0); i < 5; i++ {
+		h.ProduceBatch(i, 0, 0)
+	}
+	before := h.SteadyStateBatchUs()
+	if err := h.SetParams(DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	after := h.SteadyStateBatchUs()
+	if after >= before {
+		t.Fatalf("retune did not improve steady state: %g vs %g", after, before)
+	}
+	if err := h.SetParams(Params{}); err == nil {
+		t.Fatal("invalid params accepted by SetParams")
+	}
+	// Pipeline still works after retune.
+	if r := h.ProduceBatch(5, 0, 0); r <= 0 {
+		t.Fatal("pipeline dead after SetParams")
+	}
+}
+
+func TestSteadyStateMatchesSimulatedThroughput(t *testing.T) {
+	// The analytic steady-state bound should approximate the simulated
+	// inter-batch interval once the pipeline warms up.
+	h := newHost(t, DefaultParams(), imageInput())
+	var prev, last simclock.Time
+	n := 60
+	for i := 0; i < n; i++ {
+		prev = last
+		last = h.ProduceBatch(int64(i), 0, 0)
+	}
+	got := float64(last.Sub(prev))
+	want := h.SteadyStateBatchUs()
+	ratio := got / want
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("steady-state estimate %g vs simulated interval %g (ratio %g)", want, got, ratio)
+	}
+}
+
+func TestDeterministicEvents(t *testing.T) {
+	run := func() []trace.Event {
+		h := newHost(t, DefaultParams(), imageInput())
+		for i := int64(0); i < 10; i++ {
+			h.ProduceBatch(i, 0, 0)
+		}
+		return h.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func BenchmarkProduceBatch(b *testing.B) {
+	h, err := New(DefaultSpec(), DefaultParams(), imageInput(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ProduceBatch(int64(i), 0, 0)
+	}
+}

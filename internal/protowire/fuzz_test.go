@@ -1,0 +1,27 @@
+package protowire
+
+import "testing"
+
+// FuzzDecoder walks arbitrary bytes through the full field loop; the
+// decoder must always terminate with a clean error, never panic or hang.
+func FuzzDecoder(f *testing.F) {
+	e := NewEncoder(nil)
+	e.Uint64(1, 300)
+	e.String(2, "op")
+	e.Double(3, 1.5)
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		for !d.Done() {
+			_, ty, err := d.Next()
+			if err != nil {
+				return
+			}
+			if err := d.Skip(ty); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package protowire implements the subset of the Protocol Buffers wire
+// format that the profiling RPC layer uses to encode profile records.
+//
+// TensorFlow's profiler ships profile data as protobufs over gRPC; this
+// package stands in for the protobuf runtime. It supports the three wire
+// types that matter for the profile messages — varint, 64-bit fixed, and
+// length-delimited — with the standard tag/zigzag encodings, so messages
+// written here are genuine protobuf wire data (parseable by protoc given a
+// matching schema).
+package protowire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type is a protobuf wire type.
+type Type uint8
+
+// Wire types (numbers match the protobuf spec).
+const (
+	Varint Type = 0
+	I64    Type = 1
+	Bytes  Type = 2
+)
+
+// ErrTruncated is returned when a decode runs off the end of the buffer.
+var ErrTruncated = errors.New("protowire: truncated message")
+
+// ErrOverflow is returned when a varint exceeds 64 bits.
+var ErrOverflow = errors.New("protowire: varint overflows 64 bits")
+
+// maxVarintLen is the maximum encoded size of a 64-bit varint.
+const maxVarintLen = 10
+
+// Encoder appends wire-format fields to a buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing into buf (may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded message.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset truncates the buffer for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) tag(field int, t Type) {
+	e.rawVarint(uint64(field)<<3 | uint64(t))
+}
+
+func (e *Encoder) rawVarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// Uint64 writes field as a varint.
+func (e *Encoder) Uint64(field int, v uint64) {
+	e.tag(field, Varint)
+	e.rawVarint(v)
+}
+
+// Int64 writes field zigzag-encoded (sint64 in proto terms).
+func (e *Encoder) Int64(field int, v int64) {
+	e.Uint64(field, zigzag(v))
+}
+
+// Bool writes field as a 0/1 varint.
+func (e *Encoder) Bool(field int, v bool) {
+	var u uint64
+	if v {
+		u = 1
+	}
+	e.Uint64(field, u)
+}
+
+// Double writes field as a little-endian 64-bit IEEE 754 value.
+func (e *Encoder) Double(field int, v float64) {
+	e.tag(field, I64)
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(bits>>(8*i)))
+	}
+}
+
+// String writes field as length-delimited UTF-8.
+func (e *Encoder) String(field int, s string) {
+	e.tag(field, Bytes)
+	e.rawVarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Raw writes field as length-delimited opaque bytes. Used for embedded
+// messages: encode the child with its own Encoder, then Raw the result.
+func (e *Encoder) Raw(field int, b []byte) {
+	e.tag(field, Bytes)
+	e.rawVarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Decoder reads wire-format fields from a buffer.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Done reports whether the decoder has consumed the whole buffer.
+func (d *Decoder) Done() bool { return d.pos >= len(d.buf) }
+
+// Next reads the next field's tag. It returns the field number and type.
+func (d *Decoder) Next() (field int, t Type, err error) {
+	v, err := d.rawVarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	t = Type(v & 7)
+	field = int(v >> 3)
+	if field <= 0 {
+		return 0, 0, fmt.Errorf("protowire: invalid field number %d", field)
+	}
+	switch t {
+	case Varint, I64, Bytes:
+		return field, t, nil
+	default:
+		return 0, 0, fmt.Errorf("protowire: unsupported wire type %d", t)
+	}
+}
+
+func (d *Decoder) rawVarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < maxVarintLen; i++ {
+		if d.pos >= len(d.buf) {
+			return 0, ErrTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		if i == maxVarintLen-1 && b > 1 {
+			return 0, ErrOverflow
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, ErrOverflow
+}
+
+// Uint64 reads a varint payload.
+func (d *Decoder) Uint64() (uint64, error) { return d.rawVarint() }
+
+// Int64 reads a zigzag varint payload.
+func (d *Decoder) Int64() (int64, error) {
+	u, err := d.rawVarint()
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// Bool reads a varint payload as a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	u, err := d.rawVarint()
+	if err != nil {
+		return false, err
+	}
+	return u != 0, nil
+}
+
+// Double reads a 64-bit fixed payload.
+func (d *Decoder) Double() (float64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	var bits uint64
+	for i := 0; i < 8; i++ {
+		bits |= uint64(d.buf[d.pos+i]) << (8 * i)
+	}
+	d.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+// Raw reads a length-delimited payload. The returned slice aliases the
+// decoder's buffer; callers that retain it must copy.
+func (d *Decoder) Raw() ([]byte, error) {
+	n, err := d.rawVarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, ErrTruncated
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// String reads a length-delimited payload as a string (copied).
+func (d *Decoder) String() (string, error) {
+	b, err := d.Raw()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Skip discards the payload of a field with the given wire type.
+func (d *Decoder) Skip(t Type) error {
+	switch t {
+	case Varint:
+		_, err := d.rawVarint()
+		return err
+	case I64:
+		if d.pos+8 > len(d.buf) {
+			return ErrTruncated
+		}
+		d.pos += 8
+		return nil
+	case Bytes:
+		_, err := d.Raw()
+		return err
+	default:
+		return fmt.Errorf("protowire: cannot skip wire type %d", t)
+	}
+}

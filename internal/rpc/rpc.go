@@ -1,0 +1,390 @@
+// Package rpc implements the minimal gRPC-like transport that connects
+// TPUPoint-Profiler to the simulated Cloud TPU's profile service.
+//
+// TensorFlow reaches Cloud TPUs through gRPC: a server registers methods
+// and waits for requests; a client holds a stub that frames protobuf
+// payloads onto a channel. This package reproduces that path with the
+// stdlib only: length-prefixed frames over any net.Conn (net.Pipe for
+// in-process wiring, TCP for the CLI tools), a method-dispatch server, and
+// a concurrent-safe client stub with request multiplexing.
+//
+// Wire framing, little-endian:
+//
+//	frame  := u32 length, payload
+//	payload (request)  := u64 requestID, u16 methodLen, method, body
+//	payload (response) := u64 requestID, u8 status, body-or-error
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a single message; large enough for a truncated-at-limits
+// profile record, small enough to catch runaway encodings.
+const MaxFrame = 64 << 20
+
+// Errors returned by the transport.
+var (
+	ErrClosed          = errors.New("rpc: connection closed")
+	ErrFrameTooLarge   = errors.New("rpc: frame exceeds limit")
+	ErrUnknownMethod   = errors.New("rpc: unknown method")
+	ErrMalformedFrame  = errors.New("rpc: malformed frame")
+	ErrShutdownPending = errors.New("rpc: server shutting down")
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Handler serves one method: body in, body out.
+type Handler func(body []byte) ([]byte, error)
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs a handler for method. Registering a duplicate panics —
+// service wiring is static and a collision is a programming error.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate method %q", method))
+	}
+	s.handlers[method] = h
+}
+
+// ServeConn serves requests on conn until it closes or the server shuts
+// down. Each request is handled synchronously in arrival order, which
+// matches the profile service's behaviour (one outstanding profile at a
+// time per connection).
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		id, method, body, err := splitRequest(payload)
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[method]
+		closed := s.closed
+		s.mu.RUnlock()
+
+		var resp []byte
+		switch {
+		case closed:
+			resp = responseFrame(id, statusErr, []byte(ErrShutdownPending.Error()))
+		case !ok:
+			resp = responseFrame(id, statusErr, []byte(fmt.Sprintf("%s: %q", ErrUnknownMethod, method)))
+		default:
+			out, herr := h(body)
+			if herr != nil {
+				resp = responseFrame(id, statusErr, []byte(herr.Error()))
+			} else {
+				resp = responseFrame(id, statusOK, out)
+			}
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Serve accepts connections from l until Close.
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close stops the server and closes all active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client is a stub bound to one connection. Calls are concurrency-safe
+// and multiplexed by request id.
+type Client struct {
+	conn net.Conn
+
+	// writeMu serializes frame writes: a frame is two conn.Write calls
+	// (header, payload) and concurrent callers must not interleave them.
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error
+	done    chan struct{}
+}
+
+type response struct {
+	status byte
+	body   []byte
+}
+
+// NewClient wraps conn in a stub and starts its receive loop.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan response),
+		done:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c
+}
+
+// Dial connects to a TCP address and returns a stub.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+func (c *Client) recvLoop() {
+	for {
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		if len(payload) < 9 {
+			c.fail(ErrMalformedFrame)
+			return
+		}
+		id := binary.LittleEndian.Uint64(payload[:8])
+		status := payload[8]
+		body := payload[9:]
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- response{status: status, body: body}
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// ErrTimeout is returned by CallTimeout when the deadline elapses before
+// the response arrives. The call's response, if it ever arrives, is
+// discarded.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// CallTimeout is Call with a deadline. A zero or negative timeout means
+// wait forever (identical to Call).
+func (c *Client) CallTimeout(method string, body []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		return c.Call(method, body)
+	}
+	type result struct {
+		body []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		b, err := c.Call(method, body)
+		ch <- result{b, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.body, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+	}
+}
+
+// Call invokes method with body and waits for the response.
+func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, requestFrame(id, method, body))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return nil, c.clientErr()
+	}
+	if resp.status != statusOK {
+		return nil, fmt.Errorf("rpc: remote error: %s", resp.body)
+	}
+	return resp.body, nil
+}
+
+func (c *Client) clientErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// --- framing -------------------------------------------------------------
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func requestFrame(id uint64, method string, body []byte) []byte {
+	buf := make([]byte, 0, 8+2+len(method)+len(body))
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], id)
+	buf = append(buf, u64[:]...)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(method)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, method...)
+	buf = append(buf, body...)
+	return buf
+}
+
+func responseFrame(id uint64, status byte, body []byte) []byte {
+	buf := make([]byte, 0, 8+1+len(body))
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], id)
+	buf = append(buf, u64[:]...)
+	buf = append(buf, status)
+	buf = append(buf, body...)
+	return buf
+}
+
+func splitRequest(payload []byte) (id uint64, method string, body []byte, err error) {
+	if len(payload) < 10 {
+		return 0, "", nil, ErrMalformedFrame
+	}
+	id = binary.LittleEndian.Uint64(payload[:8])
+	mlen := int(binary.LittleEndian.Uint16(payload[8:10]))
+	if len(payload) < 10+mlen {
+		return 0, "", nil, ErrMalformedFrame
+	}
+	method = string(payload[10 : 10+mlen])
+	body = payload[10+mlen:]
+	return id, method, body, nil
+}
+
+// Pipe wires a client directly to a server in-process and returns the
+// stub. The connection closes when either side closes.
+func Pipe(s *Server) *Client {
+	cc, sc := net.Pipe()
+	go s.ServeConn(sc)
+	return NewClient(cc)
+}

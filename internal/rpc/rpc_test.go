@@ -1,0 +1,293 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoServer(t testing.TB) *Server {
+	t.Helper()
+	s := NewServer()
+	s.Register("echo", func(body []byte) ([]byte, error) {
+		return body, nil
+	})
+	s.Register("fail", func(body []byte) ([]byte, error) {
+		return nil, errors.New("handler exploded")
+	})
+	s.Register("upper", func(body []byte) ([]byte, error) {
+		return bytes.ToUpper(body), nil
+	})
+	return s
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+
+	got, err := c.Call("echo", []byte("profile-request"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "profile-request" {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+
+	_, err := c.Call("fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "handler exploded") {
+		t.Fatalf("err = %v", err)
+	}
+	// Connection must survive a handler error.
+	if _, err := c.Call("echo", []byte("ok")); err != nil {
+		t.Fatalf("connection dead after handler error: %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+
+	_, err := c.Call("nope", nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSequentialCalls(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+
+	for i := 0; i < 100; i++ {
+		msg := fmt.Sprintf("msg-%d", i)
+		got, err := c.Call("upper", []byte(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != strings.ToUpper(msg) {
+			t.Fatalf("call %d: %q", i, got)
+		}
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				msg := fmt.Sprintf("g%d-%d", id, j)
+				got, err := c.Call("echo", []byte(msg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(got) != msg {
+					errs <- fmt.Errorf("mismatch: %q vs %q", got, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	s := NewServer()
+	block := make(chan struct{})
+	s.Register("block", func(body []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer func() { close(block); s.Close() }()
+
+	c := Pipe(s)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call("block", nil)
+		done <- err
+	}()
+	// Let the call get in flight, then slam the connection.
+	c.Close()
+	if err := <-done; err == nil {
+		t.Fatal("pending call survived Close")
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	c.Close()
+	if _, err := c.Call("echo", nil); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestServerCloseRejectsNewConns(t *testing.T) {
+	s := echoServer(t)
+	s.Close()
+	c := Pipe(s) // served conn is closed immediately
+	if _, err := c.Call("echo", nil); err == nil {
+		t.Fatal("call on closed server succeeded")
+	}
+	c.Close()
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	s := NewServer()
+	s.Register("m", func(b []byte) ([]byte, error) { return nil, nil })
+	s.Register("m", func(b []byte) ([]byte, error) { return nil, nil })
+}
+
+func TestOverTCP(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback networking: %v", err)
+	}
+	defer l.Close()
+	go s.Serve(l)
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("upper", []byte("tcp works"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "TCP WORKS" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLargeBody(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+
+	body := bytes.Repeat([]byte("x"), 1<<20)
+	got, err := c.Call("echo", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("1MiB body corrupted")
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+	got, err := c.Call("echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty echo returned %d bytes", len(got))
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSplitRequestMalformed(t *testing.T) {
+	if _, _, _, err := splitRequest([]byte{1, 2, 3}); err != ErrMalformedFrame {
+		t.Fatalf("short payload: %v", err)
+	}
+	// Method length pointing past the end.
+	payload := requestFrame(1, "abc", nil)
+	payload[8] = 0xff // method len low byte
+	if _, _, _, err := splitRequest(payload); err != ErrMalformedFrame {
+		t.Fatalf("bad method len: %v", err)
+	}
+}
+
+func BenchmarkCallPipe(b *testing.B) {
+	s := echoServer(b)
+	defer s.Close()
+	c := Pipe(s)
+	defer c.Close()
+	body := bytes.Repeat([]byte("r"), 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call("echo", body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	s := NewServer()
+	block := make(chan struct{})
+	s.Register("slow", func(body []byte) ([]byte, error) {
+		<-block
+		return []byte("late"), nil
+	})
+	defer func() { close(block); s.Close() }()
+
+	c := Pipe(s)
+	defer c.Close()
+	_, err := c.CallTimeout("slow", nil, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// Zero timeout degrades to a plain call.
+	s2 := echoServer(t)
+	defer s2.Close()
+	c2 := Pipe(s2)
+	defer c2.Close()
+	got, err := c2.CallTimeout("echo", []byte("fast"), 0)
+	if err != nil || string(got) != "fast" {
+		t.Fatalf("zero-timeout call: %q %v", got, err)
+	}
+	// Generous timeout succeeds.
+	got, err = c2.CallTimeout("upper", []byte("hi"), time.Second)
+	if err != nil || string(got) != "HI" {
+		t.Fatalf("timed call: %q %v", got, err)
+	}
+}

@@ -1,0 +1,124 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerialQueueing(t *testing.T) {
+	r := NewResource("link", 1)
+	s1, e1 := r.Acquire(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first acquire [%d,%d), want [0,10)", s1, e1)
+	}
+	// Arrives while busy: must queue behind.
+	s2, e2 := r.Acquire(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second acquire [%d,%d), want [10,20)", s2, e2)
+	}
+	// Arrives after idle gap: starts immediately.
+	s3, e3 := r.Acquire(100, 5)
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third acquire [%d,%d), want [100,105)", s3, e3)
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	r := NewResource("mxu", 2)
+	_, e1 := r.Acquire(0, 10)
+	_, e2 := r.Acquire(0, 10)
+	if e1 != 10 || e2 != 10 {
+		t.Fatalf("two units should serve in parallel: ends %d, %d", e1, e2)
+	}
+	s3, _ := r.Acquire(0, 10)
+	if s3 != 10 {
+		t.Fatalf("third job should queue to time 10, started %d", s3)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("x", 2)
+	r.Acquire(0, 50)
+	r.Acquire(0, 50)
+	// 100 busy over 2 units * 100 elapsed = 0.5
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("utilization = %g, want 0.5", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization over empty window = %g, want 0", u)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x", 1)
+	r.Acquire(0, 100)
+	r.Reset(500)
+	if r.BusyTime() != 0 || r.Acquires() != 0 {
+		t.Fatal("reset did not clear accounting")
+	}
+	s, _ := r.Acquire(0, 10)
+	if s != 500 {
+		t.Fatalf("after Reset(500), acquire starts at %d, want 500", s)
+	}
+}
+
+func TestResourceMinimumCapacity(t *testing.T) {
+	r := NewResource("x", 0)
+	if r.Capacity() != 1 {
+		t.Fatalf("capacity clamped to %d, want 1", r.Capacity())
+	}
+}
+
+func TestNextFree(t *testing.T) {
+	r := NewResource("x", 1)
+	r.Acquire(0, 30)
+	if nf := r.NextFree(10); nf != 30 {
+		t.Fatalf("NextFree(10) = %d, want 30", nf)
+	}
+	if nf := r.NextFree(50); nf != 50 {
+		t.Fatalf("NextFree(50) = %d, want 50", nf)
+	}
+}
+
+// Property: work is conserved — total busy time equals the sum of requested
+// durations, and no unit serves two jobs at once.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(durs []uint8, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%4)
+		r := NewResource("p", capacity)
+		var total Duration
+		at := Time(0)
+		for _, d8 := range durs {
+			d := Duration(d8)
+			r.Acquire(at, d)
+			total += d
+			at += 3
+		}
+		return r.BusyTime() == total && r.Acquires() == uint64(len(durs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a capacity-1 resource, consecutive acquires never overlap.
+func TestPropertyNoOverlapSerial(t *testing.T) {
+	f := func(durs []uint8) bool {
+		r := NewResource("s", 1)
+		lastEnd := Time(0)
+		for i, d8 := range durs {
+			start, end := r.Acquire(Time(i), Duration(d8))
+			if start < lastEnd {
+				return false
+			}
+			if end != start.Add(Duration(d8)) {
+				return false
+			}
+			lastEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

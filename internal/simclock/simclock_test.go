@@ -1,0 +1,210 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFOOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired Time
+	s.At(100, func() {
+		s.After(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 150 {
+		t.Fatalf("After fired at %d, want 150", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+	// Double-cancel and cancel-nil must be safe.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New()
+	var order []int
+	e1 := s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.At(30, func() { order = append(order, 3) })
+	s.Cancel(e1)
+	s.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("after cancel, got %v", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("clock after RunUntil = %d, want 25", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("Run after RunUntil fired %d total, want 4", len(fired))
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	s := New()
+	s.RunUntil(500)
+	if s.Now() != 500 {
+		t.Fatalf("clock = %d, want 500", s.Now())
+	}
+}
+
+func TestEventsRunCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.EventsRun() != 5 {
+		t.Fatalf("EventsRun = %d, want 5", s.EventsRun())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event scheduling further events must interleave correctly.
+	s := New()
+	count := 0
+	var schedule func()
+	schedule = func() {
+		count++
+		if count < 100 {
+			s.After(1, schedule)
+		}
+	}
+	s.At(0, schedule)
+	s.Run()
+	if count != 100 {
+		t.Fatalf("cascade ran %d times, want 100", count)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("clock = %d, want 99", s.Now())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500µs"},
+		{2500, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDurationFromSeconds(t *testing.T) {
+	if d := DurationFromSeconds(1.5); d != 1500*Millisecond {
+		t.Fatalf("DurationFromSeconds(1.5) = %d", d)
+	}
+	if d := DurationFromSeconds(0.000001); d != 1 {
+		t.Fatalf("DurationFromSeconds(1µs) = %d", d)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(100).Add(50)
+	if tm != 150 {
+		t.Fatalf("Add: %d", tm)
+	}
+	if d := Time(150).Sub(Time(100)); d != 50 {
+		t.Fatalf("Sub: %d", d)
+	}
+}
+
+// Property: for any set of scheduled times, events fire in sorted order.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

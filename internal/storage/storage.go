@@ -1,0 +1,261 @@
+// Package storage simulates the Google Cloud Storage buckets that a Cloud
+// TPU deployment depends on.
+//
+// In the paper's architecture the Compute Engine VM is the host, the TPU is
+// a coprocessor, and Storage Buckets act as persistent memory for training
+// data, model checkpoints, and the profile records TPUPoint-Profiler's
+// recording thread streams out. This package provides bucket/object
+// semantics over an in-memory store with optional generation tracking, and
+// is safe for concurrent use — the recording goroutine writes while the
+// training loop reads datasets.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a bucket or object does not exist.
+var ErrNotFound = errors.New("storage: object not found")
+
+// ErrBucketExists is returned when creating a bucket that already exists.
+var ErrBucketExists = errors.New("storage: bucket already exists")
+
+// Object is a stored blob plus metadata.
+type Object struct {
+	Name       string
+	Data       []byte
+	Generation int64 // bumped on every overwrite, like GCS generations
+}
+
+// Bucket is a flat namespace of objects.
+type Bucket struct {
+	name string
+
+	mu      sync.RWMutex
+	objects map[string]*Object
+	nextGen int64
+}
+
+// Service is a collection of buckets, the root of the simulated storage API.
+type Service struct {
+	mu      sync.RWMutex
+	buckets map[string]*Bucket
+}
+
+// NewService returns an empty storage service.
+func NewService() *Service {
+	return &Service{buckets: make(map[string]*Bucket)}
+}
+
+// CreateBucket creates a bucket. It fails if the name is empty or taken.
+func (s *Service) CreateBucket(name string) (*Bucket, error) {
+	if name == "" {
+		return nil, errors.New("storage: empty bucket name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrBucketExists, name)
+	}
+	b := &Bucket{name: name, objects: make(map[string]*Object), nextGen: 1}
+	s.buckets[name] = b
+	return b, nil
+}
+
+// Bucket returns an existing bucket.
+func (s *Service) Bucket(name string) (*Bucket, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: bucket %q", ErrNotFound, name)
+	}
+	return b, nil
+}
+
+// EnsureBucket returns the named bucket, creating it if needed.
+func (s *Service) EnsureBucket(name string) (*Bucket, error) {
+	if b, err := s.Bucket(name); err == nil {
+		return b, nil
+	}
+	b, err := s.CreateBucket(name)
+	if errors.Is(err, ErrBucketExists) {
+		return s.Bucket(name)
+	}
+	return b, err
+}
+
+// Buckets returns all bucket names in sorted order.
+func (s *Service) Buckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.buckets))
+	for n := range s.buckets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the bucket name.
+func (b *Bucket) Name() string { return b.name }
+
+// Put stores data under name, overwriting any prior object and bumping the
+// generation. The data is copied; callers may reuse their buffer.
+func (b *Bucket) Put(name string, data []byte) (*Object, error) {
+	if name == "" {
+		return nil, errors.New("storage: empty object name")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	obj := &Object{Name: name, Data: cp, Generation: b.nextGen}
+	b.nextGen++
+	b.objects[name] = obj
+	return obj, nil
+}
+
+// Get returns the object stored under name. The returned data is a copy.
+func (b *Bucket) Get(name string) (*Object, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	obj, ok := b.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, b.name, name)
+	}
+	cp := make([]byte, len(obj.Data))
+	copy(cp, obj.Data)
+	return &Object{Name: obj.Name, Data: cp, Generation: obj.Generation}, nil
+}
+
+// Exists reports whether an object is present.
+func (b *Bucket) Exists(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.objects[name]
+	return ok
+}
+
+// Delete removes an object; deleting a missing object returns ErrNotFound.
+func (b *Bucket) Delete(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.objects[name]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, b.name, name)
+	}
+	delete(b.objects, name)
+	return nil
+}
+
+// List returns the names of objects with the given prefix, sorted.
+func (b *Bucket) List(prefix string) []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var names []string
+	for n := range b.objects {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the stored byte size of an object, or an error if missing.
+func (b *Bucket) Size(name string) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	obj, ok := b.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, b.name, name)
+	}
+	return int64(len(obj.Data)), nil
+}
+
+// TotalBytes returns the sum of all object sizes in the bucket.
+func (b *Bucket) TotalBytes() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var total int64
+	for _, obj := range b.objects {
+		total += int64(len(obj.Data))
+	}
+	return total
+}
+
+// ExportDir writes every object with the given prefix into dir, one file
+// per object with '/' mapped to the OS separator. It lets users keep
+// profile records and checkpoints beyond the in-memory bucket's lifetime.
+func (b *Bucket) ExportDir(dir, prefix string) (int, error) {
+	names := b.List(prefix)
+	for _, name := range names {
+		obj, err := b.Get(name)
+		if err != nil {
+			return 0, err
+		}
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(path, obj.Data, 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return len(names), nil
+}
+
+// ImportDir loads every regular file under dir into the bucket, using the
+// slash-mapped relative path as the object name. The inverse of ExportDir.
+func (b *Bucket) ImportDir(dir string) (int, error) {
+	count := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := b.Put(filepath.ToSlash(rel), data); err != nil {
+			return err
+		}
+		count++
+		return nil
+	})
+	return count, err
+}
+
+// Append appends data to an existing object, creating it if absent. This is
+// how the profiler's recording thread accumulates a profile log without
+// rewriting the whole object each time.
+func (b *Bucket) Append(name string, data []byte) (*Object, error) {
+	if name == "" {
+		return nil, errors.New("storage: empty object name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	obj, ok := b.objects[name]
+	if !ok {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		obj = &Object{Name: name, Data: cp, Generation: b.nextGen}
+		b.nextGen++
+		b.objects[name] = obj
+		return obj, nil
+	}
+	obj.Data = append(obj.Data, data...)
+	obj.Generation = b.nextGen
+	b.nextGen++
+	return obj, nil
+}

@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndGetBucket(t *testing.T) {
+	s := NewService()
+	b, err := s.CreateBucket("tpu-data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "tpu-data" {
+		t.Fatalf("name = %q", b.Name())
+	}
+	got, err := s.Bucket("tpu-data")
+	if err != nil || got != b {
+		t.Fatalf("Bucket lookup: %v %v", got, err)
+	}
+}
+
+func TestCreateDuplicateBucket(t *testing.T) {
+	s := NewService()
+	if _, err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateBucket("b"); !errors.Is(err, ErrBucketExists) {
+		t.Fatalf("err = %v, want ErrBucketExists", err)
+	}
+}
+
+func TestEmptyBucketName(t *testing.T) {
+	s := NewService()
+	if _, err := s.CreateBucket(""); err == nil {
+		t.Fatal("empty bucket name accepted")
+	}
+}
+
+func TestMissingBucket(t *testing.T) {
+	s := NewService()
+	if _, err := s.Bucket("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEnsureBucket(t *testing.T) {
+	s := NewService()
+	b1, err := s.EnsureBucket("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.EnsureBucket("x")
+	if err != nil || b1 != b2 {
+		t.Fatalf("EnsureBucket not idempotent: %v %v", b2, err)
+	}
+}
+
+func TestBucketsSorted(t *testing.T) {
+	s := NewService()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := s.CreateBucket(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Buckets()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Buckets() = %v", got)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	data := []byte("checkpoint-bytes")
+	if _, err := b.Put("ckpt/model-100", data); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := b.Get("ckpt/model-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(obj.Data, data) {
+		t.Fatalf("data = %q", obj.Data)
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	data := []byte("aaaa")
+	b.Put("o", data)
+	data[0] = 'z'
+	obj, _ := b.Get("o")
+	if obj.Data[0] != 'a' {
+		t.Fatal("Put aliased caller buffer")
+	}
+}
+
+func TestGetCopiesData(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	b.Put("o", []byte("aaaa"))
+	obj, _ := b.Get("o")
+	obj.Data[0] = 'z'
+	again, _ := b.Get("o")
+	if again.Data[0] != 'a' {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+func TestGenerationsIncrease(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	o1, _ := b.Put("o", []byte("1"))
+	o2, _ := b.Put("o", []byte("2"))
+	if o2.Generation <= o1.Generation {
+		t.Fatalf("generations: %d then %d", o1.Generation, o2.Generation)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	b.Put("o", []byte("x"))
+	if err := b.Delete("o"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Exists("o") {
+		t.Fatal("object still exists after delete")
+	}
+	if err := b.Delete("o"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	for _, n := range []string{"profiles/p1", "profiles/p2", "ckpt/c1"} {
+		b.Put(n, []byte("x"))
+	}
+	got := b.List("profiles/")
+	if len(got) != 2 || got[0] != "profiles/p1" || got[1] != "profiles/p2" {
+		t.Fatalf("List = %v", got)
+	}
+	if all := b.List(""); len(all) != 3 {
+		t.Fatalf("List(\"\") = %v", all)
+	}
+}
+
+func TestSizeAndTotalBytes(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	b.Put("a", make([]byte, 100))
+	b.Put("c", make([]byte, 50))
+	if sz, _ := b.Size("a"); sz != 100 {
+		t.Fatalf("Size = %d", sz)
+	}
+	if _, err := b.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size(missing) err = %v", err)
+	}
+	if tb := b.TotalBytes(); tb != 150 {
+		t.Fatalf("TotalBytes = %d", tb)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	b.Append("log", []byte("abc"))
+	b.Append("log", []byte("def"))
+	obj, err := b.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(obj.Data) != "abcdef" {
+		t.Fatalf("appended = %q", obj.Data)
+	}
+}
+
+func TestAppendEmptyName(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	if _, err := b.Append("", []byte("x")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := b.Put("", []byte("x")); err == nil {
+		t.Fatal("empty name accepted by Put")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				name := fmt.Sprintf("w%d/o%d", id, j)
+				if _, err := b.Put(name, []byte{byte(j)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := b.Get(name); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Append("shared-log", []byte{byte(id)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(b.List("")); got != 801 {
+		t.Fatalf("object count = %d, want 801", got)
+	}
+	if sz, _ := b.Size("shared-log"); sz != 800 {
+		t.Fatalf("shared log size = %d, want 800", sz)
+	}
+}
+
+func TestPropertyPutGetIdentity(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("p")
+	f := func(name string, data []byte) bool {
+		if name == "" {
+			name = "fallback"
+		}
+		if _, err := b.Put(name, data); err != nil {
+			return false
+		}
+		obj, err := b.Get(name)
+		return err == nil && bytes.Equal(obj.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportImportDir(t *testing.T) {
+	svc := NewService()
+	b, _ := svc.CreateBucket("b")
+	b.Put("profiles/record-000000", []byte("rec0"))
+	b.Put("profiles/record-000001", []byte("rec1"))
+	b.Put("ckpt/model.ckpt-99", []byte("weights"))
+
+	dir := t.TempDir()
+	n, err := b.ExportDir(dir, "profiles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("exported %d objects, want 2", n)
+	}
+
+	b2, _ := svc.CreateBucket("b2")
+	m, err := b2.ImportDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2 {
+		t.Fatalf("imported %d objects, want 2", m)
+	}
+	obj, err := b2.Get("profiles/record-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(obj.Data) != "rec1" {
+		t.Fatalf("round-tripped data = %q", obj.Data)
+	}
+	// Checkpoint was outside the prefix and must not appear.
+	if b2.Exists("ckpt/model.ckpt-99") {
+		t.Fatal("export leaked objects outside the prefix")
+	}
+}

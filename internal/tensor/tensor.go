@@ -1,0 +1,213 @@
+// Package tensor provides shape and dtype metadata for the simulated
+// TensorFlow graphs.
+//
+// The simulator never materializes tensor *values* for model math (timing is
+// what the paper characterizes, not numerics), but every op in a step graph
+// carries precise shape and dtype information so that FLOP counts, memory
+// traffic, and reshape/transpose costs are derived rather than invented.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType is a tensor element type.
+type DType uint8
+
+// Element types used by the workloads. BFloat16 is the TPU-native matmul
+// type; Float32 covers host-side preprocessing; the integer types appear in
+// tokenized NLP inputs and image bytes.
+const (
+	Invalid DType = iota
+	BFloat16
+	Float32
+	Float64
+	Int32
+	Int64
+	Uint8
+	Bool
+	String // variable-length; Size reports an average encoded width
+)
+
+var dtypeNames = map[DType]string{
+	Invalid:  "invalid",
+	BFloat16: "bfloat16",
+	Float32:  "float32",
+	Float64:  "float64",
+	Int32:    "int32",
+	Int64:    "int64",
+	Uint8:    "uint8",
+	Bool:     "bool",
+	String:   "string",
+}
+
+func (d DType) String() string {
+	if s, ok := dtypeNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Size returns the element width in bytes. String reports an average width
+// of 16 bytes, which is what the dataset generators assume for tokens.
+func (d DType) Size() int {
+	switch d {
+	case BFloat16:
+		return 2
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	case Uint8, Bool:
+		return 1
+	case String:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// Shape is a tensor shape. An empty shape is a scalar.
+type Shape []int
+
+// NewShape copies dims into a fresh Shape, guarding against callers
+// retaining and mutating the backing array.
+func NewShape(dims ...int) Shape {
+	s := make(Shape, len(dims))
+	copy(s, dims)
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Elements returns the total element count (1 for scalars).
+// Any zero dimension yields 0.
+func (s Shape) Elements() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Valid reports whether every dimension is non-negative.
+func (s Shape) Valid() bool {
+	for _, d := range s {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports dimension-wise equality.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s Shape) Clone() Shape {
+	return NewShape(s...)
+}
+
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Spec pairs a shape with an element type: the full static type of a
+// tensor flowing along a graph edge.
+type Spec struct {
+	Shape Shape
+	DType DType
+}
+
+// NewSpec builds a Spec from a dtype and dims.
+func NewSpec(d DType, dims ...int) Spec {
+	return Spec{Shape: NewShape(dims...), DType: d}
+}
+
+// Bytes returns the encoded size of a tensor with this spec.
+func (sp Spec) Bytes() int64 {
+	return sp.Shape.Elements() * int64(sp.DType.Size())
+}
+
+func (sp Spec) String() string {
+	return sp.DType.String() + sp.Shape.String()
+}
+
+// Reshape checks that to has the same element count as from and returns the
+// new spec. Reshape on a TPU is not free — it realigns data for the MXU's
+// tiled layout — which is exactly why the paper finds it among the most
+// time-consuming ops; cost accounting happens in the xla package.
+func Reshape(from Spec, to Shape) (Spec, error) {
+	if !to.Valid() {
+		return Spec{}, fmt.Errorf("tensor: reshape to invalid shape %v", to)
+	}
+	if from.Shape.Elements() != to.Elements() {
+		return Spec{}, fmt.Errorf("tensor: reshape %v -> %v changes element count %d -> %d",
+			from.Shape, to, from.Shape.Elements(), to.Elements())
+	}
+	return Spec{Shape: to.Clone(), DType: from.DType}, nil
+}
+
+// MatMulOut returns the result spec of a (batched) matmul a×b, validating
+// the inner dimensions. Both inputs must have rank ≥ 2; leading batch
+// dimensions must match exactly.
+func MatMulOut(a, b Spec) (Spec, error) {
+	if a.Shape.Rank() < 2 || b.Shape.Rank() < 2 {
+		return Spec{}, fmt.Errorf("tensor: matmul needs rank>=2, got %v x %v", a.Shape, b.Shape)
+	}
+	if a.Shape.Rank() != b.Shape.Rank() {
+		return Spec{}, fmt.Errorf("tensor: matmul rank mismatch %v x %v", a.Shape, b.Shape)
+	}
+	r := a.Shape.Rank()
+	for i := 0; i < r-2; i++ {
+		if a.Shape[i] != b.Shape[i] {
+			return Spec{}, fmt.Errorf("tensor: matmul batch dims differ at %d: %v x %v", i, a.Shape, b.Shape)
+		}
+	}
+	if a.Shape[r-1] != b.Shape[r-2] {
+		return Spec{}, fmt.Errorf("tensor: matmul inner dims %d != %d", a.Shape[r-1], b.Shape[r-2])
+	}
+	out := a.Shape.Clone()
+	out[r-1] = b.Shape[r-1]
+	return Spec{Shape: out, DType: a.DType}, nil
+}
+
+// MatMulFLOPs returns 2*M*N*K (multiply-add counted as two FLOPs) for the
+// matmul producing out from inner dimension k, including batch dims.
+func MatMulFLOPs(a, b Spec) int64 {
+	r := a.Shape.Rank()
+	if r < 2 {
+		return 0
+	}
+	batch := int64(1)
+	for i := 0; i < r-2; i++ {
+		batch *= int64(a.Shape[i])
+	}
+	m := int64(a.Shape[r-2])
+	k := int64(a.Shape[r-1])
+	n := int64(b.Shape[r-1])
+	return 2 * batch * m * k * n
+}
+
+// Conv2DFLOPs returns the FLOP count of a 2-D convolution given the output
+// spatial extent. Input is NHWC, filter is [kh, kw, cin, cout].
+func Conv2DFLOPs(batch, outH, outW, kh, kw, cin, cout int) int64 {
+	return 2 * int64(batch) * int64(outH) * int64(outW) *
+		int64(kh) * int64(kw) * int64(cin) * int64(cout)
+}

@@ -1,0 +1,211 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSizes(t *testing.T) {
+	cases := []struct {
+		d    DType
+		want int
+	}{
+		{BFloat16, 2}, {Float32, 4}, {Float64, 8},
+		{Int32, 4}, {Int64, 8}, {Uint8, 1}, {Bool, 1},
+		{String, 16}, {Invalid, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.Size(); got != c.want {
+			t.Errorf("%v.Size() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	if BFloat16.String() != "bfloat16" {
+		t.Errorf("got %q", BFloat16.String())
+	}
+	if DType(200).String() != "dtype(200)" {
+		t.Errorf("unknown dtype: %q", DType(200).String())
+	}
+}
+
+func TestShapeElements(t *testing.T) {
+	if n := NewShape(2, 3, 4).Elements(); n != 24 {
+		t.Fatalf("Elements = %d, want 24", n)
+	}
+	if n := NewShape().Elements(); n != 1 {
+		t.Fatalf("scalar Elements = %d, want 1", n)
+	}
+	if n := NewShape(5, 0, 2).Elements(); n != 0 {
+		t.Fatalf("zero-dim Elements = %d, want 0", n)
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	a := NewShape(1, 2, 3)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 9
+	if a.Equal(b) {
+		t.Fatal("clone shares backing array")
+	}
+	if a.Equal(NewShape(1, 2)) {
+		t.Fatal("different rank compared equal")
+	}
+}
+
+func TestNewShapeCopies(t *testing.T) {
+	dims := []int{4, 5}
+	s := NewShape(dims...)
+	dims[0] = 99
+	if s[0] != 4 {
+		t.Fatal("NewShape retained caller's slice")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if s := NewShape(32, 128).String(); s != "[32,128]" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := NewShape().String(); s != "[]" {
+		t.Fatalf("scalar String = %q", s)
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if !NewShape(1, 2).Valid() {
+		t.Fatal("positive shape invalid")
+	}
+	if NewShape(1, -2).Valid() {
+		t.Fatal("negative dim counted valid")
+	}
+}
+
+func TestSpecBytes(t *testing.T) {
+	sp := NewSpec(Float32, 10, 10)
+	if b := sp.Bytes(); b != 400 {
+		t.Fatalf("Bytes = %d, want 400", b)
+	}
+	if s := sp.String(); s != "float32[10,10]" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestReshapeValid(t *testing.T) {
+	sp := NewSpec(BFloat16, 4, 6)
+	out, err := Reshape(sp, NewShape(2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape.Equal(NewShape(2, 12)) || out.DType != BFloat16 {
+		t.Fatalf("reshape result %v", out)
+	}
+}
+
+func TestReshapeRejectsElementChange(t *testing.T) {
+	if _, err := Reshape(NewSpec(Float32, 4, 6), NewShape(5, 5)); err == nil {
+		t.Fatal("reshape that changes element count succeeded")
+	}
+}
+
+func TestReshapeRejectsInvalidShape(t *testing.T) {
+	if _, err := Reshape(NewSpec(Float32, 4), NewShape(-4)); err == nil {
+		t.Fatal("reshape to negative dim succeeded")
+	}
+}
+
+func TestMatMulOut(t *testing.T) {
+	a := NewSpec(BFloat16, 32, 128)
+	b := NewSpec(BFloat16, 128, 512)
+	out, err := MatMulOut(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape.Equal(NewShape(32, 512)) {
+		t.Fatalf("matmul out %v", out.Shape)
+	}
+}
+
+func TestMatMulBatched(t *testing.T) {
+	a := NewSpec(BFloat16, 8, 32, 64)
+	b := NewSpec(BFloat16, 8, 64, 16)
+	out, err := MatMulOut(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape.Equal(NewShape(8, 32, 16)) {
+		t.Fatalf("batched matmul out %v", out.Shape)
+	}
+	if f := MatMulFLOPs(a, b); f != 2*8*32*64*16 {
+		t.Fatalf("batched FLOPs = %d", f)
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	if _, err := MatMulOut(NewSpec(Float32, 4), NewSpec(Float32, 4, 4)); err == nil {
+		t.Error("rank-1 lhs accepted")
+	}
+	if _, err := MatMulOut(NewSpec(Float32, 4, 4), NewSpec(Float32, 5, 4)); err == nil {
+		t.Error("inner-dim mismatch accepted")
+	}
+	if _, err := MatMulOut(NewSpec(Float32, 2, 4, 4), NewSpec(Float32, 3, 4, 4)); err == nil {
+		t.Error("batch-dim mismatch accepted")
+	}
+	if _, err := MatMulOut(NewSpec(Float32, 2, 4, 4), NewSpec(Float32, 4, 4)); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	a := NewSpec(BFloat16, 32, 128)
+	b := NewSpec(BFloat16, 128, 512)
+	if f := MatMulFLOPs(a, b); f != 2*32*128*512 {
+		t.Fatalf("FLOPs = %d", f)
+	}
+	if f := MatMulFLOPs(NewSpec(Float32, 4), b); f != 0 {
+		t.Fatalf("rank-1 FLOPs = %d, want 0", f)
+	}
+}
+
+func TestConv2DFLOPs(t *testing.T) {
+	// 1x1 conv degenerates to a matmul: N*H*W x Cin x Cout.
+	got := Conv2DFLOPs(8, 14, 14, 1, 1, 256, 64)
+	want := int64(2 * 8 * 14 * 14 * 256 * 64)
+	if got != want {
+		t.Fatalf("Conv2DFLOPs = %d, want %d", got, want)
+	}
+}
+
+// Property: reshape preserves byte size for any compatible pair of shapes.
+func TestPropertyReshapePreservesBytes(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		d1, d2, d3 := int(a%16)+1, int(b%16)+1, int(c%16)+1
+		sp := NewSpec(Float32, d1, d2, d3)
+		out, err := Reshape(sp, NewShape(d1*d2, d3))
+		if err != nil {
+			return false
+		}
+		return out.Bytes() == sp.Bytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matmul output element count is M*N regardless of K.
+func TestPropertyMatMulShape(t *testing.T) {
+	f := func(m, k, n uint8) bool {
+		mi, ki, ni := int(m%32)+1, int(k%32)+1, int(n%32)+1
+		out, err := MatMulOut(NewSpec(BFloat16, mi, ki), NewSpec(BFloat16, ki, ni))
+		if err != nil {
+			return false
+		}
+		return out.Shape.Elements() == int64(mi)*int64(ni)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

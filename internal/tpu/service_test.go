@@ -1,0 +1,177 @@
+package tpu
+
+import (
+	"testing"
+
+	"repro/internal/rpc"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func serviceFixture(t *testing.T, steps int) (*Device, *ProfileService) {
+	t.Helper()
+	d := newTestDevice(t, V2)
+	at := simclock.Time(0)
+	for i := 0; i < steps; i++ {
+		st, err := d.RunStep(int64(i), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = st.End.Add(1000)
+	}
+	done := true
+	svc := NewProfileService(d, d.Spec,
+		func() simclock.Time { return d.FreeAt() },
+		func() bool { return done })
+	return d, svc
+}
+
+func TestNextWindowDeliversAllEvents(t *testing.T) {
+	d, svc := serviceFixture(t, 30)
+	var got int
+	for i := 0; i < 1000; i++ {
+		resp := svc.NextWindow()
+		got += len(resp.Events)
+		if resp.EndOfStream {
+			break
+		}
+	}
+	if got != len(d.Events()) {
+		t.Fatalf("delivered %d of %d events", got, len(d.Events()))
+	}
+}
+
+func TestNextWindowRespectsDurationLimit(t *testing.T) {
+	d := newTestDevice(t, V2)
+	// Two steps separated by more than the max window.
+	st, _ := d.RunStep(0, 0)
+	d.RunStep(1, st.End.Add(2*trace.MaxProfileWindow))
+	svc := NewProfileService(d, d.Spec,
+		func() simclock.Time { return d.FreeAt() },
+		func() bool { return true })
+
+	first := svc.NextWindow()
+	if first.WindowEnd.Sub(first.WindowStart) > trace.MaxProfileWindow {
+		t.Fatalf("window span %v exceeds limit", first.WindowEnd.Sub(first.WindowStart))
+	}
+	if !first.Truncated {
+		t.Fatal("clipped window not marked truncated")
+	}
+	if first.EndOfStream {
+		t.Fatal("end of stream before all events delivered")
+	}
+}
+
+func TestNextWindowEmptyBeforeActivity(t *testing.T) {
+	d := newTestDevice(t, V2)
+	svc := NewProfileService(d, d.Spec,
+		func() simclock.Time { return 0 },
+		func() bool { return false })
+	resp := svc.NextWindow()
+	if len(resp.Events) != 0 || resp.EndOfStream {
+		t.Fatalf("idle service returned %d events, eos=%v", len(resp.Events), resp.EndOfStream)
+	}
+}
+
+func TestWindowMetadataPlausible(t *testing.T) {
+	_, svc := serviceFixture(t, 30)
+	resp := svc.NextWindow()
+	if resp.IdleFrac < 0 || resp.IdleFrac > 1 {
+		t.Fatalf("idle = %g", resp.IdleFrac)
+	}
+	if resp.MXUUtil < 0 || resp.MXUUtil > 1 {
+		t.Fatalf("mxu = %g", resp.MXUUtil)
+	}
+}
+
+func TestProfileOverRPC(t *testing.T) {
+	d, svc := serviceFixture(t, 20)
+	srv := rpc.NewServer()
+	svc.Register(srv)
+	defer srv.Close()
+	c := rpc.Pipe(srv)
+	defer c.Close()
+
+	var got int
+	for i := 0; i < 100; i++ {
+		raw, err := c.Call(MethodProfile, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := UnmarshalProfileResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(resp.Events)
+		if resp.EndOfStream {
+			break
+		}
+	}
+	if got != len(d.Events()) {
+		t.Fatalf("RPC delivered %d of %d events", got, len(d.Events()))
+	}
+}
+
+func TestStatusOverRPC(t *testing.T) {
+	_, svc := serviceFixture(t, 1)
+	srv := rpc.NewServer()
+	svc.Register(srv)
+	defer srv.Close()
+	c := rpc.Pipe(srv)
+	defer c.Close()
+
+	raw, err := c.Call(MethodStatus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := UnmarshalStatusResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != "TPUv2" || st.MXUs != 2 || st.PeakTFLOPS != 45 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestProfileResponseRoundTrip(t *testing.T) {
+	resp := &ProfileResponse{
+		Events: []trace.Event{
+			{Name: "fusion", Device: trace.TPU, Start: 10, Dur: 100, Step: 3},
+			{Name: "OutfeedDequeueTuple", Device: trace.Host, Start: 110, Dur: 20, Step: 3},
+		},
+		WindowStart: 0,
+		WindowEnd:   200,
+		IdleFrac:    0.39,
+		MXUUtil:     0.22,
+		EndOfStream: true,
+		Truncated:   true,
+	}
+	got, err := UnmarshalProfileResponse(marshalProfileResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 || got.Events[0] != resp.Events[0] || got.Events[1] != resp.Events[1] {
+		t.Fatalf("events: %+v", got.Events)
+	}
+	if got.WindowEnd != 200 || got.IdleFrac != 0.39 || got.MXUUtil != 0.22 ||
+		!got.EndOfStream || !got.Truncated {
+		t.Fatalf("fields: %+v", got)
+	}
+}
+
+func TestEventBatchRoundTrip(t *testing.T) {
+	events := []trace.Event{
+		{Name: "a", Device: trace.Host, Start: 1, Dur: 2, Step: -1},
+		{Name: "b", Device: trace.TPU, Start: 3, Dur: 4, Step: 7},
+	}
+	got, err := trace.UnmarshalEvents(trace.MarshalEvents(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != events[0] || got[1] != events[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if empty, err := trace.UnmarshalEvents(trace.MarshalEvents(nil)); err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}

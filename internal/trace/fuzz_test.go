@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+// The wire decoders parse bytes that cross a trust boundary (the RPC
+// transport); they must reject arbitrary input with errors, never panics.
+
+func FuzzUnmarshalRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalRecord(&ProfileRecord{Seq: 1}))
+	r := Reduce(3, 0, []Event{
+		{Name: "fusion", Device: TPU, Start: 5, Dur: 10, Step: 1},
+		{Name: "Send", Device: Host, Start: 15, Dur: 1, Step: 1},
+	}, 0.4, 0.2)
+	f.Add(MarshalRecord(r))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := UnmarshalRecord(data)
+		if err == nil && rec == nil {
+			t.Fatal("nil record without error")
+		}
+	})
+}
+
+func FuzzUnmarshalEvents(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalEvents([]Event{{Name: "x", Device: Host, Start: 1, Dur: 2, Step: 3}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := UnmarshalEvents(data)
+		if err != nil {
+			return
+		}
+		for _, e := range events {
+			if e.Device != Host && e.Device != TPU {
+				t.Fatalf("decoded invalid device %d", e.Device)
+			}
+		}
+	})
+}

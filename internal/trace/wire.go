@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/protowire"
+	"repro/internal/simclock"
+)
+
+// Wire schema for ProfileRecord (protobuf field numbers):
+//
+//	message ProfileRecord {
+//	  uint64 seq          = 1;
+//	  uint64 window_start = 2;
+//	  uint64 window_end   = 3;
+//	  uint64 num_events   = 4;
+//	  bool   truncated    = 5;
+//	  double idle_frac    = 6;
+//	  double mxu_util     = 7;
+//	  repeated StepStat steps = 8;
+//	}
+//
+//	message StepStat {
+//	  sint64 step      = 1;
+//	  uint64 start     = 2;
+//	  uint64 end       = 3;
+//	  double idle_frac = 4;
+//	  double mxu_util  = 5;
+//	  repeated OpEntry ops = 6;
+//	}
+//
+//	message OpEntry {
+//	  string name   = 1;
+//	  uint64 device = 2;
+//	  uint64 count  = 3;
+//	  uint64 total  = 4;
+//	}
+
+// MarshalRecord encodes a ProfileRecord to protobuf wire format.
+func MarshalRecord(r *ProfileRecord) []byte {
+	e := protowire.NewEncoder(nil)
+	e.Uint64(1, uint64(r.Seq))
+	e.Uint64(2, uint64(r.WindowStart))
+	e.Uint64(3, uint64(r.WindowEnd))
+	e.Uint64(4, uint64(r.NumEvents))
+	e.Bool(5, r.Truncated)
+	e.Double(6, r.IdleFrac)
+	e.Double(7, r.MXUUtil)
+	for _, s := range r.Steps {
+		e.Raw(8, marshalStep(s))
+	}
+	return e.Bytes()
+}
+
+func marshalStep(s *StepStat) []byte {
+	e := protowire.NewEncoder(nil)
+	e.Int64(1, s.Step)
+	e.Uint64(2, uint64(s.Start))
+	e.Uint64(3, uint64(s.End))
+	e.Double(4, s.IdleFrac)
+	e.Double(5, s.MXUUtil)
+	// Deterministic op order on the wire: sort via TopOps-like ordering is
+	// unnecessary; stable key order is enough for reproducible bytes.
+	for _, k := range sortedOpKeys(s.Ops) {
+		st := s.Ops[k]
+		oe := protowire.NewEncoder(nil)
+		oe.String(1, k.Name)
+		oe.Uint64(2, uint64(k.Device))
+		oe.Uint64(3, uint64(st.Count))
+		oe.Uint64(4, uint64(st.Total))
+		e.Raw(6, oe.Bytes())
+	}
+	return e.Bytes()
+}
+
+func sortedOpKeys(ops map[OpKey]OpStat) []OpKey {
+	keys := make([]OpKey, 0, len(ops))
+	for k := range ops {
+		keys = append(keys, k)
+	}
+	// Insertion sort: op maps are small (tens of entries).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessOpKey(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func lessOpKey(a, b OpKey) bool {
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	return a.Name < b.Name
+}
+
+// UnmarshalRecord decodes a ProfileRecord from protobuf wire format.
+func UnmarshalRecord(data []byte) (*ProfileRecord, error) {
+	r := &ProfileRecord{}
+	d := protowire.NewDecoder(data)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			r.Seq = int64(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			r.WindowStart = simclock.Time(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			r.WindowEnd = simclock.Time(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			r.NumEvents = int64(v)
+		case 5:
+			v, err := d.Bool()
+			if err != nil {
+				return nil, err
+			}
+			r.Truncated = v
+		case 6:
+			v, err := d.Double()
+			if err != nil {
+				return nil, err
+			}
+			r.IdleFrac = v
+		case 7:
+			v, err := d.Double()
+			if err != nil {
+				return nil, err
+			}
+			r.MXUUtil = v
+		case 8:
+			raw, err := d.Raw()
+			if err != nil {
+				return nil, err
+			}
+			s, err := unmarshalStep(raw)
+			if err != nil {
+				return nil, err
+			}
+			r.Steps = append(r.Steps, s)
+		default:
+			if err := d.Skip(ty); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+func unmarshalStep(data []byte) (*StepStat, error) {
+	s := NewStepStat(0)
+	d := protowire.NewDecoder(data)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			v, err := d.Int64()
+			if err != nil {
+				return nil, err
+			}
+			s.Step = v
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			s.Start = simclock.Time(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			s.End = simclock.Time(v)
+		case 4:
+			v, err := d.Double()
+			if err != nil {
+				return nil, err
+			}
+			s.IdleFrac = v
+		case 5:
+			v, err := d.Double()
+			if err != nil {
+				return nil, err
+			}
+			s.MXUUtil = v
+		case 6:
+			raw, err := d.Raw()
+			if err != nil {
+				return nil, err
+			}
+			if err := unmarshalOpInto(raw, s); err != nil {
+				return nil, err
+			}
+		default:
+			if err := d.Skip(ty); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func unmarshalOpInto(data []byte, s *StepStat) error {
+	var k OpKey
+	var st OpStat
+	d := protowire.NewDecoder(data)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.String()
+			if err != nil {
+				return err
+			}
+			k.Name = v
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			if v > uint64(TPU) {
+				return fmt.Errorf("trace: bad device %d", v)
+			}
+			k.Device = Device(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			st.Count = int64(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			st.Total = simclock.Duration(v)
+		default:
+			if err := d.Skip(ty); err != nil {
+				return err
+			}
+		}
+	}
+	if k.Name == "" {
+		return fmt.Errorf("trace: op entry without name")
+	}
+	cur := s.Ops[k]
+	cur.Add(st)
+	s.Ops[k] = cur
+	return nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/protowire"
+	"repro/internal/simclock"
+)
+
+// Wire schema for raw event batches (what the TPU's profile service ships
+// to the profiler before statistical reduction):
+//
+//	message Event {
+//	  string name   = 1;
+//	  uint64 device = 2;
+//	  uint64 start  = 3;
+//	  uint64 dur    = 4;
+//	  sint64 step   = 5;
+//	}
+//
+//	message EventBatch { repeated Event events = 1; }
+
+// MarshalEvents encodes an event batch.
+func MarshalEvents(events []Event) []byte {
+	e := protowire.NewEncoder(nil)
+	inner := protowire.NewEncoder(nil)
+	for _, ev := range events {
+		inner.Reset()
+		inner.String(1, ev.Name)
+		inner.Uint64(2, uint64(ev.Device))
+		inner.Uint64(3, uint64(ev.Start))
+		inner.Uint64(4, uint64(ev.Dur))
+		inner.Int64(5, ev.Step)
+		e.Raw(1, inner.Bytes())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalEvents decodes an event batch.
+func UnmarshalEvents(data []byte) ([]Event, error) {
+	d := protowire.NewDecoder(data)
+	var out []Event
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f != 1 {
+			if err := d.Skip(ty); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw, err := d.Raw()
+		if err != nil {
+			return nil, err
+		}
+		ev, err := unmarshalEvent(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func unmarshalEvent(data []byte) (Event, error) {
+	var ev Event
+	d := protowire.NewDecoder(data)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return ev, err
+		}
+		switch f {
+		case 1:
+			v, err := d.String()
+			if err != nil {
+				return ev, err
+			}
+			ev.Name = v
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			if v > uint64(TPU) {
+				return ev, fmt.Errorf("trace: bad device %d", v)
+			}
+			ev.Device = Device(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Start = simclock.Time(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Dur = simclock.Duration(v)
+		case 5:
+			v, err := d.Int64()
+			if err != nil {
+				return ev, err
+			}
+			ev.Step = v
+		default:
+			if err := d.Skip(ty); err != nil {
+				return ev, err
+			}
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/protowire"
+	"repro/internal/simclock"
+)
+
+func TestEventsRoundTrip(t *testing.T) {
+	events := []Event{
+		{Name: "fusion", Device: TPU, Start: 100, Dur: 50, Step: 7},
+		{Name: "OutfeedDequeueTuple", Device: Host, Start: 150, Dur: 2000, Step: 7},
+		{Name: "init", Device: Host, Start: 0, Dur: 1, Step: -1},
+	}
+	got, err := UnmarshalEvents(MarshalEvents(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestEventsEmptyBatch(t *testing.T) {
+	got, err := UnmarshalEvents(MarshalEvents(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+}
+
+func TestEventsRejectGarbage(t *testing.T) {
+	if _, err := UnmarshalEvents([]byte{0x00}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncate a valid batch mid-payload.
+	data := MarshalEvents([]Event{{Name: "abcdefgh", Device: TPU, Start: 1, Dur: 2, Step: 3}})
+	if _, err := UnmarshalEvents(data[:len(data)-2]); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+}
+
+func TestEventsRejectBadDevice(t *testing.T) {
+	// Hand-encode an event with device=9.
+	inner := protowire.NewEncoder(nil)
+	inner.String(1, "x")
+	inner.Uint64(2, 9)
+	outer := protowire.NewEncoder(nil)
+	outer.Raw(1, inner.Bytes())
+	if _, err := UnmarshalEvents(outer.Bytes()); err == nil {
+		t.Fatal("device 9 accepted")
+	}
+}
+
+func TestEventsSkipUnknownFields(t *testing.T) {
+	// Future schema additions must be skippable: unknown field 9 in the
+	// event and unknown field 5 in the batch.
+	inner := protowire.NewEncoder(nil)
+	inner.String(1, "op")
+	inner.Uint64(2, 1)
+	inner.Uint64(9, 42) // unknown
+	outer := protowire.NewEncoder(nil)
+	outer.Raw(1, inner.Bytes())
+	outer.Uint64(5, 7) // unknown
+	got, err := UnmarshalEvents(outer.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "op" || got[0].Device != TPU {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPropertyEventsRoundTrip(t *testing.T) {
+	f := func(name string, dev bool, start, dur uint32, step int16) bool {
+		ev := Event{
+			Name:  name,
+			Start: simclock.Time(start),
+			Dur:   simclock.Duration(dur),
+			Step:  int64(step),
+		}
+		if dev {
+			ev.Device = TPU
+		}
+		got, err := UnmarshalEvents(MarshalEvents([]Event{ev}))
+		return err == nil && len(got) == 1 && got[0] == ev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventStringFormat(t *testing.T) {
+	k := OpKey{Name: "fusion", Device: TPU}
+	if k.String() != "tpu:fusion" {
+		t.Fatalf("OpKey.String() = %q", k.String())
+	}
+}
+
+func BenchmarkMarshalEvents(b *testing.B) {
+	events := make([]Event, 200)
+	for i := range events {
+		events[i] = Event{Name: "fusion", Device: TPU,
+			Start: simclock.Time(i * 100), Dur: 90, Step: int64(i / 10)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MarshalEvents(events)
+	}
+}
+
+func BenchmarkUnmarshalEvents(b *testing.B) {
+	events := make([]Event, 200)
+	for i := range events {
+		events[i] = Event{Name: "fusion", Device: TPU,
+			Start: simclock.Time(i * 100), Dur: 90, Step: int64(i / 10)}
+	}
+	data := MarshalEvents(events)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalEvents(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// builder assembles model step graphs with automatic naming, FLOP
+// accounting, and a recorded backward pass.
+//
+// Forward helpers (dense, conv, attention, ...) append ops and, for train
+// graphs, record the gradient ops each layer will need. After the loss is
+// built, backward() replays those records in reverse, chaining each
+// gradient op onto the running gradient so the backward half of the graph
+// has the same contraction/elementwise mix real autodiff produces.
+type builder struct {
+	g     *graph.Graph
+	seq   int
+	train bool
+
+	weightBytes int64
+	backlog     []gradRecord
+}
+
+// gradRecord describes the gradient ops of one forward op.
+type gradRecord struct {
+	op    string // forward op this gradient belongs to
+	out   tensor.Spec
+	flops int64
+	ref   *graph.Node // the forward node, kept as a data dependency
+}
+
+func newBuilder(name string, train bool) *builder {
+	return &builder{g: graph.New(name), train: train}
+}
+
+func (b *builder) name(op string) string {
+	b.seq++
+	return fmt.Sprintf("%s_%d", op, b.seq)
+}
+
+// add appends a TPU op with automatic naming.
+func (b *builder) add(op string, out tensor.Spec, flops int64, ins ...*graph.Node) *graph.Node {
+	n := b.g.MustAdd(b.name(op), op, trace.TPU, out, ins...)
+	n.FLOPs = flops
+	return n
+}
+
+// input declares the batch placeholder that arrives via infeed.
+func (b *builder) input(d tensor.DType, dims ...int) *graph.Node {
+	return b.g.MustAdd(b.name("infeed_input"), graph.OpPlaceholder, trace.TPU, tensor.NewSpec(d, dims...))
+}
+
+// weight declares a parameter tensor resident in HBM.
+func (b *builder) weight(dims ...int) *graph.Node {
+	n := b.g.MustAdd(b.name("weight"), graph.OpConst, trace.TPU, tensor.NewSpec(tensor.BFloat16, dims...))
+	b.weightBytes += n.OutBytes()
+	return n
+}
+
+// recordGrad queues gradient work to be emitted by backward().
+func (b *builder) recordGrad(op string, out tensor.Spec, flops int64, ref *graph.Node) {
+	if !b.train {
+		return
+	}
+	b.backlog = append(b.backlog, gradRecord{op: op, out: out, flops: flops, ref: ref})
+}
+
+// dense is a fully connected layer: MatMul + bias Add + activation.
+// Shapes: x is [batch, in]; result is [batch, out].
+func (b *builder) dense(x *graph.Node, in, out int, activation string) *graph.Node {
+	batch := x.Out.Shape[0]
+	w := b.weight(in, out)
+	bias := b.weight(out)
+	mmSpec := tensor.NewSpec(tensor.BFloat16, batch, out)
+	mmFlops := tensor.MatMulFLOPs(x.Out, w.Out)
+	mm := b.add(graph.OpMatMul, mmSpec, mmFlops, x, w)
+	cur := b.add(graph.OpAdd, mmSpec, mmSpec.Shape.Elements(), mm, bias)
+	if activation != "" {
+		cur = b.add(activation, mmSpec, 2*mmSpec.Shape.Elements(), cur)
+	}
+	// Backward: dX = dY·Wᵀ and dW = Xᵀ·dY (two matmuls at forward cost
+	// each), plus the bias gradient reduction and activation gradient.
+	b.recordGrad(graph.OpMatMul, x.Out, mmFlops, mm)
+	b.recordGrad(graph.OpMatMul, w.Out, mmFlops, mm)
+	b.recordGrad(graph.OpBiasAddGrad, bias.Out, mmSpec.Shape.Elements(), mm)
+	if activation != "" {
+		b.recordGrad(graph.OpMul, mmSpec, mmSpec.Shape.Elements(), cur)
+	}
+	return cur
+}
+
+// conv is a convolution block: Conv2D + FusedBatchNorm + Relu.
+// x is NHWC; stride divides the spatial dims.
+func (b *builder) conv(x *graph.Node, k, cout, stride int, bn bool) *graph.Node {
+	n, h, wdt, cin := x.Out.Shape[0], x.Out.Shape[1], x.Out.Shape[2], x.Out.Shape[3]
+	oh, ow := h/stride, wdt/stride
+	if oh < 1 {
+		oh = 1
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	w := b.weight(k, k, cin, cout)
+	outSpec := tensor.NewSpec(tensor.BFloat16, n, oh, ow, cout)
+	flops := tensor.Conv2DFLOPs(n, oh, ow, k, k, cin, cout)
+	cur := b.add(graph.OpConv2D, outSpec, flops, x, w)
+	if bn {
+		scale := b.weight(cout)
+		cur = b.add(graph.OpFusedBN, outSpec, 4*outSpec.Shape.Elements(), cur, scale)
+	}
+	cur = b.add(graph.OpRelu, outSpec, outSpec.Shape.Elements(), cur)
+
+	// Backward: filter and input gradients cost a forward conv each; the
+	// batch-norm gradient is elementwise-heavy.
+	b.recordGrad(graph.OpConv2DBackF, w.Out, flops, cur)
+	b.recordGrad(graph.OpConv2DBackI, x.Out, flops, cur)
+	if bn {
+		b.recordGrad(graph.OpFusedBNGrad, outSpec, 4*outSpec.Shape.Elements(), cur)
+	}
+	b.recordGrad(graph.OpMul, outSpec, outSpec.Shape.Elements(), cur)
+	return cur
+}
+
+// attention is a multi-head self-attention block over [batch, seq, dmodel],
+// including the reshape/transpose traffic that puts Reshape in the
+// profiles, plus the projection matmuls.
+func (b *builder) attention(x *graph.Node, heads int) *graph.Node {
+	batch, seq, dm := x.Out.Shape[0], x.Out.Shape[1], x.Out.Shape[2]
+	dh := dm / heads
+	projFlops := int64(2) * int64(batch) * int64(seq) * int64(dm) * int64(dm)
+	flat := tensor.NewSpec(tensor.BFloat16, batch, seq, dm)
+
+	// Q, K, V projections.
+	var qkv [3]*graph.Node
+	for i := range qkv {
+		w := b.weight(dm, dm)
+		mm := b.add(graph.OpMatMul, flat, projFlops, x, w)
+		b.recordGrad(graph.OpMatMul, flat, projFlops, mm)
+		b.recordGrad(graph.OpMatMul, w.Out, projFlops, mm)
+		// Split heads: reshape + transpose to [batch, heads, seq, dh].
+		headSpec := tensor.NewSpec(tensor.BFloat16, batch, heads, seq, dh)
+		rs := b.add(graph.OpReshape, headSpec, 0, mm)
+		qkv[i] = b.add(graph.OpTranspose, headSpec, 0, rs)
+	}
+
+	// Scores = Q·Kᵀ: [batch, heads, seq, seq].
+	scoreSpec := tensor.NewSpec(tensor.BFloat16, batch, heads, seq, seq)
+	scoreFlops := int64(2) * int64(batch) * int64(heads) * int64(seq) * int64(seq) * int64(dh)
+	scores := b.add(graph.OpMatMul, scoreSpec, scoreFlops, qkv[0], qkv[1])
+	soft := b.add(graph.OpSoftmax, scoreSpec, 5*scoreSpec.Shape.Elements(), scores)
+	b.recordGrad(graph.OpMatMul, scoreSpec, scoreFlops, scores)
+	b.recordGrad(graph.OpMul, scoreSpec, scoreSpec.Shape.Elements(), soft)
+
+	// Context = softmax·V, merge heads, output projection.
+	ctxSpec := tensor.NewSpec(tensor.BFloat16, batch, heads, seq, dh)
+	ctx := b.add(graph.OpMatMul, ctxSpec, scoreFlops, soft, qkv[2])
+	b.recordGrad(graph.OpMatMul, ctxSpec, scoreFlops, ctx)
+	tr := b.add(graph.OpTranspose, ctxSpec, 0, ctx)
+	merged := b.add(graph.OpReshape, flat, 0, tr)
+	wo := b.weight(dm, dm)
+	out := b.add(graph.OpMatMul, flat, projFlops, merged, wo)
+	b.recordGrad(graph.OpMatMul, flat, projFlops, out)
+	b.recordGrad(graph.OpMatMul, wo.Out, projFlops, out)
+
+	// Residual + layer norm.
+	res := b.add(graph.OpAdd, flat, flat.Shape.Elements(), out, x)
+	ln := b.add(graph.OpLayerNorm, flat, 6*flat.Shape.Elements(), res)
+	b.recordGrad(graph.OpMul, flat, flat.Shape.Elements(), ln)
+	return ln
+}
+
+// ffn is a transformer feed-forward block dmodel → dff → dmodel with GELU
+// (modeled as Tanh-based elementwise work).
+func (b *builder) ffn(x *graph.Node, dff int) *graph.Node {
+	batch, seq, dm := x.Out.Shape[0], x.Out.Shape[1], x.Out.Shape[2]
+	upSpec := tensor.NewSpec(tensor.BFloat16, batch, seq, dff)
+	flat := x.Out
+	upFlops := int64(2) * int64(batch) * int64(seq) * int64(dm) * int64(dff)
+
+	w1 := b.weight(dm, dff)
+	up := b.add(graph.OpMatMul, upSpec, upFlops, x, w1)
+	act := b.add(graph.OpTanh, upSpec, 4*upSpec.Shape.Elements(), up)
+	w2 := b.weight(dff, dm)
+	down := b.add(graph.OpMatMul, flat, upFlops, act, w2)
+	res := b.add(graph.OpAdd, flat, flat.Shape.Elements(), down, x)
+	ln := b.add(graph.OpLayerNorm, flat, 6*flat.Shape.Elements(), res)
+
+	b.recordGrad(graph.OpMatMul, flat, upFlops, up)
+	b.recordGrad(graph.OpMatMul, w1.Out, upFlops, up)
+	b.recordGrad(graph.OpMul, upSpec, upSpec.Shape.Elements(), act)
+	b.recordGrad(graph.OpMatMul, upSpec, upFlops, down)
+	b.recordGrad(graph.OpMatMul, w2.Out, upFlops, down)
+	b.recordGrad(graph.OpMul, flat, flat.Shape.Elements(), ln)
+	return ln
+}
+
+// loss appends a scalar training loss on top of logits.
+func (b *builder) loss(logits *graph.Node) *graph.Node {
+	scalar := tensor.NewSpec(tensor.Float32, 1)
+	return b.add(graph.OpCrossEntropy, scalar, 8*logits.Out.Shape.Elements(), logits)
+}
+
+// backward replays the recorded gradient ops in reverse order, chained on
+// the running gradient node, then appends the optimizer tail: gradient
+// all-reduce across replicas, weight decay, and parameter updates.
+func (b *builder) backward(lossNode *graph.Node) {
+	if !b.train {
+		return
+	}
+	cur := lossNode
+	for i := len(b.backlog) - 1; i >= 0; i-- {
+		r := b.backlog[i]
+		cur = b.add(r.op, r.out, r.flops, cur, r.ref)
+	}
+	// Cross-replica gradient reduction: traffic equals the weights.
+	ar := b.add(graph.OpAllReduce, tensor.NewSpec(tensor.BFloat16, 1), 0, cur)
+	ar.Bytes = 2 * b.weightBytes
+	// Weight decay and parameter updates in a few fused groups.
+	l2 := b.add(graph.OpL2Loss, tensor.NewSpec(tensor.Float32, 1), b.weightBytes/2, ar)
+	params := b.weightBytes / 2 // bf16 elements
+	for i := 0; i < 4; i++ {
+		upd := b.add(graph.OpAdamUpdate, tensor.NewSpec(tensor.BFloat16, 1), 2*params, l2)
+		upd.Bytes = b.weightBytes / 2
+	}
+}
+
+// evalMetrics appends the eval-only metric tail that distinguishes eval
+// steps from train steps in phase detection.
+func (b *builder) evalMetrics(logits *graph.Node) {
+	batch := logits.Out.Shape[0]
+	idxSpec := tensor.NewSpec(tensor.Int32, batch)
+	arg := b.add(graph.OpArgMax, idxSpec, logits.Out.Shape.Elements(), logits)
+	sq := b.add(graph.OpSqueeze, idxSpec, 0, arg)
+	eq := b.add(graph.OpEqual, tensor.NewSpec(tensor.Bool, batch), int64(batch), sq)
+	cast := b.add(graph.OpCast, tensor.NewSpec(tensor.Float32, batch), int64(batch), eq)
+	b.add(graph.OpMean, tensor.NewSpec(tensor.Float32, 1), int64(batch), cast)
+	topk := b.add(graph.OpTopK, tensor.NewSpec(tensor.Int32, batch, 5), 5*logits.Out.Shape.Elements(), logits)
+	b.add(graph.OpInTopK, tensor.NewSpec(tensor.Bool, batch), int64(batch), topk)
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestDenseLayerStructure(t *testing.T) {
+	b := newBuilder("t", true)
+	x := b.input(tensor.BFloat16, 8, 32)
+	out := b.dense(x, 32, 16, graph.OpRelu)
+	if !out.Out.Shape.Equal(tensor.NewShape(8, 16)) {
+		t.Fatalf("dense output shape %v", out.Out.Shape)
+	}
+	// Forward: MatMul + Add + Relu; weights: W and bias.
+	counts := opCounts(b.g)
+	if counts[graph.OpMatMul] != 1 || counts[graph.OpAdd] != 1 || counts[graph.OpRelu] != 1 {
+		t.Fatalf("forward ops: %v", counts)
+	}
+	if counts[graph.OpConst] != 2 {
+		t.Fatalf("weights: %v", counts)
+	}
+	// FLOPs on the matmul are 2*batch*in*out.
+	var mmFlops int64
+	for _, n := range b.g.Nodes() {
+		if n.Op == graph.OpMatMul {
+			mmFlops = n.FLOPs
+		}
+	}
+	if want := int64(2 * 8 * 32 * 16); mmFlops != want {
+		t.Fatalf("matmul FLOPs = %d, want %d", mmFlops, want)
+	}
+	// Backward records exist but are not yet materialized.
+	if len(b.backlog) == 0 {
+		t.Fatal("no gradient records for train builder")
+	}
+	preBackward := b.g.Len()
+	b.backward(out)
+	if b.g.Len() <= preBackward {
+		t.Fatal("backward added no ops")
+	}
+}
+
+func TestEvalBuilderRecordsNoGrads(t *testing.T) {
+	b := newBuilder("t", false)
+	x := b.input(tensor.BFloat16, 4, 8)
+	b.dense(x, 8, 4, "")
+	if len(b.backlog) != 0 {
+		t.Fatalf("eval builder recorded %d gradients", len(b.backlog))
+	}
+	n := b.g.Len()
+	b.backward(nil) // no-op for eval graphs
+	if b.g.Len() != n {
+		t.Fatal("backward mutated an eval graph")
+	}
+}
+
+func TestConvBlockStructure(t *testing.T) {
+	b := newBuilder("t", true)
+	x := b.input(tensor.BFloat16, 2, 16, 16, 3)
+	out := b.conv(x, 3, 8, 2, true)
+	if !out.Out.Shape.Equal(tensor.NewShape(2, 8, 8, 8)) {
+		t.Fatalf("conv output shape %v", out.Out.Shape)
+	}
+	counts := opCounts(b.g)
+	if counts[graph.OpConv2D] != 1 || counts[graph.OpFusedBN] != 1 || counts[graph.OpRelu] != 1 {
+		t.Fatalf("conv block ops: %v", counts)
+	}
+	// Gradients queue conv backward passes.
+	foundF, foundI := false, false
+	for _, r := range b.backlog {
+		switch r.op {
+		case graph.OpConv2DBackF:
+			foundF = true
+		case graph.OpConv2DBackI:
+			foundI = true
+		}
+	}
+	if !foundF || !foundI {
+		t.Fatal("conv gradients not recorded")
+	}
+}
+
+func TestConvMinimumSpatialExtent(t *testing.T) {
+	b := newBuilder("t", false)
+	x := b.input(tensor.BFloat16, 1, 2, 2, 4)
+	out := b.conv(x, 3, 8, 4, false) // stride larger than extent
+	if out.Out.Shape[1] < 1 || out.Out.Shape[2] < 1 {
+		t.Fatalf("conv collapsed to zero extent: %v", out.Out.Shape)
+	}
+}
+
+func TestAttentionStructure(t *testing.T) {
+	b := newBuilder("t", true)
+	x := b.input(tensor.BFloat16, 2, 16, 64)
+	out := b.attention(x, 4)
+	if !out.Out.Shape.Equal(tensor.NewShape(2, 16, 64)) {
+		t.Fatalf("attention output shape %v", out.Out.Shape)
+	}
+	counts := opCounts(b.g)
+	// Q/K/V + scores + context + output projection = 6 matmuls.
+	if counts[graph.OpMatMul] != 6 {
+		t.Fatalf("attention matmuls = %d, want 6", counts[graph.OpMatMul])
+	}
+	if counts[graph.OpSoftmax] != 1 {
+		t.Fatalf("softmax = %d", counts[graph.OpSoftmax])
+	}
+	// Head split/merge produces reshape+transpose traffic.
+	if counts[graph.OpReshape] < 4 || counts[graph.OpTranspose] < 4 {
+		t.Fatalf("attention layout ops: %v", counts)
+	}
+	if counts[graph.OpLayerNorm] != 1 {
+		t.Fatalf("layer norms = %d", counts[graph.OpLayerNorm])
+	}
+}
+
+func TestFFNStructure(t *testing.T) {
+	b := newBuilder("t", true)
+	x := b.input(tensor.BFloat16, 2, 8, 32)
+	out := b.ffn(x, 128)
+	if !out.Out.Shape.Equal(tensor.NewShape(2, 8, 32)) {
+		t.Fatalf("ffn output shape %v", out.Out.Shape)
+	}
+	counts := opCounts(b.g)
+	if counts[graph.OpMatMul] != 2 || counts[graph.OpTanh] != 1 {
+		t.Fatalf("ffn ops: %v", counts)
+	}
+}
+
+func TestBackwardAppendsOptimizerTail(t *testing.T) {
+	b := newBuilder("t", true)
+	x := b.input(tensor.BFloat16, 4, 8)
+	out := b.dense(x, 8, 4, "")
+	l := b.loss(out)
+	b.backward(l)
+	counts := opCounts(b.g)
+	if counts[graph.OpAllReduce] != 1 {
+		t.Fatalf("all-reduce = %d", counts[graph.OpAllReduce])
+	}
+	if counts[graph.OpAdamUpdate] != 4 {
+		t.Fatalf("adam updates = %d, want 4 groups", counts[graph.OpAdamUpdate])
+	}
+	if counts[graph.OpL2Loss] != 1 {
+		t.Fatalf("l2 loss = %d", counts[graph.OpL2Loss])
+	}
+	if err := b.g.Validate(); err != nil {
+		t.Fatalf("backward graph invalid: %v", err)
+	}
+}
+
+func TestEvalMetricsOps(t *testing.T) {
+	b := newBuilder("t", false)
+	x := b.input(tensor.BFloat16, 4, 8)
+	logits := b.dense(x, 8, 10, "")
+	b.evalMetrics(logits)
+	counts := opCounts(b.g)
+	for _, op := range []string{graph.OpArgMax, graph.OpEqual, graph.OpMean, graph.OpTopK, graph.OpInTopK} {
+		if counts[op] == 0 {
+			t.Fatalf("eval metrics missing %s: %v", op, counts)
+		}
+	}
+}
+
+func TestWeightBytesAccounting(t *testing.T) {
+	b := newBuilder("t", true)
+	b.weight(10, 10) // 100 bf16 = 200 bytes
+	b.weight(5)      // 5 bf16 = 10 bytes
+	if b.weightBytes != 210 {
+		t.Fatalf("weightBytes = %d, want 210", b.weightBytes)
+	}
+}
+
+func opCounts(g *graph.Graph) map[string]int {
+	counts := make(map[string]int)
+	for _, n := range g.Nodes() {
+		counts[n.Op]++
+	}
+	return counts
+}

@@ -1,0 +1,227 @@
+package workloads
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Model step-graph builders. Dimensions follow the public configurations
+// of the Table I models; FLOP counts are derived from the shapes, so the
+// compute-to-traffic ratios that drive the timing model are real.
+
+// buildBERT builds one BERT-base training or eval step:
+// batch 32 × seq 128, 12 transformer layers, d_model 768, 12 heads.
+func buildBERT(train bool) *graph.Graph {
+	const (
+		batch  = 32
+		seq    = 128
+		dm     = 768
+		heads  = 12
+		dff    = 3072
+		layers = 12
+		vocab  = 30522
+	)
+	b := newBuilder("bert", train)
+	ids := b.input(tensor.Int32, batch, seq)
+	emb := b.weight(vocab/64, dm) // sharded embedding slice per core
+	hSpec := tensor.NewSpec(tensor.BFloat16, batch, seq, dm)
+	h := b.add(graph.OpGatherV2, hSpec, 0, ids, emb)
+	h.Bytes = hSpec.Bytes()
+	cur := b.add(graph.OpLayerNorm, hSpec, 6*hSpec.Shape.Elements(), h)
+	for i := 0; i < layers; i++ {
+		cur = b.attention(cur, heads)
+		cur = b.ffn(cur, dff)
+	}
+	// Pool the [CLS] position and classify.
+	pooled := b.add(graph.OpReshape, tensor.NewSpec(tensor.BFloat16, batch, dm), 0, cur)
+	dn := b.dense(pooled, dm, dm, graph.OpTanh)
+	logits := b.dense(dn, dm, 2, "")
+	if train {
+		l := b.loss(logits)
+		b.backward(l)
+	} else {
+		b.evalMetrics(logits)
+	}
+	return b.g
+}
+
+// buildDCGAN builds one DCGAN training step (generator + discriminator
+// update) for the given square image size and channels.
+// batch 1024, per Table I.
+func buildDCGAN(train bool, img, channels int) *graph.Graph {
+	const batch = 1024
+	b := newBuilder("dcgan", train)
+
+	// Generator: noise → dense → stacked (transposed) convolutions.
+	noise := b.input(tensor.Float32, batch, 100)
+	g := b.dense(noise, 100, 4*4*256, graph.OpRelu)
+	gImg := b.add(graph.OpReshape, tensor.NewSpec(tensor.BFloat16, batch, 4, 4, 256), 0, g)
+	cur := gImg
+	// Upsample 4→8→16→img via stride-1 convs on the upsampled grid
+	// (cost-equivalent to conv transpose).
+	size := 4
+	c := 256
+	for size < img {
+		size *= 2
+		next := c / 2
+		if next < channels {
+			next = channels
+		}
+		up := b.add(graph.OpReshape, tensor.NewSpec(tensor.BFloat16, batch, size, size, c), 0, cur)
+		cur = b.conv(up, 4, next, 1, size < img)
+		c = next
+	}
+	gen := b.add(graph.OpTanh, cur.Out, cur.Out.Shape.Elements(), cur)
+
+	// Discriminator on generated (and implicitly real) images.
+	d := gen
+	dc := 64
+	for sz := img; sz > 4; sz /= 2 {
+		d = b.conv(d, 4, dc, 2, true)
+		dc *= 2
+	}
+	flatDim := d.Out.Shape[1] * d.Out.Shape[2] * d.Out.Shape[3]
+	dFlat := b.add(graph.OpReshape, tensor.NewSpec(tensor.BFloat16, batch, flatDim), 0, d)
+	dLogit := b.dense(dFlat, flatDim, 1, "")
+	if train {
+		l := b.add(graph.OpSigmoidCE, tensor.NewSpec(tensor.Float32, 1), 8*int64(batch), dLogit)
+		b.backward(l)
+	} else {
+		b.evalMetrics(dLogit)
+	}
+	return b.g
+}
+
+// buildQANet builds one QANet step: batch 32, context length 400,
+// d_model 128, 8 heads, 7 convolution+attention encoder blocks.
+func buildQANet(train bool) *graph.Graph {
+	const (
+		batch  = 32
+		seq    = 400
+		dm     = 128
+		heads  = 8
+		blocks = 7
+	)
+	b := newBuilder("qanet", train)
+	ids := b.input(tensor.Int32, batch, seq)
+	emb := b.weight(4096, dm)
+	hSpec := tensor.NewSpec(tensor.BFloat16, batch, seq, dm)
+	h := b.add(graph.OpGatherV2, hSpec, 0, ids, emb)
+	h.Bytes = hSpec.Bytes()
+	cur := b.add(graph.OpLayerNorm, hSpec, 6*hSpec.Shape.Elements(), h)
+	for i := 0; i < blocks; i++ {
+		// Separable convolution over the sequence (as 1-D conv cost).
+		w := b.weight(7, dm)
+		convFlops := int64(2) * batch * seq * 7 * dm * 2
+		cv := b.add(graph.OpConv2D, hSpec, convFlops, cur, w)
+		b.recordGrad(graph.OpConv2DBackF, w.Out, convFlops, cv)
+		b.recordGrad(graph.OpConv2DBackI, hSpec, convFlops, cv)
+		cur = b.add(graph.OpRelu, hSpec, hSpec.Shape.Elements(), cv)
+		cur = b.attention(cur, heads)
+		cur = b.ffn(cur, dm*4)
+	}
+	// Start/end span pointers.
+	flat := b.add(graph.OpReshape, tensor.NewSpec(tensor.BFloat16, batch, seq*dm), 0, cur)
+	logits := b.dense(flat, seq*dm, seq, "")
+	if train {
+		l := b.loss(logits)
+		b.backward(l)
+	} else {
+		b.evalMetrics(logits)
+	}
+	return b.g
+}
+
+// residualStage appends n bottleneck blocks (1×1, 3×3, 1×1) at the given
+// output channel count; the first block downsamples by stride.
+func residualStage(b *builder, x *graph.Node, n, cout, stride int) *graph.Node {
+	// Entering a stage changes the channel count/spatial extent, which on
+	// a TPU forces a tiled-layout realignment — the Reshape/Transpose
+	// traffic that Table II reports for the conv workloads.
+	cur := b.add(graph.OpReshape, x.Out, 0, x)
+	cur = b.add(graph.OpTranspose, cur.Out, 0, cur)
+	for i := 0; i < n; i++ {
+		s := 1
+		if i == 0 {
+			s = stride
+		}
+		mid := cout / 4
+		c1 := b.conv(cur, 1, mid, s, true)
+		c2 := b.conv(c1, 3, mid, 1, true)
+		c3 := b.conv(c2, 1, cout, 1, true)
+		cur = b.add(graph.OpAdd, c3.Out, c3.Out.Shape.Elements(), c3)
+	}
+	return cur
+}
+
+// buildResNet builds one ResNet-50 step at the given image size and batch.
+func buildResNet(train bool, img, batch int) *graph.Graph {
+	b := newBuilder("resnet", train)
+	x := b.input(tensor.Float32, batch, img, img, 3)
+	xb := b.add(graph.OpCast, tensor.NewSpec(tensor.BFloat16, batch, img, img, 3), x.Out.Shape.Elements(), x)
+	stem := b.conv(xb, 7, 64, 2, true)
+	pooled := b.add(graph.OpMaximum, tensor.NewSpec(tensor.BFloat16, batch, img/4, img/4, 64),
+		stem.Out.Shape.Elements(), stem)
+	s1 := residualStage(b, pooled, 3, 256, 1)
+	s2 := residualStage(b, s1, 4, 512, 2)
+	s3 := residualStage(b, s2, 6, 1024, 2)
+	s4 := residualStage(b, s3, 3, 2048, 2)
+	gap := b.add(graph.OpMean, tensor.NewSpec(tensor.BFloat16, batch, 2048),
+		s4.Out.Shape.Elements(), s4)
+	logits := b.dense(gap, 2048, 1000, "")
+	if train {
+		l := b.loss(logits)
+		b.backward(l)
+	} else {
+		b.evalMetrics(logits)
+	}
+	return b.g
+}
+
+// buildRetinaNet builds one RetinaNet step: ResNet-50 backbone at 640px,
+// a feature pyramid, and the shared class/box heads over 5 levels.
+func buildRetinaNet(train bool) *graph.Graph {
+	const (
+		batch = 64
+		img   = 640
+	)
+	b := newBuilder("retinanet", train)
+	x := b.input(tensor.Float32, batch, img, img, 3)
+	xb := b.add(graph.OpCast, tensor.NewSpec(tensor.BFloat16, batch, img, img, 3), x.Out.Shape.Elements(), x)
+	stem := b.conv(xb, 7, 64, 2, true)
+	pooled := b.add(graph.OpMaximum, tensor.NewSpec(tensor.BFloat16, batch, img/4, img/4, 64),
+		stem.Out.Shape.Elements(), stem)
+	c2 := residualStage(b, pooled, 3, 256, 1)
+	c3 := residualStage(b, c2, 4, 512, 2)
+	c4 := residualStage(b, c3, 6, 1024, 2)
+	c5 := residualStage(b, c4, 3, 2048, 2)
+
+	// FPN lateral 1×1 convs + heads at each level.
+	levels := []*graph.Node{c3, c4, c5}
+	for _, lv := range levels {
+		lat := b.conv(lv, 1, 256, 1, false)
+		// Class and box subnets: 4 convs each plus the prediction conv.
+		cls := lat
+		box := lat
+		for i := 0; i < 4; i++ {
+			cls = b.conv(cls, 3, 256, 1, false)
+			box = b.conv(box, 3, 256, 1, false)
+		}
+		b.conv(cls, 3, 9*90, 1, false) // 9 anchors × 90 classes
+		b.conv(box, 3, 9*4, 1, false)
+	}
+	scalar := tensor.NewSpec(tensor.Float32, 1)
+	if train {
+		// Focal loss over all anchors.
+		l := b.add(graph.OpSigmoidCE, scalar, int64(batch)*1_000_000, b.g.Nodes()[b.g.Len()-1])
+		b.backward(l)
+	} else {
+		// Detection post-processing distinguishes eval steps.
+		last := b.g.Nodes()[b.g.Len()-1]
+		top := b.add(graph.OpTopK, tensor.NewSpec(tensor.Float32, batch, 100), int64(batch)*100_000, last)
+		nms := b.add(graph.OpNMS, tensor.NewSpec(tensor.Int32, batch, 100), int64(batch)*100_000, top)
+		cc := b.add(graph.OpConcat, tensor.NewSpec(tensor.Float32, batch, 100, 6), 0, nms)
+		b.add(graph.OpMean, scalar, int64(batch), cc)
+	}
+	return b.g
+}

@@ -1,0 +1,295 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/host"
+	"repro/internal/tpu"
+	"repro/internal/trace"
+	"repro/internal/xla"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("registry has %d workloads, want 9 (Table I)", len(names))
+	}
+	for _, name := range names {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if w.TrainGraph == nil || w.EvalGraph == nil {
+			t.Fatalf("%s missing graphs", name)
+		}
+		if err := w.TrainGraph.Validate(); err != nil {
+			t.Fatalf("%s train graph: %v", name, err)
+		}
+		if err := w.EvalGraph.Validate(); err != nil {
+			t.Fatalf("%s eval graph: %v", name, err)
+		}
+		if len(w.ParamsDesc) == 0 {
+			t.Fatalf("%s has no Table I parameters", name)
+		}
+		if w.Input.Records < int64(4*w.BatchSize) {
+			t.Fatalf("%s effective records too small: %d", name, w.Input.Records)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("alexnet-cifar"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAllGraphsCompileAndFit(t *testing.T) {
+	for _, name := range Names() {
+		w := MustGet(name)
+		for _, g := range []*graph.Graph{w.TrainGraph, w.EvalGraph} {
+			prog, err := xla.Compile(g)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, g.Name(), err)
+			}
+			for _, v := range []tpu.Version{tpu.V2, tpu.V3} {
+				d := tpu.NewDevice(tpu.NewChipSpec(v), 0)
+				if err := d.LoadProgram(prog); err != nil {
+					t.Fatalf("%s does not fit %v: %v", name, v, err)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainGraphsHaveFusionAndTableIIOps(t *testing.T) {
+	for _, name := range Names() {
+		w := MustGet(name)
+		prog, err := xla.Compile(w.TrainGraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.CountOp("fusion") == 0 {
+			t.Errorf("%s: no fusion instructions", name)
+		}
+		if prog.CountOp(graph.OpReshape) == 0 {
+			t.Errorf("%s: no standalone Reshape instructions", name)
+		}
+	}
+}
+
+func TestTrainHasBackwardEvalDoesNot(t *testing.T) {
+	w := MustGet("bert-squad")
+	countOp := func(g *graph.Graph, op string) int {
+		n := 0
+		for _, nd := range g.Nodes() {
+			if nd.Op == op {
+				n++
+			}
+		}
+		return n
+	}
+	if countOp(w.TrainGraph, graph.OpAdamUpdate) == 0 {
+		t.Error("train graph missing optimizer updates")
+	}
+	if countOp(w.TrainGraph, graph.OpAllReduce) == 0 {
+		t.Error("train graph missing all-reduce")
+	}
+	if countOp(w.EvalGraph, graph.OpAdamUpdate) != 0 {
+		t.Error("eval graph has optimizer updates")
+	}
+	if countOp(w.EvalGraph, graph.OpArgMax) == 0 {
+		t.Error("eval graph missing metric ops")
+	}
+	if countOp(w.TrainGraph, graph.OpArgMax) != 0 {
+		t.Error("train graph has eval metric ops")
+	}
+}
+
+func TestEvalOpSetDistinctEnough(t *testing.T) {
+	// OLS (Equation 1) must see eval steps as a different phase at the
+	// 70% default threshold: |train∩eval| / min(|train|,|eval|) < 0.7
+	// over TPU op-name sets.
+	for _, name := range Names() {
+		w := MustGet(name)
+		setOf := func(g *graph.Graph) map[string]bool {
+			prog, err := xla.Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := map[string]bool{"InfeedDequeueTuple": true, "Infeed": true}
+			for _, in := range prog.Instructions {
+				s[in.Op] = true
+			}
+			if prog.OutfeedBytes > 0 {
+				s["Outfeed"] = true
+			}
+			return s
+		}
+		train, eval := setOf(w.TrainGraph), setOf(w.EvalGraph)
+		inter := 0
+		for op := range eval {
+			if train[op] {
+				inter++
+			}
+		}
+		min := len(eval)
+		if len(train) < min {
+			min = len(train)
+		}
+		sim := float64(inter) / float64(min)
+		if sim >= 0.7 {
+			t.Errorf("%s: train/eval op-set similarity %.2f >= 0.70 (train %d, eval %d, shared %d)",
+				name, sim, len(train), len(eval), inter)
+		}
+	}
+}
+
+func TestCalibrationHitsIdleTargets(t *testing.T) {
+	// The tuned pipeline's steady-state over the v2 step time should
+	// land within a few points of the per-workload target.
+	for _, name := range Names() {
+		w := MustGet(name)
+		prog, err := xla.Compile(w.TrainGraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := tpu.NewDevice(tpu.NewChipSpec(tpu.V2), 0)
+		if err := dev.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		h, err := host.New(host.DefaultSpec(), w.HostParams, w.Input, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := float64(dev.StepBusyTime())
+		// Mean step period: pipeline steady state plus the amortized
+		// epoch-boundary stall.
+		spe := float64(w.Input.Records) / float64(w.BatchSize)
+		mean := h.SteadyStateBatchUs() + h.EpochStallUs()/spe
+		impliedIdle := 1 - c/mean
+		if impliedIdle < 0 {
+			impliedIdle = 0
+		}
+		if diff := impliedIdle - w.TargetIdleV2; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s implied idle %.3f vs target %.3f", name, impliedIdle, w.TargetIdleV2)
+		}
+	}
+}
+
+func TestNaiveVariant(t *testing.T) {
+	w := MustGet("qanet-squad")
+	n := w.Naive()
+	if n.HostParams != host.NaiveParams() {
+		t.Fatal("naive variant keeps tuned params")
+	}
+	if n.Name != "qanet-squad-naive" {
+		t.Fatalf("naive name %q", n.Name)
+	}
+	// Original untouched.
+	if w.HostParams != host.DefaultParams() {
+		t.Fatal("Naive mutated the original")
+	}
+	// Naive pipeline is materially slower.
+	hTuned, _ := host.New(host.DefaultSpec(), w.HostParams, w.Input, 1)
+	hNaive, _ := host.New(host.DefaultSpec(), n.HostParams, n.Input, 1)
+	if hNaive.SteadyStateBatchUs() < 1.3*hTuned.SteadyStateBatchUs() {
+		t.Fatalf("naive steady state %.0f not much worse than tuned %.0f",
+			hNaive.SteadyStateBatchUs(), hTuned.SteadyStateBatchUs())
+	}
+}
+
+func TestSmallVariants(t *testing.T) {
+	for _, name := range []string{"qanet-squad", "retinanet-coco"} {
+		w := MustGet(name)
+		s, err := w.Small()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Input.Records >= w.Input.Records {
+			t.Errorf("%s small variant not smaller: %d vs %d", name, s.Input.Records, w.Input.Records)
+		}
+	}
+	// ResNet swaps to CIFAR-10 with a rebuilt 32px graph.
+	w := MustGet("resnet-imagenet")
+	s, err := w.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dataset.Name != "cifar10" {
+		t.Fatalf("resnet small dataset = %s", s.Dataset.Name)
+	}
+	prog, err := xla.Compile(s.TrainGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := xla.Compile(w.TrainGraph)
+	if prog.TotalFLOPs() >= orig.TotalFLOPs() {
+		t.Fatal("CIFAR-10 ResNet not cheaper than ImageNet ResNet")
+	}
+	if prog.InfeedBytes >= orig.InfeedBytes {
+		t.Fatal("CIFAR-10 ResNet infeed not smaller")
+	}
+}
+
+func TestWeightFootprints(t *testing.T) {
+	// Sanity-check parameter sizes: BERT-base ≈ 110M params, ResNet-50 ≈
+	// 25M params (bf16 → bytes = 2×params). Wide tolerances — the models
+	// are simplified — but orders of magnitude must hold.
+	cases := map[string][2]float64{
+		"bert-squad":      {80e6, 350e6},
+		"resnet-imagenet": {30e6, 150e6},
+	}
+	for name, bounds := range cases {
+		w := MustGet(name)
+		prog, err := xla.Compile(w.TrainGraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb := float64(prog.WeightBytes)
+		if wb < bounds[0] || wb > bounds[1] {
+			t.Errorf("%s weight bytes = %.0fMB, want in [%.0f, %.0f]MB",
+				name, wb/1e6, bounds[0]/1e6, bounds[1]/1e6)
+		}
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a, b := MustGet("dcgan-cifar10"), MustGet("dcgan-cifar10")
+	if a.TrainGraph.Len() != b.TrainGraph.Len() {
+		t.Fatal("graph construction not deterministic")
+	}
+	if a.Input != b.Input {
+		t.Fatalf("input calibration not deterministic: %+v vs %+v", a.Input, b.Input)
+	}
+	if a.Seed != b.Seed {
+		t.Fatal("seeds differ")
+	}
+}
+
+func TestGraphDevicePlacement(t *testing.T) {
+	for _, name := range Names() {
+		w := MustGet(name)
+		for _, n := range w.TrainGraph.Nodes() {
+			if n.Device != trace.TPU {
+				t.Fatalf("%s: node %s on %v; step graphs are TPU partitions", name, n.Name, n.Device)
+			}
+		}
+	}
+}
+
+func BenchmarkBuildBERT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buildBERT(true)
+	}
+}
+
+func BenchmarkCompileResNet(b *testing.B) {
+	g := buildResNet(true, 224, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xla.Compile(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

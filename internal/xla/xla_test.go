@@ -1,0 +1,248 @@
+package xla
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+func spec(dims ...int) tensor.Spec {
+	return tensor.NewSpec(tensor.BFloat16, dims...)
+}
+
+// buildMLPStep builds a tiny dense-layer step graph:
+// placeholder -> matmul(w1) -> add(b1) -> relu -> matmul(w2) -> softmax
+// with a reshape between the two layers.
+func buildMLPStep(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New("mlp")
+	x := g.MustAdd("x", graph.OpPlaceholder, trace.TPU, spec(32, 128))
+	w1 := g.MustAdd("w1", graph.OpConst, trace.TPU, spec(128, 256))
+	b1 := g.MustAdd("b1", graph.OpConst, trace.TPU, spec(256))
+	mm1 := g.MustAdd("mm1", graph.OpMatMul, trace.TPU, spec(32, 256), x, w1)
+	mm1.FLOPs = tensor.MatMulFLOPs(x.Out, w1.Out)
+	add := g.MustAdd("add", graph.OpAdd, trace.TPU, spec(32, 256), mm1, b1)
+	add.FLOPs = add.Out.Shape.Elements()
+	relu := g.MustAdd("relu", graph.OpRelu, trace.TPU, spec(32, 256), add)
+	relu.FLOPs = relu.Out.Shape.Elements()
+	rs := g.MustAdd("rs", graph.OpReshape, trace.TPU, spec(32, 256), relu)
+	w2 := g.MustAdd("w2", graph.OpConst, trace.TPU, spec(256, 10))
+	mm2 := g.MustAdd("mm2", graph.OpMatMul, trace.TPU, spec(32, 10), rs, w2)
+	mm2.FLOPs = tensor.MatMulFLOPs(rs.Out, w2.Out)
+	sm := g.MustAdd("sm", graph.OpSoftmax, trace.TPU, spec(32, 10), mm2)
+	sm.FLOPs = 5 * sm.Out.Shape.Elements()
+	return g
+}
+
+func compileMLP(t testing.TB) *Program {
+	t.Helper()
+	p, err := Compile(buildMLPStep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileProducesFusion(t *testing.T) {
+	p := compileMLP(t)
+	if p.CountOp("fusion") == 0 {
+		t.Fatalf("no fusion instructions; got %+v", opNames(p))
+	}
+}
+
+func TestFusionAbsorbsElementwiseChain(t *testing.T) {
+	p := compileMLP(t)
+	// mm1+add+relu should be one fusion (mm1's output has a single
+	// consumer, as do add and relu).
+	var f *Instruction
+	for _, in := range p.Instructions {
+		if in.Op == "fusion" && in.Fused >= 3 {
+			f = in
+		}
+	}
+	if f == nil {
+		t.Fatalf("no 3-way fusion found: %+v", describe(p))
+	}
+	if !f.MXU {
+		t.Fatal("fusion containing MatMul not marked MXU")
+	}
+}
+
+func TestReshapeNeverFuses(t *testing.T) {
+	p := compileMLP(t)
+	if n := p.CountOp(graph.OpReshape); n != 1 {
+		t.Fatalf("Reshape instructions = %d, want 1 standalone", n)
+	}
+	for _, in := range p.Instructions {
+		if in.Op == graph.OpReshape && in.Fused != 1 {
+			t.Fatal("Reshape was fused")
+		}
+	}
+}
+
+func TestReshapeCostsDoubleTraffic(t *testing.T) {
+	p := compileMLP(t)
+	for _, in := range p.Instructions {
+		if in.Op == graph.OpReshape {
+			want := int64(2 * 32 * 256 * 2) // 2x out bytes, bf16
+			if in.Bytes != want {
+				t.Fatalf("Reshape bytes = %d, want %d", in.Bytes, want)
+			}
+			return
+		}
+	}
+	t.Fatal("no reshape instruction")
+}
+
+func TestTwoContractionsDontShareFusion(t *testing.T) {
+	g := graph.New("mm-chain")
+	x := g.MustAdd("x", graph.OpPlaceholder, trace.TPU, spec(8, 8))
+	w1 := g.MustAdd("w1", graph.OpConst, trace.TPU, spec(8, 8))
+	w2 := g.MustAdd("w2", graph.OpConst, trace.TPU, spec(8, 8))
+	mm1 := g.MustAdd("mm1", graph.OpMatMul, trace.TPU, spec(8, 8), x, w1)
+	g.MustAdd("mm2", graph.OpMatMul, trace.TPU, spec(8, 8), mm1, w2)
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mxuInsts := 0
+	for _, in := range p.Instructions {
+		if in.MXU {
+			mxuInsts++
+		}
+	}
+	if mxuInsts != 2 {
+		t.Fatalf("MXU instructions = %d, want 2 (matmuls must not merge): %v", mxuInsts, describe(p))
+	}
+}
+
+func TestMultiConsumerValueBlocksFusion(t *testing.T) {
+	// x -> relu consumed by two ops: relu's value is materialized, so the
+	// consumers cannot join relu's cluster through it.
+	g := graph.New("multi")
+	x := g.MustAdd("x", graph.OpPlaceholder, trace.TPU, spec(4, 4))
+	relu := g.MustAdd("relu", graph.OpRelu, trace.TPU, spec(4, 4), x)
+	g.MustAdd("a", graph.OpTanh, trace.TPU, spec(4, 4), relu)
+	g.MustAdd("b", graph.OpSigmoid, trace.TPU, spec(4, 4), relu)
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CountOp("fusion") != 0 {
+		t.Fatalf("fusion across multi-consumer value: %v", describe(p))
+	}
+	if len(p.Instructions) != 3 {
+		t.Fatalf("instructions = %d, want 3", len(p.Instructions))
+	}
+}
+
+func TestStructuralNodesEmitNoInstructions(t *testing.T) {
+	g := graph.New("structural")
+	g.MustAdd("c", graph.OpConst, trace.TPU, spec(100, 100))
+	g.MustAdd("p", graph.OpPlaceholder, trace.TPU, spec(10))
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instructions) != 0 {
+		t.Fatalf("structural nodes produced instructions: %v", describe(p))
+	}
+}
+
+func TestBoundaryTraffic(t *testing.T) {
+	p := compileMLP(t)
+	// Infeed: the x placeholder, 32*128 bf16.
+	if want := int64(32 * 128 * 2); p.InfeedBytes != want {
+		t.Fatalf("InfeedBytes = %d, want %d", p.InfeedBytes, want)
+	}
+	// Outfeed: softmax output is the sole sink: 32*10 bf16.
+	if want := int64(32 * 10 * 2); p.OutfeedBytes != want {
+		t.Fatalf("OutfeedBytes = %d, want %d", p.OutfeedBytes, want)
+	}
+	// Weights: w1 + b1 + w2.
+	want := int64((128*256 + 256 + 256*10) * 2)
+	if p.WeightBytes != want {
+		t.Fatalf("WeightBytes = %d, want %d", p.WeightBytes, want)
+	}
+}
+
+func TestFLOPsConserved(t *testing.T) {
+	g := buildMLPStep(t)
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalFLOPs() != g.TotalFLOPs(trace.TPU) {
+		t.Fatalf("compile changed FLOPs: %d vs %d", p.TotalFLOPs(), g.TotalFLOPs(trace.TPU))
+	}
+}
+
+func TestFusionReducesTraffic(t *testing.T) {
+	// The point of fusion: HBM traffic of the fused program must be lower
+	// than the sum of unfused in+out traffic of the same ops.
+	p := compileMLP(t)
+	g := buildMLPStep(t)
+	var unfused int64
+	for _, n := range g.Nodes() {
+		if n.Kind() == graph.KindStructural {
+			continue
+		}
+		unfused += n.OutBytes()
+		for _, in := range n.Inputs {
+			unfused += in.OutBytes()
+		}
+	}
+	if p.TotalBytes() >= unfused {
+		t.Fatalf("fusion did not reduce traffic: %d >= %d", p.TotalBytes(), unfused)
+	}
+}
+
+func TestCompileRejectsInvalidGraph(t *testing.T) {
+	g := graph.New("bad")
+	g.MustAdd("inf", graph.OpInfeed, trace.Host, spec(1))
+	if _, err := Compile(g); err == nil {
+		t.Fatal("invalid graph compiled")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a, b := compileMLP(t), compileMLP(t)
+	if len(a.Instructions) != len(b.Instructions) {
+		t.Fatal("nondeterministic instruction count")
+	}
+	for i := range a.Instructions {
+		if a.Instructions[i].Name != b.Instructions[i].Name ||
+			a.Instructions[i].Op != b.Instructions[i].Op ||
+			a.Instructions[i].FLOPs != b.Instructions[i].FLOPs {
+			t.Fatalf("instruction %d differs between compiles", i)
+		}
+	}
+}
+
+func opNames(p *Program) []string {
+	var out []string
+	for _, in := range p.Instructions {
+		out = append(out, in.Op)
+	}
+	return out
+}
+
+func describe(p *Program) []string {
+	var out []string
+	for _, in := range p.Instructions {
+		out = append(out, in.Name+"("+in.Op+")")
+	}
+	return out
+}
+
+func BenchmarkCompileMLP(b *testing.B) {
+	g := buildMLPStep(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

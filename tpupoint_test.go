@@ -1,0 +1,240 @@
+package tpupoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 9 {
+		t.Fatalf("workloads = %d", len(names))
+	}
+	for _, name := range names {
+		w, err := GetWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		desc := Describe(w)
+		if !strings.Contains(desc, w.Model) || !strings.Contains(desc, w.Dataset.Name) {
+			t.Fatalf("Describe misses fields: %q", desc)
+		}
+	}
+	if _, err := GetWorkload("gpt-42"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSessionFigure2Flow(t *testing.T) {
+	s, err := NewSession("bert-mrpc", Options{Steps: 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.StartProfiler(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no records")
+	}
+	if s.IdleFraction() <= 0 || s.MXUUtilization() <= 0 || s.TotalSeconds() <= 0 {
+		t.Fatal("degenerate run metrics")
+	}
+
+	rep, err := s.Analyze(records, OLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) < 2 || rep.CoverageTop3 < 0.95 {
+		t.Fatalf("phases=%d coverage=%.3f", len(rep.Phases), rep.CoverageTop3)
+	}
+	// Checkpoint association flowed through the session.
+	found := false
+	for _, ph := range rep.Phases {
+		if ph.Checkpoint != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no phase has a checkpoint")
+	}
+
+	// Records persisted to the bucket are loadable.
+	loaded, err := s.LoadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(records) {
+		t.Fatalf("loaded %d of %d records", len(loaded), len(records))
+	}
+
+	// Artifacts render.
+	var trace, csv bytes.Buffer
+	if err := s.WriteTrace(&trace, rep, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCSV(&csv, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), "Phase Breakdown") {
+		t.Fatal("trace missing phase track")
+	}
+	if !strings.Contains(csv.String(), "phase,steps") {
+		t.Fatal("csv missing header")
+	}
+}
+
+func TestSessionTrainTwice(t *testing.T) {
+	s, err := NewSession("dcgan-mnist", Options{Steps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err == nil {
+		t.Fatal("second Train accepted")
+	}
+}
+
+func TestSessionVariants(t *testing.T) {
+	small, err := NewSession("resnet-imagenet", Options{Steps: 100, SmallDataset: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Workload().Dataset.Name != "cifar10" {
+		t.Fatalf("small resnet dataset = %s", small.Workload().Dataset.Name)
+	}
+	naive, err := NewSession("qanet-squad", Options{Steps: 100, NaivePipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(naive.Workload().Name, "-naive") {
+		t.Fatalf("naive workload name = %s", naive.Workload().Name)
+	}
+	if _, err := NewSession("unknown", Options{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSessionV3Behaviour(t *testing.T) {
+	run := func(v Version) (float64, float64) {
+		s, err := NewSession("bert-cola", Options{Steps: 200, Version: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return s.IdleFraction(), s.MXUUtilization()
+	}
+	i2, m2 := run(V2)
+	i3, m3 := run(V3)
+	if i3 <= i2 {
+		t.Fatalf("v3 idle %.3f <= v2 %.3f", i3, i2)
+	}
+	if m3 >= m2 {
+		t.Fatalf("v3 mxu %.3f >= v2 %.3f", m3, m2)
+	}
+}
+
+func TestOptimizeFacade(t *testing.T) {
+	res, err := Optimize("dcgan-cifar10", OptimizeOptions{Steps: 220, Naive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredSpeedup <= 1.2 {
+		t.Fatalf("naive optimize speedup = %.3f", res.MeasuredSpeedup)
+	}
+	if _, err := Optimize("nope", OptimizeOptions{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAnalyzeAlgorithms(t *testing.T) {
+	s, err := NewSession("dcgan-cifar10", Options{Steps: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.StartProfiler(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{OLS, KMeans, DBSCAN} {
+		rep, err := s.Analyze(records, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(rep.Phases) == 0 || rep.Longest == nil {
+			t.Fatalf("%s produced no phases", algo)
+		}
+	}
+	if _, err := s.Analyze(records, Algorithm("magic")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSessionResumeAtPhaseCheckpoint(t *testing.T) {
+	s, err := NewSession("bert-mrpc", Options{Steps: 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.StartProfiler(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Analyze(records, OLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt string
+	for _, ph := range rep.Phases {
+		if ph.Checkpoint != "" {
+			ckpt = ph.Checkpoint
+			break
+		}
+	}
+	if ckpt == "" {
+		t.Fatal("no phase checkpoint to resume from")
+	}
+	resumed, err := s.Resume(ckpt, Options{Steps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.TotalSeconds() >= s.TotalSeconds() {
+		t.Fatalf("resumed run (%.1fs) not shorter than original (%.1fs)",
+			resumed.TotalSeconds(), s.TotalSeconds())
+	}
+	// Error paths.
+	if _, err := s.Resume("", Options{}); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+	if _, err := s.Resume("ckpt/unknown", Options{}); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+}

@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full gate: everything must build, pass vet, and pass the test
+# suite with the race detector on. CI and pre-commit both run this.
+check: build vet race

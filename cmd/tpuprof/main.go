@@ -11,13 +11,16 @@
 //
 //	tpuprof -workload bert-squad          # in-process demo run
 //	tpuprof -addr 127.0.0.1:8470          # profile a served TPU
+//	tpuprof -addr ... -retries 5 -timeout 10s -backoff 50ms
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/estimator"
 	"repro/internal/rpc"
@@ -31,12 +34,23 @@ func main() {
 		workload = flag.String("workload", "bert-squad", "workload for the in-process demo run")
 		addr     = flag.String("addr", "", "profile a remote TPU service at this TCP address instead")
 		steps    = flag.Int("steps", 200, "demo run train steps")
+		retries  = flag.Int("retries", 3, "transport retries per request before giving up")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = wait forever)")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base reconnect backoff (doubles per attempt)")
 	)
 	flag.Parse()
 
 	var resp *tpu.ProfileResponse
 	if *addr != "" {
-		client, err := rpc.Dial(*addr)
+		// The resilient path: redial on transport failure with capped
+		// exponential backoff; a circuit breaker turns a dead endpoint
+		// into a prompt error instead of a retry storm.
+		client, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
+			Dial:        func() (net.Conn, error) { return net.Dial("tcp", *addr) },
+			CallTimeout: *timeout,
+			MaxRetries:  *retries,
+			BaseBackoff: *backoff,
+		})
 		if err != nil {
 			fatal(err)
 		}

@@ -3,6 +3,11 @@
 // another process attaches through a client stub, with a breakpoint that
 // stops profiling partway through the run.
 //
+// The client side uses the resilient transport: a reconnecting client
+// that redials with backoff if the link drops, and a profiler configured
+// to retry transient failures, mark unrecoverable windows as gaps, and
+// report degradation instead of dying.
+//
 //	go run ./examples/remoteprofiler
 package main
 
@@ -10,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/core/analyzer"
 	"repro/internal/core/profiler"
@@ -37,7 +43,16 @@ func main() {
 	fmt.Printf("profile service for %s listening on %s\n", w.Name, l.Addr())
 
 	// --- "client side": dial and attach a profiler with a breakpoint ---
-	conn, err := rpc.Dial(l.Addr().String())
+	// A ReconnectClient survives dropped links: on transport failure it
+	// redials (capped exponential backoff, deterministic jitter) and a
+	// circuit breaker converts a dead endpoint into a prompt error.
+	addr := l.Addr().String()
+	conn, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
+		Dial:        func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		CallTimeout: 10 * time.Second,
+		MaxRetries:  3,
+		BaseBackoff: 25 * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +72,12 @@ func main() {
 
 	p := profiler.New(&profiler.RPCClient{Conn: conn}, profiler.Options{
 		BreakpointStep: 250, // stop profiling here; training continues
+		// Resilience: retry transient window failures, record a Gap
+		// marker (not a crash) when a window is truly lost, and log
+		// degradation as it happens.
+		MaxRetries: 3,
+		Backoff:    10 * time.Millisecond,
+		OnDegraded: func(err error) { log.Printf("profiler degraded: %v", err) },
 	})
 	if err := p.Start(false); err != nil {
 		log.Fatal(err)

@@ -45,9 +45,10 @@ func (c *ServiceClient) NextProfile() (*tpu.ProfileResponse, error) {
 }
 
 // RPCClient profiles a remote service over the rpc transport — the
-// client-to-master gRPC call path of the real tool.
+// client-to-master gRPC call path of the real tool. Conn may be a plain
+// *rpc.Client or a *rpc.ReconnectClient for the resilient path.
 type RPCClient struct {
-	Conn *rpc.Client
+	Conn rpc.Caller
 }
 
 // NextProfile implements Client.
@@ -59,6 +60,16 @@ func (c *RPCClient) NextProfile() (*tpu.ProfileResponse, error) {
 	return tpu.UnmarshalProfileResponse(raw)
 }
 
+// RecordStore is where the recording thread persists records. It is the
+// Put subset of *storage.Bucket so fault-injecting decorators (see
+// internal/faultnet) can stand in for the real bucket.
+type RecordStore interface {
+	Put(name string, data []byte) (*storage.Object, error)
+}
+
+// ErrPutTimeout marks a storage write abandoned after Options.PutTimeout.
+var ErrPutTimeout = errors.New("profiler: storage put timed out")
+
 // Options configure a profiler.
 type Options struct {
 	// Interval is the wall-clock pause between profile requests when the
@@ -67,7 +78,7 @@ type Options struct {
 	Interval time.Duration
 
 	// Bucket receives serialized records when the analyzer flag is set.
-	Bucket *storage.Bucket
+	Bucket RecordStore
 
 	// ObjectPrefix prefixes record object names (default "profiles/").
 	ObjectPrefix string
@@ -77,6 +88,42 @@ type Options struct {
 	// profiling thread sends its final request and shuts down even
 	// though training continues.
 	BreakpointStep int64
+
+	// MaxRetries is how many times a failed profile request is retried
+	// (with backoff) before the window is declared lost and a Gap record
+	// is emitted. Default 2; negative disables retries.
+	MaxRetries int
+
+	// Backoff is the delay before the first retry, doubling per attempt.
+	// Defaults to Interval.
+	Backoff time.Duration
+
+	// MaxGaps bounds consecutive lost windows: one more and the profiler
+	// gives up with the underlying error. Default 4; negative means a
+	// single lost window is fatal (the pre-resilience behavior).
+	MaxGaps int
+
+	// OnDegraded, when set, is invoked every time the profiler loses
+	// data but keeps going: a window lost to transport faults (a Gap
+	// record was emitted), a record dropped from the persist queue, or
+	// recording abandoned after storage failures. It may be called from
+	// the profiling or the recording goroutine; it must not block.
+	OnDegraded func(err error)
+
+	// PutRetries is how many times a failed record write is retried with
+	// backoff before recording degrades to in-memory only. Default 2;
+	// negative disables retries.
+	PutRetries int
+
+	// PutTimeout bounds each storage write; a write exceeding it is
+	// abandoned in the background and counts as a failure, so a stalled
+	// store can never wedge Stop. Zero means no bound.
+	PutTimeout time.Duration
+
+	// QueueSize bounds the profiling→recording handoff queue (default
+	// 64). When the queue is full the record is kept in memory only and
+	// OnDegraded fires — the profiling thread never blocks on storage.
+	QueueSize int
 }
 
 // Profiler is the TPUPoint-Profiler front end (the paper's Figure 2
@@ -104,6 +151,27 @@ func New(client Client, opts Options) *Profiler {
 	if opts.ObjectPrefix == "" {
 		opts.ObjectPrefix = "profiles/"
 	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = opts.Interval
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.MaxGaps == 0 {
+		opts.MaxGaps = 4
+	} else if opts.MaxGaps < 0 {
+		opts.MaxGaps = 0
+	}
+	if opts.PutRetries == 0 {
+		opts.PutRetries = 2
+	} else if opts.PutRetries < 0 {
+		opts.PutRetries = 0
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 64
+	}
 	return &Profiler{client: client, opts: opts}
 }
 
@@ -123,7 +191,7 @@ func (p *Profiler) Start(analyzer bool) error {
 	p.started = true
 	p.doneCh = make(chan struct{})
 	if analyzer {
-		p.recCh = make(chan *trace.ProfileRecord, 64)
+		p.recCh = make(chan *trace.ProfileRecord, p.opts.QueueSize)
 		p.recWG.Add(1)
 		go p.recordLoop(p.recCh)
 	}
@@ -132,27 +200,35 @@ func (p *Profiler) Start(analyzer bool) error {
 }
 
 // profileLoop is the profiling thread: request, reduce, hand off, repeat.
+// A request that keeps failing after retries costs one window — a Gap
+// record marks the hole and the loop presses on — until the error is
+// fatal or MaxGaps consecutive windows are lost.
 func (p *Profiler) profileLoop() {
 	defer close(p.doneCh)
 	seq := int64(0)
+	gaps := 0
 	for {
-		resp, err := p.client.NextProfile()
+		resp, err := p.nextProfile()
 		if err != nil {
-			p.fail(fmt.Errorf("profiler: profile request: %w", err))
-			break
+			if isFatal(err) || gaps >= p.opts.MaxGaps {
+				p.fail(fmt.Errorf("profiler: profile request: %w", err))
+				break
+			}
+			gaps++
+			gap := &trace.ProfileRecord{Seq: seq, Gap: true}
+			seq++
+			p.deliver(gap)
+			p.degraded(fmt.Errorf("profiler: window %d lost (%d consecutive): %w", gap.Seq, gaps, err))
+			time.Sleep(p.opts.Interval)
+			continue
 		}
+		gaps = 0
 		breakpointHit := false
 		if len(resp.Events) > 0 {
 			rec := trace.Reduce(seq, resp.WindowStart, resp.Events, resp.IdleFrac, resp.MXUUtil)
 			rec.Truncated = rec.Truncated || resp.Truncated
 			seq++
-			p.mu.Lock()
-			p.records = append(p.records, rec)
-			ch := p.recCh
-			p.mu.Unlock()
-			if ch != nil {
-				ch <- rec
-			}
+			p.deliver(rec)
 			if bp := p.opts.BreakpointStep; bp > 0 {
 				for _, s := range rec.Steps {
 					if s.Step >= bp {
@@ -165,10 +241,7 @@ func (p *Profiler) profileLoop() {
 		if resp.EndOfStream || breakpointHit {
 			break
 		}
-		p.mu.Lock()
-		stopping := p.stopping
-		p.mu.Unlock()
-		if stopping && len(resp.Events) == 0 {
+		if p.isStopping() && len(resp.Events) == 0 {
 			// Final request made and nothing new arrived: done.
 			break
 		}
@@ -185,27 +258,133 @@ func (p *Profiler) profileLoop() {
 	}
 }
 
+// nextProfile requests the next window, retrying transient failures up to
+// MaxRetries with doubling backoff. Fatal errors and Stop cut retries
+// short.
+func (p *Profiler) nextProfile() (*tpu.ProfileResponse, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.opts.Backoff << (attempt - 1))
+		}
+		resp, err := p.client.NextProfile()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if isFatal(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// isFatal separates errors no retry can cure (an open circuit breaker,
+// an application-level remote error) from transient transport faults.
+func isFatal(err error) bool {
+	return !rpc.IsTransient(err)
+}
+
+func (p *Profiler) isStopping() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopping
+}
+
+// deliver appends rec to the in-memory stream and hands it to the
+// recording thread without ever blocking: if the persist queue is full
+// (storage stalled or slow), the record stays in memory only and the
+// degradation is reported. The profiling thread's cadence is sacred —
+// per the paper, profiling must not perturb training.
+func (p *Profiler) deliver(rec *trace.ProfileRecord) {
+	p.mu.Lock()
+	p.records = append(p.records, rec)
+	ch := p.recCh
+	p.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- rec:
+	default:
+		p.degraded(fmt.Errorf("profiler: record %d not persisted: queue full", rec.Seq))
+	}
+}
+
 // recordLoop is the recording thread: persist records as they arrive so
-// the profiling thread can keep requesting the next profile.
+// the profiling thread can keep requesting the next profile. Writes are
+// retried with backoff; if one still fails, recording degrades to
+// in-memory only but keeps draining the channel so the profiling thread
+// can never block on a dead recorder.
 func (p *Profiler) recordLoop(ch <-chan *trace.ProfileRecord) {
 	defer p.recWG.Done()
 	i := 0
+	dead := false
 	for rec := range ch {
+		if dead {
+			continue // drain without persisting
+		}
 		name := fmt.Sprintf("%srecord-%06d", p.opts.ObjectPrefix, i)
 		i++
-		if _, err := p.opts.Bucket.Put(name, trace.MarshalRecord(rec)); err != nil {
+		if err := p.putWithRetry(name, trace.MarshalRecord(rec)); err != nil {
 			p.fail(fmt.Errorf("profiler: recording %s: %w", name, err))
-			return
+			p.degraded(fmt.Errorf("profiler: recording degraded to memory-only: %w", err))
+			dead = true
 		}
 	}
 }
 
+func (p *Profiler) putWithRetry(name string, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt <= p.opts.PutRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.opts.Backoff << (attempt - 1))
+		}
+		if err := p.timedPut(name, data); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// timedPut bounds one storage write by PutTimeout. A write that overruns
+// is abandoned in a background goroutine (the store may complete it
+// later; the in-memory store's Put is cheap enough that the leak is
+// bounded by the retry budget) and reported as ErrPutTimeout.
+func (p *Profiler) timedPut(name string, data []byte) error {
+	if p.opts.PutTimeout <= 0 {
+		_, err := p.opts.Bucket.Put(name, data)
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.opts.Bucket.Put(name, data)
+		done <- err
+	}()
+	timer := time.NewTimer(p.opts.PutTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("%w: %s after %v", ErrPutTimeout, name, p.opts.PutTimeout)
+	}
+}
+
+// fail accumulates goroutine failures. Concurrent failures from the
+// profiling and recording threads are joined, never shadowed.
 func (p *Profiler) fail(err error) {
 	p.mu.Lock()
-	if p.err == nil {
-		p.err = err
-	}
+	p.err = errors.Join(p.err, err)
 	p.mu.Unlock()
+}
+
+func (p *Profiler) degraded(err error) {
+	if cb := p.opts.OnDegraded; cb != nil {
+		cb(err)
+	}
 }
 
 // Stop sends the final profile request, waits for both goroutines to

@@ -1,0 +1,88 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// ErrTransientStorage is the error injected by FlakyStore for Puts it is
+// scripted to fail. It models the 5xx-with-retry-after responses object
+// stores return under load.
+var ErrTransientStorage = errors.New("faultnet: transient storage failure (injected)")
+
+// Store is the subset of the bucket API the recording path needs; both
+// *storage.Bucket and *FlakyStore satisfy it.
+type Store interface {
+	Put(name string, data []byte) (*storage.Object, error)
+}
+
+// FlakyStore decorates a Store with scripted Put faults: a deterministic
+// set of failing calls, per-call latency, and an optional full stall.
+// Reads are not decorated — the profiler's recording thread only writes.
+type FlakyStore struct {
+	// Inner receives the Puts that are allowed through.
+	Inner Store
+
+	// FailFirst fails the first N Puts with ErrTransientStorage — the
+	// endpoint that is down when recording starts and then recovers.
+	FailFirst int
+
+	// FailEvery, when positive, fails every Nth Put (counting from 1)
+	// with ErrTransientStorage — sustained intermittent failure.
+	FailEvery int
+
+	// PutLatency is added before every Put — a slow storage endpoint.
+	PutLatency time.Duration
+
+	// Stall, when non-nil, blocks every Put until the channel is closed —
+	// the hung storage endpoint. The block happens after the fault
+	// accounting so Puts() still advances.
+	Stall chan struct{}
+
+	mu    sync.Mutex
+	puts  int
+	fails int
+}
+
+// Put applies the scripted faults, then forwards to Inner.
+func (f *FlakyStore) Put(name string, data []byte) (*storage.Object, error) {
+	f.mu.Lock()
+	f.puts++
+	n := f.puts
+	fail := n <= f.FailFirst || (f.FailEvery > 0 && n%f.FailEvery == 0)
+	if fail {
+		f.fails++
+	}
+	stall := f.Stall
+	f.mu.Unlock()
+
+	if stall != nil {
+		<-stall
+	}
+	if f.PutLatency > 0 {
+		time.Sleep(f.PutLatency)
+	}
+	if fail {
+		return nil, fmt.Errorf("%w: put %d (%s)", ErrTransientStorage, n, name)
+	}
+	return f.Inner.Put(name, data)
+}
+
+// Puts reports the total number of Put attempts seen (including failed
+// ones); Fails reports how many were injected failures.
+func (f *FlakyStore) Puts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.puts
+}
+
+// Fails reports how many Puts were failed by injection.
+func (f *FlakyStore) Fails() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails
+}

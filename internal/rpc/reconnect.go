@@ -1,0 +1,261 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// ErrCircuitOpen is returned once the breaker has tripped: the endpoint
+// has failed so many consecutive times that further redial attempts would
+// only burn time the caller could spend shutting down cleanly.
+var ErrCircuitOpen = errors.New("rpc: circuit breaker open")
+
+// Caller is the calling surface shared by Client and ReconnectClient, so
+// consumers (the profiler's RPC path, the CLI tools) can take either.
+type Caller interface {
+	Call(method string, body []byte) ([]byte, error)
+	CallTimeout(method string, body []byte, timeout time.Duration) ([]byte, error)
+	Close() error
+}
+
+var (
+	_ Caller = (*Client)(nil)
+	_ Caller = (*ReconnectClient)(nil)
+)
+
+// DialFunc produces a fresh connection to the profile endpoint. The
+// ReconnectClient owns the returned conn.
+type DialFunc func() (net.Conn, error)
+
+// ReconnectOptions configure a ReconnectClient. The zero value of every
+// field except Dial gets a sensible default.
+type ReconnectOptions struct {
+	// Dial is required: how to reach the endpoint.
+	Dial DialFunc
+
+	// CallTimeout bounds each attempt of each call (0 = no deadline).
+	CallTimeout time.Duration
+
+	// MaxRetries is how many times a call is retried after a transport
+	// failure before the failure is surfaced (default 3; negative
+	// disables retries).
+	MaxRetries int
+
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff. Defaults 10ms and 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// JitterFrac spreads each backoff uniformly over ±frac of its value
+	// (default 0.2) using a PRNG keyed by Seed, so two clients with the
+	// same script sleep the same sequence — reproducible tests, and no
+	// synchronized thundering herds in production.
+	JitterFrac float64
+	Seed       uint64
+
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive transport failures (across calls); once open, every
+	// call fails fast with ErrCircuitOpen. Default 8; negative disables.
+	BreakerThreshold int
+
+	// Sleep is the delay function, injectable so tests can count
+	// backoffs instead of waiting them out. Default time.Sleep.
+	Sleep func(time.Duration)
+}
+
+const (
+	defaultMaxRetries       = 3
+	defaultBaseBackoff      = 10 * time.Millisecond
+	defaultMaxBackoff       = time.Second
+	defaultJitterFrac       = 0.2
+	defaultBreakerThreshold = 8
+)
+
+// ReconnectClient is a Caller that survives connection death: on a
+// transport failure it discards the connection, redials through its
+// DialFunc with capped exponential backoff and deterministic jitter, and
+// replays the call. A circuit breaker turns a persistently dead endpoint
+// into an immediate, classifiable fatal error instead of an unbounded
+// retry storm.
+type ReconnectClient struct {
+	opts ReconnectOptions
+
+	mu      sync.Mutex
+	rng     *prng.Source
+	cur     *Client
+	consec  int // consecutive transport failures
+	redials int
+	tripped bool
+	closed  bool
+}
+
+// NewReconnectClient builds a client over dial-produced connections. It
+// does not dial eagerly; the first Call does.
+func NewReconnectClient(opts ReconnectOptions) (*ReconnectClient, error) {
+	if opts.Dial == nil {
+		return nil, errors.New("rpc: ReconnectOptions.Dial is required")
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = defaultMaxRetries
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = defaultBaseBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = defaultMaxBackoff
+	}
+	if opts.JitterFrac <= 0 {
+		opts.JitterFrac = defaultJitterFrac
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = defaultBreakerThreshold
+	} else if opts.BreakerThreshold < 0 {
+		opts.BreakerThreshold = 0
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &ReconnectClient{opts: opts, rng: prng.New(opts.Seed)}, nil
+}
+
+// Call invokes method, transparently redialing and retrying transport
+// failures up to MaxRetries with backoff. Application-level RemoteErrors
+// return immediately and reset the failure streak (the wire worked).
+func (r *ReconnectClient) Call(method string, body []byte) ([]byte, error) {
+	return r.CallTimeout(method, body, r.opts.CallTimeout)
+}
+
+// CallTimeout is Call with an explicit per-attempt deadline overriding
+// the configured CallTimeout.
+func (r *ReconnectClient) CallTimeout(method string, body []byte, timeout time.Duration) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.opts.Sleep(r.backoff(attempt))
+		}
+		c, err := r.client()
+		if err != nil {
+			if errors.Is(err, ErrClosed) || !IsTransient(err) {
+				return nil, err // closed client or open breaker
+			}
+			lastErr = err
+			if r.recordFailure(nil) {
+				return nil, fmt.Errorf("%w: %d consecutive failures, last: %v", ErrCircuitOpen, r.opts.BreakerThreshold, err)
+			}
+			continue
+		}
+		out, err := c.CallTimeout(method, body, timeout)
+		if err == nil {
+			r.recordSuccess()
+			return out, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			r.recordSuccess()
+			return nil, err
+		}
+		lastErr = err
+		if r.recordFailure(c) {
+			return nil, fmt.Errorf("%w: %d consecutive failures, last: %v", ErrCircuitOpen, r.opts.BreakerThreshold, err)
+		}
+	}
+	return nil, lastErr
+}
+
+// client returns the live connection, dialing a fresh one if needed.
+func (r *ReconnectClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.tripped {
+		return nil, ErrCircuitOpen
+	}
+	if r.cur != nil {
+		return r.cur, nil
+	}
+	conn, err := r.opts.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("rpc: redial: %w", err)
+	}
+	r.cur = NewClient(conn)
+	r.redials++
+	return r.cur, nil
+}
+
+func (r *ReconnectClient) recordSuccess() {
+	r.mu.Lock()
+	r.consec = 0
+	r.mu.Unlock()
+}
+
+// recordFailure counts a transport failure, discards the failed
+// connection (a timed-out endpoint may be wedged; redialing is the safe
+// recovery), and reports whether the breaker just tripped or is open.
+func (r *ReconnectClient) recordFailure(c *Client) (open bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c != nil && r.cur == c {
+		r.cur.Close()
+		r.cur = nil
+	}
+	r.consec++
+	if th := r.opts.BreakerThreshold; th > 0 && r.consec >= th {
+		r.tripped = true
+	}
+	return r.tripped
+}
+
+// backoff computes the capped exponential delay for the given retry
+// attempt (1-based) with deterministic jitter.
+func (r *ReconnectClient) backoff(attempt int) time.Duration {
+	d := r.opts.BaseBackoff
+	for i := 1; i < attempt && d < r.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.opts.MaxBackoff {
+		d = r.opts.MaxBackoff
+	}
+	r.mu.Lock()
+	j := r.rng.Jitter(float64(d), r.opts.JitterFrac)
+	r.mu.Unlock()
+	return time.Duration(j)
+}
+
+// Tripped reports whether the circuit breaker is open.
+func (r *ReconnectClient) Tripped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tripped
+}
+
+// Redials reports how many connections have been established.
+func (r *ReconnectClient) Redials() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.redials
+}
+
+// Close tears down the current connection and stops future calls.
+func (r *ReconnectClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cur != nil {
+		err := r.cur.Close()
+		r.cur = nil
+		return err
+	}
+	return nil
+}

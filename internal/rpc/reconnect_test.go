@@ -1,0 +1,290 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// noSleep replaces real backoff sleeps with a recorder so fault tests run
+// in microseconds.
+type noSleep struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+func (n *noSleep) sleep(d time.Duration) {
+	n.mu.Lock()
+	n.slept = append(n.slept, d)
+	n.mu.Unlock()
+}
+
+func (n *noSleep) count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.slept)
+}
+
+// dialerFor wires each dial to a fresh served connection on s.
+func dialerFor(s *Server, faults func(attempt int) faultnet.Config) *faultnet.Dialer {
+	return &faultnet.Dialer{
+		Dial: func() (net.Conn, error) {
+			cc, sc := net.Pipe()
+			go s.ServeConn(sc)
+			return cc, nil
+		},
+		Faults: faults,
+	}
+}
+
+func TestReconnectSurvivesRepeatedDisconnects(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	// The first three connections die after one request each (an rpc
+	// request is two writes: header + payload); later ones are healthy.
+	d := dialerFor(s, func(attempt int) faultnet.Config {
+		if attempt <= 3 {
+			return faultnet.Config{DropAfterWrites: 2}
+		}
+		return faultnet.Config{}
+	})
+	ns := &noSleep{}
+	rc, err := NewReconnectClient(ReconnectOptions{
+		Dial:  d.Next,
+		Sleep: ns.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	for i := 0; i < 10; i++ {
+		got, err := rc.Call("echo", []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(got, []byte{byte(i)}) {
+			t.Fatalf("call %d echoed %v", i, got)
+		}
+	}
+	if d.Attempts() < 4 {
+		t.Fatalf("attempts = %d, want >= 4 (three dead conns + a live one)", d.Attempts())
+	}
+	if rc.Tripped() {
+		t.Fatal("breaker tripped on a recoverable fault sequence")
+	}
+}
+
+func TestReconnectRidesOutPartitionWindow(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	// Conn 1 dies after one request; dial attempts 2-4 are partitioned;
+	// attempt 5 heals.
+	d := dialerFor(s, func(attempt int) faultnet.Config {
+		if attempt == 1 {
+			return faultnet.Config{DropAfterWrites: 2}
+		}
+		return faultnet.Config{}
+	})
+	d.Partitions = [][2]int{{2, 4}}
+	ns := &noSleep{}
+	rc, err := NewReconnectClient(ReconnectOptions{
+		Dial:       d.Next,
+		MaxRetries: 6,
+		Sleep:      ns.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if _, err := rc.Call("echo", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// This call burns the dead conn, then three partitioned redials,
+	// then succeeds on attempt 5.
+	if _, err := rc.Call("echo", []byte("b")); err != nil {
+		t.Fatalf("call across partition window: %v", err)
+	}
+	if got := d.Attempts(); got != 5 {
+		t.Fatalf("dial attempts = %d, want 5", got)
+	}
+	if ns.count() < 4 {
+		t.Fatalf("backoff sleeps = %d, want >= 4", ns.count())
+	}
+	// Backoff grows (modulo ±20% jitter, doubling always dominates).
+	for i := 1; i < len(ns.slept); i++ {
+		if ns.slept[i] <= ns.slept[i-1] && ns.slept[i-1] < time.Second/2 {
+			t.Fatalf("backoff not growing: %v", ns.slept)
+		}
+	}
+}
+
+func TestReconnectBackoffDeterministicBySeed(t *testing.T) {
+	run := func() []time.Duration {
+		s := echoServer(t)
+		defer s.Close()
+		d := dialerFor(s, nil)
+		d.Partitions = [][2]int{{1, 3}}
+		ns := &noSleep{}
+		rc, err := NewReconnectClient(ReconnectOptions{
+			Dial:       d.Next,
+			MaxRetries: 4,
+			Seed:       42,
+			Sleep:      ns.sleep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		if _, err := rc.Call("echo", nil); err != nil {
+			t.Fatal(err)
+		}
+		return ns.slept
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no backoffs recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("different sleep counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different jitter at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCircuitBreakerTripsAfterKFailures(t *testing.T) {
+	dials := 0
+	ns := &noSleep{}
+	rc, err := NewReconnectClient(ReconnectOptions{
+		Dial: func() (net.Conn, error) {
+			dials++
+			return nil, errors.New("no route to host")
+		},
+		MaxRetries:       10,
+		BreakerThreshold: 5,
+		Sleep:            ns.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if _, err := rc.Call("echo", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if dials != 5 {
+		t.Fatalf("dials = %d, want exactly the breaker threshold 5", dials)
+	}
+	if !rc.Tripped() {
+		t.Fatal("Tripped() = false after trip")
+	}
+	// Open breaker fails fast: no further dials, no sleeps.
+	before := ns.count()
+	if _, err := rc.Call("echo", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("post-trip err = %v", err)
+	}
+	if dials != 5 || ns.count() != before {
+		t.Fatalf("open breaker still dialing/sleeping (dials=%d)", dials)
+	}
+	// The fatal error is classified as such for upper layers.
+	_, err = rc.Call("echo", nil)
+	if IsTransient(err) {
+		t.Fatal("ErrCircuitOpen classified transient")
+	}
+}
+
+func TestRemoteErrorsDoNotTripBreaker(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+	d := dialerFor(s, nil)
+	rc, err := NewReconnectClient(ReconnectOptions{
+		Dial:             d.Next,
+		BreakerThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	for i := 0; i < 10; i++ {
+		_, err := rc.Call("fail", nil)
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("call %d err = %v, want RemoteError", i, err)
+		}
+	}
+	if rc.Tripped() {
+		t.Fatal("application errors tripped the transport breaker")
+	}
+	if d.Attempts() != 1 {
+		t.Fatalf("redialed %d times on healthy transport", d.Attempts())
+	}
+}
+
+func TestReconnectCallTimeout(t *testing.T) {
+	s := NewServer()
+	block := make(chan struct{})
+	s.Register("slow", func(body []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer func() { close(block); s.Close() }()
+
+	d := dialerFor(s, nil)
+	ns := &noSleep{}
+	rc, err := NewReconnectClient(ReconnectOptions{
+		Dial:        d.Next,
+		CallTimeout: 10 * time.Millisecond,
+		MaxRetries:  1,
+		Sleep:       ns.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	if _, err := rc.Call("slow", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The timed-out conn was discarded and redialed for the retry.
+	if d.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", d.Attempts())
+	}
+}
+
+func TestNewReconnectClientRequiresDial(t *testing.T) {
+	if _, err := NewReconnectClient(ReconnectOptions{}); err == nil {
+		t.Fatal("nil Dial accepted")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrClosed, true},
+		{ErrTimeout, true},
+		{errors.New("connection reset by peer"), true},
+		{&RemoteError{Msg: "bad arg"}, false},
+		{ErrCircuitOpen, false},
+		{ErrFrameTooLarge, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -118,7 +118,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		case !ok:
 			resp = responseFrame(id, statusErr, []byte(fmt.Sprintf("%s: %q", ErrUnknownMethod, method)))
 		default:
-			out, herr := h(body)
+			out, herr := safeCall(h, body)
 			if herr != nil {
 				resp = responseFrame(id, statusErr, []byte(herr.Error()))
 			} else {
@@ -129,6 +129,19 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeCall invokes a handler, converting a panic into a handler error so
+// one bad request (or a corrupted body that trips a decoder) can never
+// take the serving goroutine — and with it the connection teardown
+// bookkeeping — down.
+func safeCall(h Handler, body []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(body)
 }
 
 // Serve accepts connections from l until Close.
@@ -240,36 +253,37 @@ func (c *Client) fail(err error) {
 // discarded.
 var ErrTimeout = errors.New("rpc: call timed out")
 
-// CallTimeout is Call with a deadline. A zero or negative timeout means
-// wait forever (identical to Call).
-func (c *Client) CallTimeout(method string, body []byte, timeout time.Duration) ([]byte, error) {
-	if timeout <= 0 {
-		return c.Call(method, body)
+// RemoteError is an application-level failure reported by the remote
+// handler. The transport round-trip itself succeeded, so a RemoteError is
+// proof of connectivity — retry layers must not treat it as a transport
+// fault (see IsTransient).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// IsTransient reports whether err could plausibly be cured by retrying on
+// a fresh connection: closed or reset transports, timeouts, dial
+// failures. Application-level RemoteErrors, oversized frames (a local
+// encoding bug), and an open circuit breaker are not transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
 	}
-	type result struct {
-		body []byte
-		err  error
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
 	}
-	ch := make(chan result, 1)
-	go func() {
-		b, err := c.Call(method, body)
-		ch <- result{b, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.body, r.err
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
-	}
+	return !errors.Is(err, ErrCircuitOpen) && !errors.Is(err, ErrFrameTooLarge)
 }
 
-// Call invokes method with body and waits for the response.
-func (c *Client) Call(method string, body []byte) ([]byte, error) {
+// send registers a pending entry and writes the request frame, returning
+// the id and the buffered response channel to wait on.
+func (c *Client) send(method string, body []byte) (uint64, chan response, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return 0, nil, err
 	}
 	id := c.nextID
 	c.nextID++
@@ -284,17 +298,55 @@ func (c *Client) Call(method string, body []byte) ([]byte, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		return 0, nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
+	return id, ch, nil
+}
 
-	resp, ok := <-ch
+func (c *Client) finish(resp response, ok bool) ([]byte, error) {
 	if !ok {
 		return nil, c.clientErr()
 	}
 	if resp.status != statusOK {
-		return nil, fmt.Errorf("rpc: remote error: %s", resp.body)
+		return nil, &RemoteError{Msg: string(resp.body)}
 	}
 	return resp.body, nil
+}
+
+// CallTimeout is Call with a deadline. A zero or negative timeout means
+// wait forever (identical to Call). On timeout the pending entry is
+// deregistered immediately — no goroutine or map entry lingers until
+// connection death — and a late response, if one arrives, is dropped by
+// the receive loop.
+func (c *Client) CallTimeout(method string, body []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		return c.Call(method, body)
+	}
+	id, ch, err := c.send(method, body)
+	if err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		return c.finish(resp, ok)
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+	}
+}
+
+// Call invokes method with body and waits for the response.
+func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	_, ch, err := c.send(method, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	return c.finish(resp, ok)
 }
 
 func (c *Client) clientErr() error {

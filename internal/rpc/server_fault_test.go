@@ -1,0 +1,216 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// rawConnTo returns a raw client-side conn served by s, optionally
+// wrapped in faults.
+func rawConnTo(s *Server, cfg faultnet.Config) net.Conn {
+	cc, sc := net.Pipe()
+	go s.ServeConn(sc)
+	return faultnet.Wrap(cc, cfg)
+}
+
+// assertStillServing proves the server survived whatever was just thrown
+// at it: a fresh connection must complete a call.
+func assertStillServing(t *testing.T, s *Server) {
+	t.Helper()
+	c := Pipe(s)
+	defer c.Close()
+	got, err := c.CallTimeout("echo", []byte("alive"), 2*time.Second)
+	if err != nil || string(got) != "alive" {
+		t.Fatalf("server no longer serving: %q %v", got, err)
+	}
+}
+
+func TestServerDropsMalformedFrame(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	conn := rawConnTo(s, faultnet.Config{})
+	// A 3-byte payload is shorter than the smallest legal request.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 3)
+	conn.Write(hdr[:])
+	conn.Write([]byte{1, 2, 3})
+
+	// The server must drop this connection...
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a malformed frame instead of dropping the conn")
+	}
+	// ...and keep serving everyone else.
+	assertStillServing(t, s)
+}
+
+func TestServerDropsBadMethodLength(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	conn := rawConnTo(s, faultnet.Config{})
+	// Legal frame sizes, but the method length points past the payload.
+	payload := requestFrame(7, "echo", []byte("x"))
+	payload[8], payload[9] = 0xff, 0xff
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	conn.Write(hdr[:])
+	conn.Write(payload)
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a corrupt method length")
+	}
+	assertStillServing(t, s)
+}
+
+func TestServerDropsOversizedFrame(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	conn := rawConnTo(s, faultnet.Config{})
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	conn.Write(hdr[:])
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server accepted an oversized frame header")
+	}
+	assertStillServing(t, s)
+}
+
+func TestServerSurvivesTruncatedFrame(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	// The fault silently discards everything past byte 6 of the write
+	// stream: the server receives a complete header promising a payload
+	// that never fully arrives.
+	conn := rawConnTo(s, faultnet.Config{TruncateWriteAt: 6})
+	payload := requestFrame(1, "echo", []byte("truncated-in-flight"))
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(payload) // mostly lost in flight
+
+	// The server is rightly still waiting for the rest; the client gives
+	// up and closes, and the server must shrug it off.
+	conn.Close()
+	assertStillServing(t, s)
+}
+
+func TestServerSurvivesCorruptedHeader(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	// Flip a bit somewhere in the length header of the first frame. The
+	// server sees a wrong (possibly huge, possibly short) length and must
+	// either drop the conn or stall waiting for bytes that never come —
+	// never panic, never stop serving others.
+	for seed := uint64(0); seed < 8; seed++ {
+		conn := rawConnTo(s, faultnet.Config{Seed: seed, CorruptWriteAt: int64(seed%4) + 1})
+		// A corrupted length can leave both sides blocked mid-exchange on
+		// the synchronous pipe; the deadline bounds that and the close
+		// tears the conn down either way.
+		conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		payload := requestFrame(1, "echo", []byte("garble"))
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		conn.Write(hdr[:])
+		conn.Write(payload)
+		conn.Close()
+	}
+	assertStillServing(t, s)
+}
+
+func TestServerIsolatesHandlerPanic(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	s.Register("echo", func(body []byte) ([]byte, error) { return body, nil })
+	s.Register("boom", func(body []byte) ([]byte, error) { panic("handler bug") })
+
+	c := Pipe(s)
+	defer c.Close()
+	_, err := c.Call("boom", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want RemoteError mentioning the panic", err)
+	}
+	// Same connection keeps working: the panic was contained to the call.
+	got, err := c.Call("echo", []byte("ok"))
+	if err != nil || string(got) != "ok" {
+		t.Fatalf("connection dead after handler panic: %q %v", got, err)
+	}
+}
+
+func TestCallTimeoutDeregistersPending(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	release := make(chan struct{})
+	s.Register("slow", func(body []byte) ([]byte, error) {
+		<-release
+		return []byte("late"), nil
+	})
+	s.Register("echo", func(body []byte) ([]byte, error) { return body, nil })
+
+	c := Pipe(s)
+	defer c.Close()
+
+	if _, err := c.CallTimeout("slow", nil, 10*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The leak: pre-fix, the pending entry (and a goroutine blocked on
+	// it) lived until connection death. Now it must be gone immediately.
+	c.mu.Lock()
+	pending := len(c.pending)
+	c.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("pending entries after timeout = %d, want 0", pending)
+	}
+
+	// Release the handler: its late response must be silently discarded
+	// and the connection must remain fully usable.
+	close(release)
+	got, err := c.CallTimeout("echo", []byte("fresh"), 2*time.Second)
+	if err != nil || string(got) != "fresh" {
+		t.Fatalf("connection unusable after abandoned call: %q %v", got, err)
+	}
+}
+
+func TestCallTimeoutManyAbandonedCallsNoLeak(t *testing.T) {
+	s := NewServer()
+	defer s.Close()
+	// Slow but always progressing: the serving goroutine must keep
+	// draining frames or pipe writes would block the client in send.
+	s.Register("slow", func(body []byte) ([]byte, error) {
+		time.Sleep(10 * time.Millisecond)
+		return []byte("late"), nil
+	})
+
+	c := Pipe(s)
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := c.CallTimeout("slow", nil, time.Millisecond); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// Wait out the last in-flight response so the recv loop has seen and
+	// discarded every late reply.
+	time.Sleep(30 * time.Millisecond)
+	c.mu.Lock()
+	pending := len(c.pending)
+	c.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d pending entries leaked across 20 timeouts", pending)
+	}
+}

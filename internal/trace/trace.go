@@ -187,6 +187,7 @@ type ProfileRecord struct {
 	WindowEnd   simclock.Time
 	NumEvents   int64 // events observed in the window before reduction
 	Truncated   bool  // window hit MaxEventsPerProfile or MaxProfileWindow
+	Gap         bool  // window lost to a fault; no events, a hole in the stream
 	Steps       []*StepStat
 
 	// Window-level metadata from the device.

@@ -18,6 +18,7 @@ import (
 //	  double idle_frac    = 6;
 //	  double mxu_util     = 7;
 //	  repeated StepStat steps = 8;
+//	  bool   gap          = 9;
 //	}
 //
 //	message StepStat {
@@ -48,6 +49,10 @@ func MarshalRecord(r *ProfileRecord) []byte {
 	e.Double(7, r.MXUUtil)
 	for _, s := range r.Steps {
 		e.Raw(8, marshalStep(s))
+	}
+	// Encoded only when set so pre-gap record bytes are unchanged.
+	if r.Gap {
+		e.Bool(9, true)
 	}
 	return e.Bytes()
 }
@@ -156,6 +161,12 @@ func UnmarshalRecord(data []byte) (*ProfileRecord, error) {
 				return nil, err
 			}
 			r.Steps = append(r.Steps, s)
+		case 9:
+			v, err := d.Bool()
+			if err != nil {
+				return nil, err
+			}
+			r.Gap = v
 		default:
 			if err := d.Skip(ty); err != nil {
 				return nil, err

@@ -70,6 +70,27 @@ func TestWireEmptyRecord(t *testing.T) {
 	}
 }
 
+func TestWireGapRoundTrip(t *testing.T) {
+	gap := &ProfileRecord{Seq: 3, Gap: true}
+	got, err := UnmarshalRecord(MarshalRecord(gap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Gap || got.Seq != 3 {
+		t.Fatalf("gap marker lost: %+v", got)
+	}
+	// The gap field must not disturb non-gap encodings: absent when
+	// false, so pre-gap byte streams are unchanged.
+	r := sampleRecord()
+	got, err = UnmarshalRecord(MarshalRecord(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gap {
+		t.Fatal("non-gap record decoded as gap")
+	}
+}
+
 func TestWireRejectsGarbage(t *testing.T) {
 	if _, err := UnmarshalRecord([]byte{0x00, 0x01, 0x02}); err == nil {
 		t.Fatal("garbage accepted")

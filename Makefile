@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check
+.PHONY: build test race vet fmt bench check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The full gate: everything must build, pass vet, and pass the test
-# suite with the race detector on. CI and pre-commit both run this.
-check: build vet race
+# Fail-listing formatter gate: prints offending files and exits
+# non-zero when anything is unformatted. `gofmt -w .` fixes them.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Regenerate the analyzer kernel benchmarks (BENCH_analyzer.json).
+# Quick CI smoke: make bench BENCH_OUT=/tmp/bench.json BENCH_ARGS=-bench-quick
+bench:
+	$(GO) run ./cmd/paperbench -analyzer-bench $(or $(BENCH_OUT),BENCH_analyzer.json) $(BENCH_ARGS)
+
+# The full gate: everything must build, pass gofmt and vet (plus the
+# vet-filter selftest), and pass the test suite with the race detector
+# on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
+# the benchmark regression gate against the committed baseline.
+check: build fmt vet
+	./scripts/check_selftest.sh
+	$(GO) test -race ./...
+	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

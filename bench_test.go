@@ -11,8 +11,10 @@ package tpupoint
 // cmd/paperbench prints the same artifacts in the paper's layout.
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/core/cluster"
 	"repro/internal/experiments"
 	"repro/internal/tpu"
 )
@@ -157,6 +159,91 @@ func BenchmarkFig16OptimizedMXU(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig15and16(benchSteps); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer kernel benchmarks: serial vs parallel phase-detection hot path.
+//
+// These are the `go test -bench` twins of `paperbench -analyzer-bench`,
+// which emits the same measurements as BENCH_analyzer.json for the CI
+// regression gate (scripts/benchdiff.sh). Serial and parallel variants
+// produce bit-identical results (see internal/core/cluster's
+// parallelism-invariance tests); only the timing differs.
+
+// analyzerBenchSizes mirrors experiments.AnalyzerBenchSizes.
+var analyzerBenchSizes = []int{1_000, 10_000, 100_000}
+
+// analyzerBenchModes names the two worker-pool settings under test:
+// workers=1 is the inline serial path, workers=0 uses GOMAXPROCS.
+var analyzerBenchModes = []struct {
+	name    string
+	workers int
+}{
+	{"serial", 1},
+	{"parallel", 0},
+}
+
+func BenchmarkAnalyzerKMeans(b *testing.B) {
+	for _, n := range analyzerBenchSizes {
+		m := experiments.AnalyzerBenchMatrix(n)
+		for _, mode := range analyzerBenchModes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.KMeansP(m, 5, 42, 0, mode.workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
+}
+
+func BenchmarkAnalyzerPCA(b *testing.B) {
+	for _, n := range analyzerBenchSizes {
+		m := experiments.AnalyzerBenchMatrix(n)
+		for _, mode := range analyzerBenchModes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cluster.PCAP(m, 3, mode.workers)
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
+}
+
+func BenchmarkAnalyzerDBSCAN(b *testing.B) {
+	for _, n := range analyzerBenchSizes {
+		m := experiments.AnalyzerBenchMatrix(n)
+		// One untimed probe fixes eps so every variant clusters at the
+		// same radius and the loop measures clustering, not the eps
+		// heuristic.
+		probe, err := cluster.DBSCANP(m, 8, 0, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range analyzerBenchModes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.DBSCANP(m, 8, probe.Eps, 0, mode.workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+		if n <= 10_000 { // a single quadratic pass at n=1e5 takes ~40s
+			b.Run(fmt.Sprintf("n=%d/brute", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cluster.DBSCANBrute(m, 8, probe.Eps, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			})
 		}
 	}
 }

@@ -1,0 +1,170 @@
+// Command benchdiff compares two analyzer benchmark reports (the
+// BENCH_analyzer.json documents that `paperbench -analyzer-bench`
+// emits) and fails when the new run regresses past a tolerance.
+//
+// Entries are matched by (kernel, mode, n); configurations present in
+// only one report — e.g. the quadratic reference that quick mode skips
+// at large n — are ignored. Beyond per-entry timing, the tool asserts
+// the structural win the grid index exists for: the new report's
+// largest-n "dbscan_grid_parallel_vs_brute" speedup must clear
+// -min-grid-speedup.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_analyzer.json -new /tmp/bench.json
+//	benchdiff -old base.json -new head.json -tolerance 0.25 -min-grid-speedup 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_analyzer.json", "baseline report (committed)")
+		newPath   = flag.String("new", "", "candidate report (freshly generated)")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed ns/op regression fraction per entry")
+		minGrid   = flag.Float64("min-grid-speedup", 2.0, "required dbscan grid-vs-brute speedup at the largest measured n (0 disables)")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: missing -new report")
+		os.Exit(2)
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	failures := compare(oldRep, newRep, *tolerance)
+	failures = append(failures, checkGridSpeedup(newRep, *minGrid)...)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+func load(path string) (*experiments.AnalyzerBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.AnalyzerBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries", path)
+	}
+	return &rep, nil
+}
+
+type entryKey struct {
+	kernel, mode string
+	n            int
+}
+
+func index(rep *experiments.AnalyzerBenchReport) map[entryKey]experiments.AnalyzerBenchEntry {
+	m := make(map[entryKey]experiments.AnalyzerBenchEntry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		m[entryKey{e.Kernel, e.Mode, e.N}] = e
+	}
+	return m
+}
+
+// compare prints a ratio table for every shared configuration and
+// returns one failure per entry whose ns/op grew past the tolerance.
+func compare(oldRep, newRep *experiments.AnalyzerBenchReport, tolerance float64) []string {
+	oldIdx := index(oldRep)
+	keys := make([]entryKey, 0, len(newRep.Entries))
+	newIdx := index(newRep)
+	for k := range newIdx {
+		if _, ok := oldIdx[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		if a.kernel != b.kernel {
+			return a.kernel < b.kernel
+		}
+		return a.mode < b.mode
+	})
+	if len(keys) == 0 {
+		return []string{"no overlapping entries between the two reports"}
+	}
+
+	var failures []string
+	fmt.Printf("%-14s %-10s %8s %14s %14s %8s\n", "kernel", "mode", "n", "old ns/op", "new ns/op", "ratio")
+	for _, k := range keys {
+		o, n := oldIdx[k], newIdx[k]
+		ratio := n.NsPerOp / o.NsPerOp
+		mark := ""
+		if ratio > 1+tolerance {
+			mark = "  << REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s n=%d regressed %.1f%% (old %.0f ns/op, new %.0f ns/op, tolerance %.0f%%)",
+				k.kernel, k.mode, k.n, 100*(ratio-1), o.NsPerOp, n.NsPerOp, 100*tolerance))
+		}
+		fmt.Printf("%-14s %-10s %8d %14.0f %14.0f %7.2fx%s\n",
+			k.kernel, k.mode, k.n, o.NsPerOp, n.NsPerOp, ratio, mark)
+	}
+	return failures
+}
+
+// checkGridSpeedup asserts the candidate report's largest-n
+// dbscan_grid_parallel_vs_brute speedup meets the floor. Quick-mode
+// reports skip the quadratic reference at large n, so the check uses
+// the biggest n the report actually measured.
+func checkGridSpeedup(rep *experiments.AnalyzerBenchReport, minSpeedup float64) []string {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	const prefix = "dbscan_grid_parallel_vs_brute_n"
+	bestN, speedup := -1, 0.0
+	for key, v := range rep.Speedups {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(key[len(prefix):])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			bestN, speedup = n, v
+		}
+	}
+	if bestN < 0 {
+		return []string{"candidate report has no dbscan_grid_parallel_vs_brute speedup"}
+	}
+	fmt.Printf("dbscan grid vs brute at n=%d: %.2fx (floor %.2fx)\n", bestN, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return []string{fmt.Sprintf(
+			"dbscan grid-vs-brute speedup at n=%d is %.2fx, below the %.2fx floor",
+			bestN, speedup, minSpeedup)}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

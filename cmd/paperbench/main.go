@@ -6,6 +6,16 @@
 //	paperbench              # everything
 //	paperbench -only fig10  # one artifact (table1, table2, fig4..fig16)
 //	paperbench -steps 300   # shorten runs (quick mode)
+//
+// It also hosts the analyzer performance benchmark that CI tracks:
+//
+//	paperbench -analyzer-bench BENCH_analyzer.json               # full run
+//	paperbench -analyzer-bench out.json -bench-quick             # CI smoke
+//
+// The emitted JSON (serial vs parallel ns/op and steps/sec for k-means,
+// DBSCAN and PCA at n = 1e3, 1e4, 1e5, plus grid-vs-brute DBSCAN
+// speedups) is compared against the committed baseline by
+// scripts/benchdiff.sh.
 package main
 
 import (
@@ -24,7 +34,18 @@ func main() {
 	only := flag.String("only", "", "regenerate a single artifact (table1, table2, fig4..fig16)")
 	steps := flag.Int("steps", 0, "override per-workload step counts (0 = calibrated full runs)")
 	jsonOut := flag.String("json", "", "also write all regenerated data as JSON to this file")
+	benchOut := flag.String("analyzer-bench", "", "run the analyzer clustering benchmark and write BENCH_analyzer.json here, then exit")
+	benchQuick := flag.Bool("bench-quick", false, "shorten the analyzer benchmark and skip the O(n²) DBSCAN reference above 10k rows (CI smoke mode)")
+	par := flag.Int("parallelism", 0, "worker pool size for the parallel benchmark runs (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := analyzerBench(*benchOut, *par, *benchQuick); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: analyzer-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	lab := experiments.NewLab()
 	lab.StepsOverride = *steps
@@ -74,6 +95,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown artifact %q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// analyzerBench runs the clustering benchmark and writes the
+// BENCH_analyzer.json document, echoing the headline numbers to stdout.
+func analyzerBench(path string, workers int, quick bool) error {
+	rep, err := experiments.RunAnalyzerBench(nil, workers, quick)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("analyzer benchmark (GOMAXPROCS=%d, quick=%v) -> %s\n", rep.GOMAXPROCS, rep.Quick, path)
+	fmt.Printf("%-14s %-9s %9s %8s %14s %14s\n", "kernel", "mode", "n", "iters", "ns/op", "steps/sec")
+	for _, e := range rep.Entries {
+		fmt.Printf("%-14s %-9s %9d %8d %14.0f %14.0f\n",
+			e.Kernel, e.Mode, e.N, e.Iters, e.NsPerOp, e.StepsPerSec)
+	}
+	keys := make([]string, 0, len(rep.Speedups))
+	for k := range rep.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("speedup %-40s %8.2fx\n", k, rep.Speedups[k])
+	}
+	return nil
 }
 
 // dumpJSON regenerates every artifact into one machine-readable document.

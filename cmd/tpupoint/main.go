@@ -39,11 +39,12 @@ func main() {
 		serve    = flag.String("serve", "", "run the workload and serve its TPU profile service at this TCP address (for tpuprof -addr)")
 		analyze  = flag.String("analyze", "", "offline mode: analyze profile records previously exported to this directory")
 		export   = flag.String("export", "", "after profiling, export the recorded profiles to this directory (input for -analyze)")
+		par      = flag.Int("parallelism", 0, "analyzer worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
 	if *analyze != "" {
-		if err := analyzeDir(*analyze, *algo); err != nil {
+		if err := analyzeDir(*analyze, *algo, *par); err != nil {
 			fatal(err)
 		}
 		return
@@ -100,6 +101,7 @@ func main() {
 	s, err := tpupoint.NewSession(*workload, tpupoint.Options{
 		Version: ver, Steps: *steps,
 		NaivePipeline: *naive, SmallDataset: *small,
+		Parallelism: *par,
 	})
 	if err != nil {
 		fatal(err)
@@ -171,7 +173,7 @@ func main() {
 // analyzeDir runs TPUPoint-Analyzer over profile records exported to a
 // directory (see the session bucket's ExportDir) — post-execution analysis
 // without rerunning the workload.
-func analyzeDir(dir, algo string) error {
+func analyzeDir(dir, algo string, parallelism int) error {
 	svc := storage.NewService()
 	bucket, err := svc.CreateBucket("offline")
 	if err != nil {
@@ -188,7 +190,8 @@ func analyzeDir(dir, algo string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := analyzer.Analyze(dir, records, analyzer.Algorithm(algo), analyzer.Options{})
+	rep, err := analyzer.Analyze(dir, records, analyzer.Algorithm(algo),
+		analyzer.Options{Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

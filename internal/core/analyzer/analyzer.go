@@ -67,6 +67,11 @@ type Options struct {
 	// MemoryBudget bounds clustering working memory in bytes; exceeded
 	// budgets surface cluster.ErrMemoryBudget (0 = unlimited).
 	MemoryBudget int64
+	// Parallelism bounds the clustering worker pool: 0 uses GOMAXPROCS,
+	// 1 forces the serial path. Results are bit-identical for every
+	// setting — the parallel reductions merge in a fixed chunk order
+	// (see internal/parallel).
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +183,14 @@ func (p *Phase) addStep(s *trace.StepStat) {
 	p.Steps = append(p.Steps, s)
 }
 
+// featureMatrix builds the standardized, PCA-reduced step feature matrix
+// every clustering algorithm consumes, honoring the parallelism option.
+func featureMatrix(steps []*trace.StepStat, opts Options) *cluster.Matrix {
+	m, _ := cluster.FeaturesP(steps, opts.Parallelism)
+	cluster.StandardizeP(m, opts.Parallelism)
+	return cluster.PCAP(m, cluster.MaxFeatureOps, opts.Parallelism)
+}
+
 // phasesFromLabels groups steps by cluster label. Label order follows
 // first appearance so phase IDs are stable.
 func phasesFromLabels(steps []*trace.StepStat, labels []int) []*Phase {
@@ -208,16 +221,14 @@ func KMeansPhases(steps []*trace.StepStat, opts Options) ([]*Phase, []float64, i
 	if len(steps) == 0 {
 		return nil, nil, 0, errors.New("analyzer: no steps")
 	}
-	m, _ := cluster.Features(steps)
-	cluster.Standardize(m)
-	m = cluster.PCA(m, cluster.MaxFeatureOps)
-	ssd, err := cluster.SSDSweep(m, opts.KMax, opts.Seed, opts.MemoryBudget)
+	m := featureMatrix(steps, opts)
+	ssd, err := cluster.SSDSweepP(m, opts.KMax, opts.Seed, opts.MemoryBudget, opts.Parallelism)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("analyzer: k-means sweep: %w", err)
 	}
 	var k int
 	if opts.KSelection == SelectBIC {
-		bic, err := cluster.BICSweep(m, opts.KMax, opts.Seed, opts.MemoryBudget)
+		bic, err := cluster.BICSweepP(m, opts.KMax, opts.Seed, opts.MemoryBudget, opts.Parallelism)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("analyzer: BIC sweep: %w", err)
 		}
@@ -225,7 +236,7 @@ func KMeansPhases(steps []*trace.StepStat, opts Options) ([]*Phase, []float64, i
 	} else {
 		k = cluster.Elbow(ssd)
 	}
-	res, err := cluster.KMeans(m, k, opts.Seed+uint64(k), opts.MemoryBudget)
+	res, err := cluster.KMeansP(m, k, opts.Seed+uint64(k), opts.MemoryBudget, opts.Parallelism)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -242,10 +253,8 @@ func DBSCANPhases(steps []*trace.StepStat, opts Options) ([]*Phase, []int, []flo
 	if len(steps) == 0 {
 		return nil, nil, nil, 0, errors.New("analyzer: no steps")
 	}
-	m, _ := cluster.Features(steps)
-	cluster.Standardize(m)
-	m = cluster.PCA(m, cluster.MaxFeatureOps)
-	grid, ratios, err := cluster.NoiseSweep(m, opts.MinPtsMax, opts.MinPtsStep, opts.MemoryBudget)
+	m := featureMatrix(steps, opts)
+	grid, ratios, err := cluster.NoiseSweepP(m, opts.MinPtsMax, opts.MinPtsStep, opts.MemoryBudget, opts.Parallelism)
 	if err != nil {
 		return nil, nil, nil, 0, fmt.Errorf("analyzer: dbscan sweep: %w", err)
 	}
@@ -253,7 +262,7 @@ func DBSCANPhases(steps []*trace.StepStat, opts Options) ([]*Phase, []int, []flo
 	// curve balances "minimize noise" against "maximize min samples".
 	idx := cluster.Elbow(ratios)
 	minPts := grid[idx-1]
-	res, err := cluster.DBSCAN(m, minPts, 0, opts.MemoryBudget)
+	res, err := cluster.DBSCANP(m, minPts, 0, opts.MemoryBudget, opts.Parallelism)
 	if err != nil {
 		return nil, nil, nil, 0, err
 	}

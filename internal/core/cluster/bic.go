@@ -42,9 +42,15 @@ func BIC(m *Matrix, r *KMeansResult) float64 {
 
 // BICSweep runs k-means for k = 1..kMax and returns the BIC score series.
 func BICSweep(m *Matrix, kMax int, seed uint64, budget int64) ([]float64, error) {
+	return BICSweepP(m, kMax, seed, budget, 0)
+}
+
+// BICSweepP is BICSweep with an explicit worker bound for each k-means
+// run.
+func BICSweepP(m *Matrix, kMax int, seed uint64, budget int64, workers int) ([]float64, error) {
 	out := make([]float64, 0, kMax)
 	for k := 1; k <= kMax; k++ {
-		r, err := KMeans(m, k, seed+uint64(k), budget)
+		r, err := KMeansP(m, k, seed+uint64(k), budget, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Noise is the DBSCAN label for unclustered points.
@@ -27,10 +31,27 @@ func (r *DBSCANResult) NoiseRatio() float64 {
 	return float64(r.NoiseCount) / float64(len(r.Labels))
 }
 
-// DBSCAN clusters the matrix with the classic density algorithm. eps <= 0
-// selects it automatically from the 4-NN distance distribution. budget
-// bounds the O(n²) distance work (0 disables the check).
+// dbscanBaseBytes is the per-point cost of the always-allocated DBSCAN
+// structures: label (8), visited flag (1), cell key (24), cell-list entry
+// (4), neighbor-list header (24), rounded up for map overhead.
+const dbscanBaseBytes = 64
+
+// DBSCAN clusters the matrix with the classic density algorithm, using a
+// spatial grid index for the eps-neighborhood queries (exact — the labels
+// match the brute-force scan bit for bit). eps <= 0 selects it
+// automatically from the 4-NN distance distribution. budget bounds the
+// working memory, including the density-dependent neighbor lists (0
+// disables the check).
 func DBSCAN(m *Matrix, minPts int, eps float64, budget int64) (*DBSCANResult, error) {
+	return DBSCANP(m, minPts, eps, budget, 0)
+}
+
+// DBSCANP is DBSCAN with an explicit worker bound: the neighbor queries
+// fan out across workers goroutines (workers <= 0 means GOMAXPROCS,
+// 1 means fully serial). The result is bit-identical for every worker
+// count: neighbor lists are built into disjoint per-point slots and the
+// cluster expansion consumes them in a fixed order.
+func DBSCANP(m *Matrix, minPts int, eps float64, budget int64, workers int) (*DBSCANResult, error) {
 	if minPts < 1 {
 		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
 	}
@@ -38,29 +59,64 @@ func DBSCAN(m *Matrix, minPts int, eps float64, budget int64) (*DBSCANResult, er
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: empty matrix")
 	}
-	// The neighbor-set pass holds the pairwise distance structure; that
-	// is the allocation that blows up on large runs.
-	need := int64(n) * int64(n) * 8
+	need := int64(n) * dbscanBaseBytes
 	if err := validateBudget(need, budget, "dbscan"); err != nil {
 		return nil, err
 	}
+	pool := parallel.New(workers)
 	if eps <= 0 {
-		eps = autoEps(m)
+		eps = autoEps(m, pool)
 	}
-	eps2 := eps * eps
 
-	// Precompute neighbor lists.
+	grid := newGridIndex(m, eps)
+
+	// Neighbor lists grow with density; account for them against the
+	// budget as they materialize. entryLimit is in int32 entries.
+	entryLimit := int64(math.MaxInt64)
+	if budget > 0 {
+		entryLimit = (budget - need) / 4
+	}
+	var entries atomic.Int64
 	neighbors := make([][]int32, n)
-	for i := 0; i < n; i++ {
-		ri := m.Row(i)
-		for j := i + 1; j < n; j++ {
-			if sqDist(ri, m.Row(j)) <= eps2 {
-				neighbors[i] = append(neighbors[i], int32(j))
-				neighbors[j] = append(neighbors[j], int32(i))
-			}
+	err := pool.Run(context.Background(), n, parChunk, func(ci, lo, hi int) error {
+		var local int64
+		for i := lo; i < hi; i++ {
+			neighbors[i] = grid.neighbors(i, nil)
+			local += int64(len(neighbors[i]))
+		}
+		if entries.Add(local) > entryLimit {
+			return fmt.Errorf("%w: dbscan neighbor lists exceed %d bytes", ErrMemoryBudget, budget)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	labels := expand(neighbors, minPts)
+	noise := 0
+	for _, l := range labels {
+		if l == Noise {
+			noise++
 		}
 	}
+	clusters := 0
+	for _, l := range labels {
+		if l >= clusters {
+			clusters = l + 1
+		}
+	}
+	return &DBSCANResult{
+		MinPts: minPts, Eps: eps, Labels: labels,
+		Clusters: clusters, NoiseCount: noise,
+	}, nil
+}
 
+// expand runs the sequential cluster-growing pass over precomputed
+// neighbor lists. With each list ascending, the visit order — and thus
+// the labeling — is identical to the classic textbook algorithm.
+func expand(neighbors [][]int32, minPts int) []int {
+	n := len(neighbors)
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = Noise
@@ -93,48 +149,114 @@ func DBSCAN(m *Matrix, minPts int, eps float64, budget int64) (*DBSCANResult, er
 		}
 		cluster++
 	}
+	return labels
+}
+
+// DBSCANBrute is the legacy O(n²) implementation, kept as the reference
+// the differential tests and cmd/paperbench compare the grid-indexed path
+// against. budget bounds the quadratic distance work as it always did.
+func DBSCANBrute(m *Matrix, minPts int, eps float64, budget int64) (*DBSCANResult, error) {
+	if minPts < 1 {
+		return nil, fmt.Errorf("cluster: minPts must be >= 1, got %d", minPts)
+	}
+	n := m.Rows
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty matrix")
+	}
+	need := int64(n) * int64(n) * 8
+	if err := validateBudget(need, budget, "dbscan-brute"); err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		eps = autoEps(m, parallel.New(1))
+	}
+	eps2 := eps * eps
+
+	neighbors := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		ri := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			if sqDist(ri, m.Row(j)) <= eps2 {
+				neighbors[i] = append(neighbors[i], int32(j))
+				neighbors[j] = append(neighbors[j], int32(i))
+			}
+		}
+	}
+	labels := expand(neighbors, minPts)
 	noise := 0
 	for _, l := range labels {
 		if l == Noise {
 			noise++
 		}
 	}
+	clusters := 0
+	for _, l := range labels {
+		if l >= clusters {
+			clusters = l + 1
+		}
+	}
 	return &DBSCANResult{
 		MinPts: minPts, Eps: eps, Labels: labels,
-		Clusters: cluster, NoiseCount: noise,
+		Clusters: clusters, NoiseCount: noise,
 	}, nil
 }
 
+// autoEpsMaxSample caps the number of rows whose exact 4-NN distance the
+// eps heuristic computes. Above the cap a deterministic stride-subsample
+// stands in for the full population; each sampled row is still measured
+// against every row, so the per-row statistic stays exact.
+const autoEpsMaxSample = 2048
+
 // autoEps picks ε as the 90th percentile of 4-NN distances — a standard
 // heuristic that keeps the bulk of a dense phase connected while leaving
-// genuinely unusual steps as noise.
-func autoEps(m *Matrix) float64 {
+// genuinely unusual steps as noise. The per-row scans fan out across the
+// pool; results are written to disjoint slots, so the choice is
+// deterministic for every worker count.
+func autoEps(m *Matrix, pool *parallel.Pool) float64 {
 	n := m.Rows
 	if n < 2 {
 		return 1
 	}
-	const kth = 4
-	kdist := make([]float64, 0, n)
-	d := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		d = d[:0]
-		ri := m.Row(i)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			d = append(d, sqDist(ri, m.Row(j)))
-		}
-		sort.Float64s(d)
-		idx := kth - 1
-		if idx >= len(d) {
-			idx = len(d) - 1
-		}
-		kdist = append(kdist, d[idx])
+	stride := 1
+	count := n
+	if n > autoEpsMaxSample {
+		stride = (n + autoEpsMaxSample - 1) / autoEpsMaxSample
+		count = (n + stride - 1) / stride
 	}
+	const kth = 4
+	kdist := make([]float64, count)
+	_ = pool.Run(context.Background(), count, parChunk, func(ci, lo, hi int) error {
+		for s := lo; s < hi; s++ {
+			i := s * stride
+			ri := m.Row(i)
+			// Running top-4 smallest squared distances (ascending).
+			best := [kth]float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				d := sqDist(ri, m.Row(j))
+				if d >= best[kth-1] {
+					continue
+				}
+				p := kth - 1
+				for p > 0 && best[p-1] > d {
+					best[p] = best[p-1]
+					p--
+				}
+				best[p] = d
+			}
+			idx := kth - 1
+			if n-1 < kth {
+				idx = n - 2
+			}
+			kdist[s] = best[idx]
+		}
+		return nil
+	})
 	sort.Float64s(kdist)
 	v := kdist[(len(kdist)*9)/10]
-	if v <= 0 {
+	if v <= 0 || math.IsInf(v, 1) {
 		// Degenerate geometry (many identical rows): any positive radius
 		// connects duplicates.
 		return 1e-9
@@ -145,12 +267,18 @@ func autoEps(m *Matrix) float64 {
 // NoiseSweep runs DBSCAN across the paper's min-samples grid (5 to maxPts
 // in steps of `step`) and returns the noise ratios (Figure 5's series).
 func NoiseSweep(m *Matrix, maxPts, step int, budget int64) (minPts []int, ratios []float64, err error) {
+	return NoiseSweepP(m, maxPts, step, budget, 0)
+}
+
+// NoiseSweepP is NoiseSweep with an explicit worker bound for each
+// DBSCAN run.
+func NoiseSweepP(m *Matrix, maxPts, step int, budget int64, workers int) (minPts []int, ratios []float64, err error) {
 	if step < 1 {
 		return nil, nil, fmt.Errorf("cluster: sweep step must be >= 1")
 	}
 	eps := 0.0
 	for p := 5; p <= maxPts; p += step {
-		r, err := DBSCAN(m, p, eps, budget)
+		r, err := DBSCANP(m, p, eps, budget, workers)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -7,14 +7,21 @@
 // steps and whose columns are per-operator statistics (invocation count
 // and total duration per op), exactly the "frequency vector
 // representation" the paper builds before clustering.
+//
+// Every hot path has a parallel variant (the *P functions) that fans out
+// over a bounded worker pool. Chunk boundaries are fixed by the input
+// size and reductions merge in chunk order, so results are bit-identical
+// across worker counts — see internal/parallel.
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -26,6 +33,17 @@ var ErrMemoryBudget = errors.New("cluster: memory budget exceeded")
 // MaxFeatureOps caps the operator vocabulary per the paper: "we have at
 // most 100 distinct operations for frequency vector representation."
 const MaxFeatureOps = 100
+
+// Fixed fan-out chunk sizes. These are part of the determinism contract:
+// chunk boundaries — and therefore reduction grouping — depend only on
+// the input size, never on the worker count or the machine.
+const (
+	// parChunk is the row-chunk size for per-row fan-outs.
+	parChunk = 512
+	// covChunk is the row-chunk size for covariance accumulation, kept
+	// larger because each chunk owns a d×d partial matrix.
+	covChunk = 4096
+)
 
 // Matrix is a dense row-major feature matrix.
 type Matrix struct {
@@ -55,15 +73,37 @@ func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 8 }
 // vocabulary exceeds MaxFeatureOps, only the MaxFeatureOps most
 // time-consuming operators are kept.
 func Features(steps []*trace.StepStat) (*Matrix, []trace.OpKey) {
+	return FeaturesP(steps, 0)
+}
+
+// FeaturesP is Features with an explicit worker bound. The per-operator
+// totals accumulate into per-chunk maps merged in chunk order and the
+// row fill writes disjoint rows, so the matrix is bit-identical for
+// every worker count.
+func FeaturesP(steps []*trace.StepStat, workers int) (*Matrix, []trace.OpKey) {
 	if len(steps) == 0 {
 		return NewMatrix(0, 0), nil
 	}
+	pool := parallel.New(workers)
+	ctx := context.Background()
+
+	chunkTotals, _ := parallel.Map(pool, ctx, len(steps), parChunk,
+		func(ci, lo, hi int) (map[trace.OpKey]float64, error) {
+			part := make(map[trace.OpKey]float64)
+			for _, s := range steps[lo:hi] {
+				for k, st := range s.Ops {
+					part[k] += float64(st.Total)
+				}
+			}
+			return part, nil
+		})
 	totals := make(map[trace.OpKey]float64)
-	for _, s := range steps {
-		for k, st := range s.Ops {
-			totals[k] += float64(st.Total)
+	for _, part := range chunkTotals {
+		for k, v := range part {
+			totals[k] += v
 		}
 	}
+
 	keys := make([]trace.OpKey, 0, len(totals))
 	for k := range totals {
 		keys = append(keys, k)
@@ -85,45 +125,82 @@ func Features(steps []*trace.StepStat) (*Matrix, []trace.OpKey) {
 		idx[k] = i
 	}
 	m := NewMatrix(len(steps), 2*len(keys))
-	for i, s := range steps {
-		row := m.Row(i)
-		for k, st := range s.Ops {
-			j, ok := idx[k]
-			if !ok {
-				continue
+	_ = pool.Run(ctx, len(steps), parChunk, func(ci, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for k, st := range steps[i].Ops {
+				j, ok := idx[k]
+				if !ok {
+					continue
+				}
+				row[2*j] = float64(st.Count)
+				row[2*j+1] = float64(st.Total)
 			}
-			row[2*j] = float64(st.Count)
-			row[2*j+1] = float64(st.Total)
 		}
-	}
+		return nil
+	})
 	return m, keys
 }
 
 // Standardize rescales each column to zero mean and unit variance in
-// place; constant columns become zero. It returns the matrix for chaining.
+// place; constant columns become zero. Columns containing non-finite
+// values (NaN/Inf — e.g. from corrupted profile records) carry no usable
+// signal and are zeroed rather than allowed to poison every downstream
+// distance. It returns the matrix for chaining.
 func Standardize(m *Matrix) *Matrix {
-	for j := 0; j < m.Cols; j++ {
-		var mean float64
-		for i := 0; i < m.Rows; i++ {
-			mean += m.At(i, j)
+	return StandardizeP(m, 0)
+}
+
+// StandardizeP is Standardize with an explicit worker bound. Columns are
+// independent and each is processed exactly as in the serial pass, so the
+// result is bit-identical for every worker count.
+func StandardizeP(m *Matrix, workers int) *Matrix {
+	if m.Rows == 0 || m.Cols == 0 {
+		return m
+	}
+	pool := parallel.New(workers)
+	_ = pool.Run(context.Background(), m.Cols, 1, func(ci, lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			standardizeColumn(m, j)
 		}
-		mean /= float64(m.Rows)
-		var variance float64
-		for i := 0; i < m.Rows; i++ {
-			d := m.At(i, j) - mean
-			variance += d * d
+		return nil
+	})
+	return m
+}
+
+func standardizeColumn(m *Matrix, j int) {
+	var mean float64
+	finite := true
+	for i := 0; i < m.Rows; i++ {
+		v := m.At(i, j)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			finite = false
+			break
 		}
-		variance /= float64(m.Rows)
-		sd := math.Sqrt(variance)
+		mean += v
+	}
+	if !finite || math.IsInf(mean, 0) {
+		// NaN guard: a corrupted (or overflowing) column is all noise.
 		for i := 0; i < m.Rows; i++ {
-			if sd == 0 {
-				m.Set(i, j, 0)
-			} else {
-				m.Set(i, j, (m.At(i, j)-mean)/sd)
-			}
+			m.Set(i, j, 0)
+		}
+		return
+	}
+	mean /= float64(m.Rows)
+	var variance float64
+	for i := 0; i < m.Rows; i++ {
+		d := m.At(i, j) - mean
+		variance += d * d
+	}
+	variance /= float64(m.Rows)
+	sd := math.Sqrt(variance)
+	for i := 0; i < m.Rows; i++ {
+		if sd == 0 {
+			m.Set(i, j, 0)
+		} else {
+			m.Set(i, j, (m.At(i, j)-mean)/sd)
 		}
 	}
-	return m
 }
 
 // sqDist returns the squared Euclidean distance of two vectors.

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/prng"
 )
 
@@ -19,6 +21,14 @@ type KMeansResult struct {
 // KMeans runs Lloyd's algorithm with k-means++ seeding. seed makes runs
 // reproducible. budget bounds the working memory (0 disables the check).
 func KMeans(m *Matrix, k int, seed uint64, budget int64) (*KMeansResult, error) {
+	return KMeansP(m, k, seed, budget, 0)
+}
+
+// KMeansP is KMeans with an explicit worker bound (workers <= 0 means
+// GOMAXPROCS, 1 means fully serial). The assignment and update steps fan
+// out over fixed-size row chunks; per-chunk partial sums are merged in
+// chunk order, so the result is bit-identical for every worker count.
+func KMeansP(m *Matrix, k int, seed uint64, budget int64, workers int) (*KMeansResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
 	}
@@ -28,52 +38,100 @@ func KMeans(m *Matrix, k int, seed uint64, budget int64) (*KMeansResult, error) 
 	if k > m.Rows {
 		k = m.Rows
 	}
-	need := m.Bytes() + int64(k*m.Cols)*8 + int64(m.Rows)*8
+	nc := parallel.NumChunks(m.Rows, parChunk)
+	// Input + centroids + assignment + per-row distances + per-chunk
+	// update partials.
+	need := m.Bytes() + int64(k*m.Cols)*8 + int64(m.Rows)*16 +
+		int64(nc)*int64(k)*(int64(m.Cols)*8+8)
 	if err := validateBudget(need, budget, "k-means"); err != nil {
 		return nil, err
 	}
+	pool := parallel.New(workers)
+	ctx := context.Background()
 
 	rng := prng.New(seed)
-	centroids := seedPlusPlus(m, k, rng)
+	centroids := seedPlusPlus(m, k, rng, pool)
 	assign := make([]int, m.Rows)
+	d2 := make([]float64, m.Rows)
 	sizes := make([]int, k)
+
+	// Per-chunk partials for the update step. Chunk boundaries depend
+	// only on the row count, so merging them front to back gives the
+	// same floating-point grouping regardless of the worker count.
+	partSums := make([][]float64, nc)
+	partCounts := make([][]int, nc)
+	for ci := range partSums {
+		partSums[ci] = make([]float64, k*m.Cols)
+		partCounts[ci] = make([]int, k)
+	}
+	chunkChanged := make([]bool, nc)
 
 	var ssd float64
 	iterations := 0
 	for iter := 0; iter < 200; iter++ {
 		iterations = iter + 1
-		// Assignment step.
-		changed := false
-		ssd = 0
-		for i := 0; i < m.Rows; i++ {
-			row := m.Row(i)
-			best, bestD := 0, sqDist(row, centroids.Row(0))
-			for c := 1; c < k; c++ {
-				if d := sqDist(row, centroids.Row(c)); d < bestD {
-					best, bestD = c, d
+		// Assignment step (fused with partial-sum accumulation).
+		cur := centroids
+		_ = pool.Run(ctx, m.Rows, parChunk, func(ci, lo, hi int) error {
+			ps := partSums[ci]
+			pc := partCounts[ci]
+			for i := range ps {
+				ps[i] = 0
+			}
+			for i := range pc {
+				pc[i] = 0
+			}
+			changed := false
+			for i := lo; i < hi; i++ {
+				row := m.Row(i)
+				best, bestD := 0, sqDist(row, cur.Row(0))
+				for c := 1; c < k; c++ {
+					if d := sqDist(row, cur.Row(c)); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changed = true
+				}
+				d2[i] = bestD
+				pc[best]++
+				crow := ps[best*m.Cols : (best+1)*m.Cols]
+				for j := range crow {
+					crow[j] += row[j]
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-			ssd += bestD
+			chunkChanged[ci] = changed
+			return nil
+		})
+		// Reductions in fixed order: row order for the SSD, chunk order
+		// for the centroid sums.
+		ssd = 0
+		for _, d := range d2 {
+			ssd += d
+		}
+		changed := false
+		for _, ch := range chunkChanged {
+			changed = changed || ch
 		}
 		if !changed && iter > 0 {
 			break
 		}
-		// Update step.
+		// Update step: merge partials, then divide.
 		next := NewMatrix(k, m.Cols)
 		for i := range sizes {
 			sizes[i] = 0
 		}
-		for i := 0; i < m.Rows; i++ {
-			c := assign[i]
-			sizes[c]++
-			crow := next.Row(c)
-			row := m.Row(i)
-			for j := range crow {
-				crow[j] += row[j]
+		for ci := 0; ci < nc; ci++ {
+			pc := partCounts[ci]
+			ps := partSums[ci]
+			for c := 0; c < k; c++ {
+				sizes[c] += pc[c]
+				crow := next.Row(c)
+				prow := ps[c*m.Cols : (c+1)*m.Cols]
+				for j := range crow {
+					crow[j] += prow[j]
+				}
 			}
 		}
 		for c := 0; c < k; c++ {
@@ -96,21 +154,30 @@ func KMeans(m *Matrix, k int, seed uint64, budget int64) (*KMeansResult, error) 
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ strategy.
-func seedPlusPlus(m *Matrix, k int, rng *prng.Source) *Matrix {
+// The distance-to-nearest-centroid table is maintained incrementally
+// (each new centroid only lowers it), turning the legacy O(n·k²) scan
+// into O(n·k); the per-row minima are identical, so the seeding — and the
+// PRNG consumption — matches the legacy implementation bit for bit.
+func seedPlusPlus(m *Matrix, k int, rng *prng.Source, pool *parallel.Pool) *Matrix {
 	centroids := NewMatrix(k, m.Cols)
 	copy(centroids.Row(0), m.Row(rng.Intn(m.Rows)))
 	d2 := make([]float64, m.Rows)
+	ctx := context.Background()
 	for c := 1; c < k; c++ {
-		var total float64
-		for i := 0; i < m.Rows; i++ {
-			best := sqDist(m.Row(i), centroids.Row(0))
-			for cc := 1; cc < c; cc++ {
-				if d := sqDist(m.Row(i), centroids.Row(cc)); d < best {
-					best = d
+		newest := centroids.Row(c - 1)
+		first := c == 1
+		_ = pool.Run(ctx, m.Rows, parChunk, func(ci, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				d := sqDist(m.Row(i), newest)
+				if first || d < d2[i] {
+					d2[i] = d
 				}
 			}
-			d2[i] = best
-			total += best
+			return nil
+		})
+		var total float64
+		for _, d := range d2 {
+			total += d
 		}
 		if total == 0 {
 			copy(centroids.Row(c), m.Row(rng.Intn(m.Rows)))
@@ -134,9 +201,15 @@ func seedPlusPlus(m *Matrix, k int, rng *prng.Source) *Matrix {
 // SSDSweep runs k-means for k = 1..kMax and returns the SSD series the
 // elbow method (and the paper's Figure 4) consumes.
 func SSDSweep(m *Matrix, kMax int, seed uint64, budget int64) ([]float64, error) {
+	return SSDSweepP(m, kMax, seed, budget, 0)
+}
+
+// SSDSweepP is SSDSweep with an explicit worker bound for each k-means
+// run.
+func SSDSweepP(m *Matrix, kMax int, seed uint64, budget int64, workers int) ([]float64, error) {
 	out := make([]float64, 0, kMax)
 	for k := 1; k <= kMax; k++ {
-		r, err := KMeans(m, k, seed+uint64(k), budget)
+		r, err := KMeansP(m, k, seed+uint64(k), budget, workers)
 		if err != nil {
 			return nil, err
 		}

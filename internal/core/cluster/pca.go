@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/prng"
 )
 
@@ -14,10 +16,20 @@ import (
 // rotation with no reduction, and the clustering metrics are rotation-
 // invariant anyway).
 func PCA(m *Matrix, k int) *Matrix {
+	return PCAP(m, k, 0)
+}
+
+// PCAP is PCA with an explicit worker bound (workers <= 0 means
+// GOMAXPROCS, 1 means fully serial). The covariance accumulation and the
+// final projection fan out over fixed-size row chunks; covariance
+// partials merge in chunk order, so the output is bit-identical for
+// every worker count.
+func PCAP(m *Matrix, k, workers int) *Matrix {
 	if m.Rows == 0 || k >= m.Cols || k <= 0 {
 		return m
 	}
-	cov := covariance(m)
+	pool := parallel.New(workers)
+	cov := covariance(m, pool)
 	d := m.Cols
 	components := make([][]float64, 0, k)
 	rng := prng.New(0x9ca)
@@ -59,33 +71,48 @@ func PCA(m *Matrix, k int) *Matrix {
 		}
 	}
 	out := NewMatrix(m.Rows, len(components))
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for c, comp := range components {
-			var dot float64
-			for j := range row {
-				dot += row[j] * comp[j]
+	_ = pool.Run(context.Background(), m.Rows, parChunk, func(ci, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for c, comp := range components {
+				var dot float64
+				for j := range row {
+					dot += row[j] * comp[j]
+				}
+				out.Set(i, c, dot)
 			}
-			out.Set(i, c, dot)
 		}
-	}
+		return nil
+	})
 	return out
 }
 
 // covariance returns the d×d covariance matrix (rows assumed centered —
-// Standardize guarantees it).
-func covariance(m *Matrix) []float64 {
+// Standardize guarantees it). Row chunks accumulate into per-chunk
+// partial matrices merged in chunk order; covChunk is larger than
+// parChunk so the d² partials stay small relative to the input.
+func covariance(m *Matrix, pool *parallel.Pool) []float64 {
 	d := m.Cols
+	partials, _ := parallel.Map(pool, context.Background(), m.Rows, covChunk,
+		func(ci, lo, hi int) ([]float64, error) {
+			part := make([]float64, d*d)
+			for r := lo; r < hi; r++ {
+				row := m.Row(r)
+				for i := 0; i < d; i++ {
+					if row[i] == 0 {
+						continue
+					}
+					for j := i; j < d; j++ {
+						part[i*d+j] += row[i] * row[j]
+					}
+				}
+			}
+			return part, nil
+		})
 	cov := make([]float64, d*d)
-	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
-		for i := 0; i < d; i++ {
-			if row[i] == 0 {
-				continue
-			}
-			for j := i; j < d; j++ {
-				cov[i*d+j] += row[i] * row[j]
-			}
+	for _, part := range partials {
+		for i := range cov {
+			cov[i] += part[i]
 		}
 	}
 	scale := 1 / float64(maxInt(1, m.Rows-1))

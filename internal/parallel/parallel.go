@@ -1,0 +1,151 @@
+// Package parallel provides the bounded worker pool behind the
+// phase-detection hot path (k-means, DBSCAN, PCA, feature extraction).
+//
+// The central design constraint is determinism: every fan-out partitions
+// its input into *fixed-size* chunks whose boundaries depend only on the
+// input length — never on the worker count or on scheduling. Workers pull
+// chunk indices from a shared counter, write results into per-chunk slots,
+// and callers merge those slots sequentially in chunk order. Because
+// floating-point reduction grouping is fixed by the chunk boundaries, a
+// run with 1 worker, 4 workers, or GOMAXPROCS workers produces
+// bit-identical results (verified by the differential tests in
+// internal/core/cluster).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of goroutines a fan-out may use. The zero value
+// is unusable; construct with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers goroutines per fan-out.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's goroutine bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// NumChunks returns the number of fixed-size chunks covering [0, n).
+// It depends only on n and chunk, never on the worker count.
+func NumChunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// Run invokes fn(ci, lo, hi) for every chunk [lo, hi) of [0, n), with at
+// most p.Workers() invocations in flight. Chunk ci spans
+// [ci*chunk, min((ci+1)*chunk, n)).
+//
+// The first error cancels dispatch of the remaining chunks and is
+// returned. Cancelling ctx stops dispatch and returns ctx.Err(). Chunks
+// already running are not interrupted; fn may watch ctx itself for finer-
+// grained cancellation.
+func (p *Pool) Run(ctx context.Context, n, chunk int, fn func(ci, lo, hi int) error) error {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nc := NumChunks(n, chunk)
+	if nc == 0 {
+		return ctx.Err()
+	}
+	workers := p.workers
+	if workers > nc {
+		workers = nc
+	}
+	if workers <= 1 {
+		// Inline fast path: no goroutines, same chunk boundaries.
+		for ci := 0; ci < nc; ci++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo := ci * chunk
+			hi := min(lo+chunk, n)
+			if err := fn(ci, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				ci := int(next.Add(1) - 1)
+				if ci >= nc {
+					return
+				}
+				lo := ci * chunk
+				hi := min(lo+chunk, n)
+				if err := fn(ci, lo, hi); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over every chunk of [0, n) and returns the per-chunk
+// results indexed by chunk. Merging the slice front to back yields a
+// reduction order that is independent of the worker count.
+func Map[T any](p *Pool, ctx context.Context, n, chunk int, fn func(ci, lo, hi int) (T, error)) ([]T, error) {
+	out := make([]T, NumChunks(n, chunk))
+	err := p.Run(ctx, n, chunk, func(ci, lo, hi int) error {
+		v, err := fn(ci, lo, hi)
+		if err != nil {
+			return err
+		}
+		out[ci] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

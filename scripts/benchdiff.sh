@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: regenerate the analyzer benchmarks in quick
+# mode and compare them against the committed BENCH_analyzer.json
+# baseline. Fails when any shared kernel/mode/n entry regresses past the
+# tolerance, or when the grid-indexed DBSCAN stops beating the quadratic
+# reference by at least MIN_GRID_SPEEDUP.
+#
+# Environment:
+#   BENCH_TOLERANCE    allowed ns/op regression fraction (default 0.25;
+#                      looser than benchdiff's 0.15 default because the
+#                      quick run measures fewer iterations)
+#   MIN_GRID_SPEEDUP   required dbscan grid-vs-brute speedup (default 2)
+#   BENCH_BASELINE     baseline report (default BENCH_analyzer.json)
+#
+# Run directly or via `BENCH_GATE=1 make check`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="${BENCH_BASELINE:-BENCH_analyzer.json}"
+tolerance="${BENCH_TOLERANCE:-0.25}"
+min_grid="${MIN_GRID_SPEEDUP:-2}"
+
+if [ ! -f "$baseline" ]; then
+    echo "benchdiff.sh: baseline $baseline not found" >&2
+    exit 1
+fi
+
+fresh="$(mktemp /tmp/bench_analyzer.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "== paperbench -analyzer-bench (quick)"
+go run ./cmd/paperbench -analyzer-bench "$fresh" -bench-quick
+
+echo "== benchdiff vs $baseline (tolerance ${tolerance}, grid floor ${min_grid}x)"
+go run ./cmd/benchdiff -old "$baseline" -new "$fresh" \
+    -tolerance "$tolerance" -min-grid-speedup "$min_grid"

@@ -1,7 +1,18 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Full verification gate: build, vet, and the race-enabled test suite.
 # Equivalent to `make check`; exists for environments without make.
-set -eu
+#
+# The vet step filters go vet's "# package" progress headers out of the
+# output. Under `set -o pipefail` the naive `go vet | grep -v '^#'`
+# breaks both ways: grep exits 1 when vet is clean (everything
+# filtered), and without pipefail a real vet failure is masked by the
+# filter's exit status. The `{ grep ... || true; }` form keeps the
+# filter infallible so the pipeline's status is exactly go vet's;
+# scripts/check_selftest.sh proves that against a known-bad fixture.
+#
+# BENCH_GATE=1 additionally runs the benchmark regression gate
+# (scripts/benchdiff.sh) against the committed BENCH_analyzer.json.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -9,9 +20,17 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go vet ./..."
-go vet ./...
+go vet ./... 2>&1 | { grep -v '^#' || true; }
+
+echo "== vet filter selftest"
+./scripts/check_selftest.sh
 
 echo "== go test -race ./..."
 go test -race ./...
+
+if [ "${BENCH_GATE:-0}" = "1" ]; then
+    echo "== benchmark gate (BENCH_GATE=1)"
+    ./scripts/benchdiff.sh
+fi
 
 echo "check: OK"

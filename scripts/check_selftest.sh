@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Negative test for check.sh's vet pipeline: run the exact same
+# filtered-vet invocation against a fixture module containing a real
+# vet error (scripts/testdata/vetfail) and require that the failure
+# still propagates. Guards against the classic pipefail regression
+# where `go vet | grep` reports the filter's exit status instead of
+# vet's.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if (cd scripts/testdata/vetfail && go vet ./... 2>&1 | { grep -v '^#' || true; }) >/dev/null 2>&1; then
+    echo "check selftest: FAIL — vet pipeline swallowed a known vet error" >&2
+    exit 1
+fi
+echo "check selftest: OK (vet failures propagate through the pipefail filter)"

@@ -1,0 +1,6 @@
+// Standalone module so `go vet ./...` from the repository root never
+// picks this fixture up; only scripts/check_selftest.sh vets it, and
+// expects the vet to fail.
+module vetfail
+
+go 1.22

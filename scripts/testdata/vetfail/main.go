@@ -1,0 +1,11 @@
+// Fixture for scripts/check_selftest.sh: this program contains a
+// deliberate Printf-verb mismatch that `go vet` must flag. If the
+// check.sh vet pipeline ever stops failing on this module, the filter
+// is eating vet's exit status.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Printf("%d steps\n", "twelve") // vet: %d with a string argument
+}

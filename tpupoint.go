@@ -105,16 +105,22 @@ type Options struct {
 
 	// Seed overrides the workload's deterministic seed.
 	Seed uint64
+
+	// Parallelism bounds the analyzer's clustering worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Phase results are bit-identical for
+	// every setting.
+	Parallelism int
 }
 
 // Session owns one training run: the workload, the simulated machine, a
 // storage bucket for checkpoints and profile records, and the wiring
 // between them.
 type Session struct {
-	workload *Workload
-	runner   *estimator.Runner
-	bucket   *storage.Bucket
-	trained  bool
+	workload    *Workload
+	runner      *estimator.Runner
+	bucket      *storage.Bucket
+	trained     bool
+	parallelism int
 }
 
 // NewSession prepares a training session for a named workload.
@@ -156,7 +162,7 @@ func NewSession(workloadName string, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{workload: w, runner: runner, bucket: bucket}, nil
+	return &Session{workload: w, runner: runner, bucket: bucket, parallelism: opts.Parallelism}, nil
 }
 
 // Workload returns the session's workload spec.
@@ -200,7 +206,8 @@ func (s *Session) TotalSeconds() float64 { return s.runner.TotalTime().Seconds()
 // Analyze runs TPUPoint-Analyzer over profile records with the given
 // algorithm, associating phases with the run's checkpoints.
 func (s *Session) Analyze(records []*ProfileRecord, algo Algorithm) (*Report, error) {
-	rep, err := analyzer.Analyze(s.workload.Name, records, algo, analyzer.Options{Seed: s.workload.Seed})
+	rep, err := analyzer.Analyze(s.workload.Name, records, algo,
+		analyzer.Options{Seed: s.workload.Seed, Parallelism: s.parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +277,7 @@ func (s *Session) Resume(checkpoint string, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{workload: s.workload, runner: runner, bucket: s.bucket}, nil
+	return &Session{workload: s.workload, runner: runner, bucket: s.bucket, parallelism: opts.Parallelism}, nil
 }
 
 // OptimizeOptions configure Optimize.

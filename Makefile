@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench check
+.PHONY: build test race vet fmt bench check metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ fmt:
 bench:
 	$(GO) run ./cmd/paperbench -analyzer-bench $(or $(BENCH_OUT),BENCH_analyzer.json) $(BENCH_ARGS)
 
+# End-to-end observability smoke: run tpupoint with -metrics on a real
+# workload and assert the snapshot parses with nonzero core counters.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
+
 # The full gate: everything must build, pass gofmt and vet (plus the
 # vet-filter selftest), and pass the test suite with the race detector
 # on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
@@ -34,4 +39,5 @@ bench:
 check: build fmt vet
 	./scripts/check_selftest.sh
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/obs
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

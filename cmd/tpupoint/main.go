@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core/analyzer"
 	"repro/internal/core/profiler"
 	"repro/internal/estimator"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/workloads"
@@ -40,8 +42,20 @@ func main() {
 		analyze  = flag.String("analyze", "", "offline mode: analyze profile records previously exported to this directory")
 		export   = flag.String("export", "", "after profiling, export the recorded profiles to this directory (input for -analyze)")
 		par      = flag.Int("parallelism", 0, "analyzer worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
+		metrics  = flag.String("metrics", "", "observability sink: a host:port serves live JSON snapshots over HTTP, anything else is a file the final snapshot is written to")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	flush := func() {}
+	if *metrics != "" {
+		reg = obs.NewRegistry(0)
+		var err error
+		if flush, err = metricsSink(*metrics, reg); err != nil {
+			fatal(err)
+		}
+		defer flush()
+	}
 
 	if *analyze != "" {
 		if err := analyzeDir(*analyze, *algo, *par); err != nil {
@@ -77,7 +91,7 @@ func main() {
 
 	if *optimize {
 		res, err := tpupoint.Optimize(*workload, tpupoint.OptimizeOptions{
-			Version: ver, Steps: *steps, Naive: *naive,
+			Version: ver, Steps: *steps, Naive: *naive, Obs: reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -95,13 +109,16 @@ func main() {
 			fmt.Printf("  move %-14s %6d -> %-6d %s (%.0fus -> %.0fus)\n",
 				m.Param, m.From, m.To, verdict, m.PeriodBefore, m.PeriodAfter)
 		}
+		if line := reg.Snapshot().SummaryLine(); line != "" {
+			fmt.Printf("run summary: %s speedup=%.3fx\n", line, res.MeasuredSpeedup)
+		}
 		return
 	}
 
 	s, err := tpupoint.NewSession(*workload, tpupoint.Options{
 		Version: ver, Steps: *steps,
 		NaivePipeline: *naive, SmallDataset: *small,
-		Parallelism: *par,
+		Parallelism: *par, Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -135,6 +152,9 @@ func main() {
 	fmt.Println("top host ops of the longest phase:")
 	for _, op := range rep.TopHostOps {
 		fmt.Printf("  %-32s x%-8d %8.1fms\n", op.Name, op.Count, op.Total.Milliseconds())
+	}
+	if line := reg.Snapshot().SummaryLine(); line != "" {
+		fmt.Printf("run summary: %s\n", line)
 	}
 
 	if *outDir != "" {
@@ -238,6 +258,33 @@ func serveProfile(workload string, ver tpupoint.Version, steps int, addr string)
 		runner.TotalTime().Seconds(), 100*runner.IdleFraction(), 100*runner.MXUUtilization())
 	fmt.Println("profile windows remain available; ctrl-c to stop")
 	select {} // serve until interrupted
+}
+
+// metricsSink interprets the -metrics destination. A parseable host:port
+// serves live JSON snapshots over HTTP (GET any path); anything else is
+// treated as a file path and the returned flush writes the final snapshot
+// there.
+func metricsSink(dest string, reg *obs.Registry) (flush func(), err error) {
+	if _, _, splitErr := net.SplitHostPort(dest); splitErr == nil {
+		l, err := net.Listen("tcp", dest)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics:     serving JSON snapshots at http://%s/\n", l.Addr())
+		go http.Serve(l, reg) //nolint:errcheck // serves until process exit
+		return func() {}, nil
+	}
+	return func() {
+		f, err := os.Create(dest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpupoint: writing metrics:", err)
+			return
+		}
+		defer f.Close()
+		if err := reg.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tpupoint: writing metrics:", err)
+		}
+	}, nil
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/estimator"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/tpu"
 	"repro/internal/trace"
@@ -37,8 +38,25 @@ func main() {
 		retries  = flag.Int("retries", 3, "transport retries per request before giving up")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = wait forever)")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base reconnect backoff (doubles per attempt)")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (RPC calls, retries, redials) to this file at exit")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry(0)
+		defer func() {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tpuprof: writing metrics:", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tpuprof: writing metrics:", err)
+			}
+		}()
+	}
 
 	var resp *tpu.ProfileResponse
 	if *addr != "" {
@@ -50,6 +68,7 @@ func main() {
 			CallTimeout: *timeout,
 			MaxRetries:  *retries,
 			BaseBackoff: *backoff,
+			Obs:         reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -105,6 +124,9 @@ func main() {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	if len(ids) > 0 {
 		fmt.Printf("steps covered: %d (first %d, last %d)\n", len(ids), ids[0], ids[len(ids)-1])
+	}
+	if line := reg.Snapshot().SummaryLine(); line != "" {
+		fmt.Printf("run summary: %s\n", line)
 	}
 }
 

@@ -21,8 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core/cluster"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
@@ -72,6 +74,9 @@ type Options struct {
 	// setting — the parallel reductions merge in a fixed chunk order
 	// (see internal/parallel).
 	Parallelism int
+	// Obs, when set, records per-stage wall time (feature extraction,
+	// PCA, the clustering sweeps, OLS) as latency histograms.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -186,9 +191,14 @@ func (p *Phase) addStep(s *trace.StepStat) {
 // featureMatrix builds the standardized, PCA-reduced step feature matrix
 // every clustering algorithm consumes, honoring the parallelism option.
 func featureMatrix(steps []*trace.StepStat, opts Options) *cluster.Matrix {
+	start := time.Now()
 	m, _ := cluster.FeaturesP(steps, opts.Parallelism)
 	cluster.StandardizeP(m, opts.Parallelism)
-	return cluster.PCAP(m, cluster.MaxFeatureOps, opts.Parallelism)
+	opts.Obs.Histogram("analyzer.stage.features_us").ObserveSince(start)
+	start = time.Now()
+	out := cluster.PCAP(m, cluster.MaxFeatureOps, opts.Parallelism)
+	opts.Obs.Histogram("analyzer.stage.pca_us").ObserveSince(start)
+	return out
 }
 
 // phasesFromLabels groups steps by cluster label. Label order follows
@@ -222,6 +232,7 @@ func KMeansPhases(steps []*trace.StepStat, opts Options) ([]*Phase, []float64, i
 		return nil, nil, 0, errors.New("analyzer: no steps")
 	}
 	m := featureMatrix(steps, opts)
+	defer opts.Obs.Histogram("analyzer.stage.kmeans_us").ObserveSince(time.Now())
 	ssd, err := cluster.SSDSweepP(m, opts.KMax, opts.Seed, opts.MemoryBudget, opts.Parallelism)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("analyzer: k-means sweep: %w", err)
@@ -254,6 +265,7 @@ func DBSCANPhases(steps []*trace.StepStat, opts Options) ([]*Phase, []int, []flo
 		return nil, nil, nil, 0, errors.New("analyzer: no steps")
 	}
 	m := featureMatrix(steps, opts)
+	defer opts.Obs.Histogram("analyzer.stage.dbscan_us").ObserveSince(time.Now())
 	grid, ratios, err := cluster.NoiseSweepP(m, opts.MinPtsMax, opts.MinPtsStep, opts.MemoryBudget, opts.Parallelism)
 	if err != nil {
 		return nil, nil, nil, 0, fmt.Errorf("analyzer: dbscan sweep: %w", err)

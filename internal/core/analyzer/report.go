@@ -2,6 +2,7 @@ package analyzer
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -58,7 +59,9 @@ func AnalyzeSteps(workload string, steps []*trace.StepStat, algo Algorithm, opts
 
 	switch algo {
 	case OLSAlgo:
+		start := time.Now()
 		r.Phases = OLS(steps, opts.Threshold)
+		opts.Obs.Histogram("analyzer.stage.ols_us").ObserveSince(start)
 	case KMeansAlgo:
 		phases, ssd, k, err := KMeansPhases(steps, opts)
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/estimator"
 	"repro/internal/host"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/tpu"
 	"repro/internal/workloads"
@@ -54,15 +55,19 @@ type Options struct {
 
 	// SettleSteps are excluded from the head of each probe window so the
 	// pipeline-restart transient after a parameter rewrite does not bias
-	// the measurement. Default 4.
+	// the measurement. Default 4; negative requests zero settle steps
+	// (consistent with profiler.Options: zero means default, negative
+	// disables).
 	SettleSteps int
 
 	// ImproveEps is the minimum relative step-period improvement that
-	// accepts a move. Default 0.02.
+	// accepts a move. Default 0.02; negative accepts any strict
+	// improvement (eps 0).
 	ImproveEps float64
 
 	// InstrumentationUs is the per-step host overhead while the
-	// optimizer is instrumenting and tuning. Default 250µs.
+	// optimizer is instrumenting and tuning. Default 250µs; negative
+	// models free instrumentation (0µs).
 	InstrumentationUs float64
 
 	// RestoreUs is the checkpoint-restore stall charged when a move is
@@ -72,6 +77,11 @@ type Options struct {
 	// PostProcessUs is TPUPoint's fixed post-run processing time, added
 	// to the paper-scale projection. Default 90e6µs (90s).
 	PostProcessUs float64
+
+	// Obs, when set, receives the optimizer's metrics (probes started /
+	// accepted / rolled back, restore stalls) and the per-axis move
+	// history as structured events.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -86,12 +96,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SettleSteps == 0 {
 		o.SettleSteps = 4
+	} else if o.SettleSteps < 0 {
+		o.SettleSteps = 0
 	}
 	if o.ImproveEps == 0 {
 		o.ImproveEps = 0.02
+	} else if o.ImproveEps < 0 {
+		o.ImproveEps = 0
 	}
 	if o.InstrumentationUs == 0 {
 		o.InstrumentationUs = 250
+	} else if o.InstrumentationUs < 0 {
+		o.InstrumentationUs = 0
 	}
 	if o.RestoreUs == 0 {
 		o.RestoreUs = 300_000
@@ -203,10 +219,31 @@ func AdjustableParams(start host.Params, spec host.Spec) []string {
 	return out
 }
 
+// otMetrics are the optimizer's obs instruments (nil-safe).
+type otMetrics struct {
+	probesStarted *obs.Counter
+	accepted      *obs.Counter
+	rolledBack    *obs.Counter
+	restoreStalls *obs.Counter
+	criticalStep  *obs.Gauge
+}
+
+func newOTMetrics(r *obs.Registry) otMetrics {
+	return otMetrics{
+		probesStarted: r.Counter("optimizer.probes.started"),
+		accepted:      r.Counter("optimizer.probes.accepted"),
+		rolledBack:    r.Counter("optimizer.probes.rolled_back"),
+		restoreStalls: r.Counter("optimizer.restore.stalls"),
+		criticalStep:  r.Gauge("optimizer.critical_phase.step"),
+	}
+}
+
 // tuner is the OnTrainStep state machine.
 type tuner struct {
 	opts Options
 	axes []axis
+	spec host.Spec // the workload's host — bounds every candidate value
+	m    otMetrics
 
 	state        int // 0 warmup, 1 tuning, 2 done
 	lastEnd      simclock.Time
@@ -242,8 +279,12 @@ func (t *tuner) onStep(r *estimator.Runner, step int64, st tpu.StepTiming) {
 	t.lastEnd = st.End
 
 	stepSpan := st.End.Sub(st.Start) + st.Idle
-	t.totalTime += stepSpan
 	t.phaseTime += stepSpan // the training phase: every train step belongs
+	// Aggregated execution time spans *all* phases: init, eval blocks,
+	// checkpoint and summary writes (from the runner) plus training.
+	// Summing only train steps into both sides made the >50% gate
+	// vacuously true from the very first step.
+	t.totalTime = t.phaseTime + r.NonTrainTime()
 
 	switch t.state {
 	case stWarmup:
@@ -261,6 +302,10 @@ func (t *tuner) onStep(r *estimator.Runner, step int64, st tpu.StepTiming) {
 		t.baselineMean = median(t.window)
 		t.bestMean = t.baselineMean
 		t.criticalAt = step
+		t.m.criticalStep.Set(step)
+		t.opts.Obs.Emit("optimizer", "critical-phase",
+			fmt.Sprintf("tuning engaged at step %d (train share %.0f%%)",
+				step, 100*float64(t.phaseTime)/float64(t.totalTime)))
 		t.state = stTuning
 		t.startProbe(r, step)
 	case stTuning:
@@ -282,7 +327,7 @@ func (t *tuner) startProbe(r *estimator.Runner, step int64) {
 	for t.axisIdx < len(t.axes) {
 		ax := t.axes[t.axisIdx]
 		cand := ax.set(t.cur, ax.grow(ax.get(t.cur)))
-		if cand.Validate() != nil || cand.Clamp(host.DefaultSpec()) != cand {
+		if cand.Validate() != nil || cand.Clamp(t.spec) != cand {
 			// Not adjustable (or saturated): next axis.
 			t.axisIdx++
 			continue
@@ -299,6 +344,7 @@ func (t *tuner) startProbe(r *estimator.Runner, step int64) {
 		t.window = t.window[:0]
 		t.probeLeft = t.opts.ProbeSteps
 		t.probing = true
+		t.m.probesStarted.Inc()
 		return
 	}
 	// All axes explored: tuning complete. Instrumentation comes off.
@@ -320,6 +366,7 @@ func (t *tuner) finishProbe(r *estimator.Runner, step int64, mean float64) {
 		// Improved: keep it and push the same direction.
 		mv.Accepted = true
 		t.bestMean = mean
+		t.m.accepted.Inc()
 	} else {
 		// No better than the incumbent: restore from checkpoint and move
 		// to the next parameter.
@@ -328,7 +375,16 @@ func (t *tuner) finishProbe(r *estimator.Runner, step int64, mean float64) {
 		}
 		r.Stall(simclock.Duration(t.opts.RestoreUs), step)
 		t.axisIdx++
+		t.m.rolledBack.Inc()
+		t.m.restoreStalls.Inc()
 	}
+	verdict := "rolled-back"
+	if mv.Accepted {
+		verdict = "accepted"
+	}
+	t.opts.Obs.Emit("optimizer", "move",
+		fmt.Sprintf("%s %d->%d %s (period %.0fus -> %.0fus)",
+			mv.Param, mv.From, mv.To, verdict, mv.PeriodBefore, mv.PeriodAfter))
 	t.moves = append(t.moves, mv)
 	t.startProbe(r, step)
 }
@@ -346,7 +402,8 @@ func Optimize(w *workloads.Workload, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("optimizer: baseline run: %w", err)
 	}
 
-	tn := &tuner{opts: opts, axes: adjustableAxes(), cur: w.HostParams}
+	tn := &tuner{opts: opts, axes: adjustableAxes(), cur: w.HostParams,
+		spec: w.Spec(), m: newOTMetrics(opts.Obs)}
 	opt, err := runOnce(w, opts, tn.onStep, opts.InstrumentationUs)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: tuned run: %w", err)

@@ -1,9 +1,11 @@
 package optimizer
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/host"
+	"repro/internal/obs"
 	"repro/internal/tpu"
 	"repro/internal/workloads"
 )
@@ -64,6 +66,107 @@ func TestOptimizerCriticalPhaseDetection(t *testing.T) {
 	}
 	if res.CriticalPhaseStep > 60 {
 		t.Fatalf("critical phase detected only at step %d", res.CriticalPhaseStep)
+	}
+}
+
+func TestOptimizerCriticalPhaseDefersUntilTrainingDominates(t *testing.T) {
+	// QANet's session init spans roughly five of its step periods, so for
+	// the first few steps the init phase — not training — holds the
+	// majority of aggregated execution time. With a warmup window that
+	// ends before training dominates, the >50% gate must keep deferring;
+	// the old bookkeeping fed every train step into both sides of the
+	// comparison, which made the gate pass the moment warmup ended.
+	res := optimize(t, "qanet-squad", false, Options{WarmupSteps: 2})
+	if res.CriticalPhaseStep <= 0 {
+		t.Fatal("critical phase never detected")
+	}
+	if res.CriticalPhaseStep <= 2 {
+		t.Fatalf("critical phase at step %d: gate fired the moment warmup ended, before training dominated", res.CriticalPhaseStep)
+	}
+}
+
+func TestOptimizerHonorsWorkloadHostSpec(t *testing.T) {
+	// A smaller host (2 cores → 4 SMT threads) must bound exploration:
+	// the tuner used to clamp candidates against the hardcoded default
+	// 16-core spec, so a workload on constrained hardware could be pushed
+	// past its actual thread budget.
+	w := workloads.MustGet("dcgan-cifar10").Naive()
+	small := host.DefaultSpec()
+	small.Cores = 2
+	w.HostSpec = small
+	res, err := Optimize(w, Options{Steps: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalParams.Clamp(small) != res.FinalParams {
+		t.Fatalf("final params exceed the workload's host limits: %+v", res.FinalParams)
+	}
+	if res.FinalParams.DecodeThreads > 4 || res.FinalParams.ReaderThreads > 4 {
+		t.Fatalf("thread counts exceed the 2-core host's 4-thread budget: %+v", res.FinalParams)
+	}
+}
+
+func TestOptionsNegativeDisables(t *testing.T) {
+	// Zero keeps the documented defaults...
+	d := Options{}.withDefaults()
+	if d.SettleSteps != 4 || d.ImproveEps != 0.02 || d.InstrumentationUs != 250 {
+		t.Fatalf("defaults = %+v", d)
+	}
+	// ...and negative values request zero explicitly (profiler.Options
+	// semantics), which a zero-means-default sentinel made unreachable.
+	o := Options{SettleSteps: -1, ImproveEps: -1, InstrumentationUs: -1}.withDefaults()
+	if o.SettleSteps != 0 {
+		t.Fatalf("SettleSteps = %d, want 0", o.SettleSteps)
+	}
+	if o.ImproveEps != 0 {
+		t.Fatalf("ImproveEps = %g, want 0", o.ImproveEps)
+	}
+	if o.InstrumentationUs != 0 {
+		t.Fatalf("InstrumentationUs = %g, want 0", o.InstrumentationUs)
+	}
+}
+
+func TestOptimizerMoveMetrics(t *testing.T) {
+	// End-to-end through Optimize: the obs registry must agree with the
+	// returned move history.
+	reg := obs.NewRegistry(128)
+	res := optimize(t, "qanet-squad", true, Options{Obs: reg})
+	snap := reg.Snapshot()
+
+	accepted, rolledBack := 0, 0
+	for _, m := range res.Moves {
+		if m.Accepted {
+			accepted++
+		} else {
+			rolledBack++
+		}
+	}
+	if got := snap.C("optimizer.probes.accepted"); got != int64(accepted) {
+		t.Fatalf("accepted counter = %d, moves say %d", got, accepted)
+	}
+	if got := snap.C("optimizer.probes.rolled_back"); got != int64(rolledBack) {
+		t.Fatalf("rolled_back counter = %d, moves say %d", got, rolledBack)
+	}
+	if got := snap.C("optimizer.restore.stalls"); got != int64(rolledBack) {
+		t.Fatalf("restore stalls = %d, want one per rollback (%d)", got, rolledBack)
+	}
+	if got := snap.C("optimizer.probes.started"); got < int64(len(res.Moves)) {
+		t.Fatalf("probes started = %d, fewer than %d finished moves", got, len(res.Moves))
+	}
+	if got := snap.Gauges["optimizer.critical_phase.step"]; got != res.CriticalPhaseStep {
+		t.Fatalf("critical-phase gauge = %d, result says %d", got, res.CriticalPhaseStep)
+	}
+	moveEvents := 0
+	for _, ev := range snap.Events {
+		if ev.Scope == "optimizer" && ev.Name == "move" {
+			moveEvents++
+			if !strings.Contains(ev.Detail, "->") {
+				t.Fatalf("move event lacks a from->to transition: %q", ev.Detail)
+			}
+		}
+	}
+	if moveEvents != len(res.Moves) {
+		t.Fatalf("%d move events for %d moves", moveEvents, len(res.Moves))
 	}
 }
 

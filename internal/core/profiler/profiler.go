@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/tpu"
@@ -124,6 +125,47 @@ type Options struct {
 	// 64). When the queue is full the record is kept in memory only and
 	// OnDegraded fires — the profiling thread never blocks on storage.
 	QueueSize int
+
+	// Obs, when set, receives the profiler's metrics and degradation
+	// events (see the README's metric catalogue). Nil disables
+	// observability at zero cost.
+	Obs *obs.Registry
+}
+
+// metrics are the profiler's obs instruments; with a nil registry every
+// handle is nil and every operation a no-op.
+type metrics struct {
+	windowsFetched *obs.Counter // non-empty windows reduced to records
+	windowsEmpty   *obs.Counter // polls that returned no new activity
+	windowsLost    *obs.Counter // windows lost to faults (Gap records)
+	reqRetries     *obs.Counter // profile-request retry attempts
+	reqLatency     *obs.Histogram
+	recsPersisted  *obs.Counter // records written to storage
+	recsDropped    *obs.Counter // records not persisted: queue full
+	putRetries     *obs.Counter // storage-write retry attempts
+	putTimeouts    *obs.Counter // writes abandoned at PutTimeout
+	putLatency     *obs.Histogram
+	memoryOnly     *obs.Counter // times recording degraded to memory-only
+	degraded       *obs.Counter // every OnDegraded-worthy incident
+	queueDepth     *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	return metrics{
+		windowsFetched: r.Counter("profiler.windows.fetched"),
+		windowsEmpty:   r.Counter("profiler.windows.empty"),
+		windowsLost:    r.Counter("profiler.windows.lost"),
+		reqRetries:     r.Counter("profiler.request.retries"),
+		reqLatency:     r.Histogram("profiler.request.latency_us"),
+		recsPersisted:  r.Counter("profiler.records.persisted"),
+		recsDropped:    r.Counter("profiler.records.dropped"),
+		putRetries:     r.Counter("profiler.put.retries"),
+		putTimeouts:    r.Counter("profiler.put.timeouts"),
+		putLatency:     r.Histogram("profiler.put.latency_us"),
+		memoryOnly:     r.Counter("profiler.recording.memory_only"),
+		degraded:       r.Counter("profiler.degraded"),
+		queueDepth:     r.Gauge("profiler.queue.depth"),
+	}
 }
 
 // Profiler is the TPUPoint-Profiler front end (the paper's Figure 2
@@ -131,6 +173,7 @@ type Options struct {
 type Profiler struct {
 	client Client
 	opts   Options
+	m      metrics
 
 	mu       sync.Mutex
 	started  bool
@@ -172,7 +215,7 @@ func New(client Client, opts Options) *Profiler {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 64
 	}
-	return &Profiler{client: client, opts: opts}
+	return &Profiler{client: client, opts: opts, m: newMetrics(opts.Obs)}
 }
 
 // Start launches the profiling goroutine. With analyzer=true a recording
@@ -211,20 +254,27 @@ func (p *Profiler) profileLoop() {
 		resp, err := p.nextProfile()
 		if err != nil {
 			if isFatal(err) || gaps >= p.opts.MaxGaps {
+				p.opts.Obs.Emit("profiler", "fatal", err.Error())
 				p.fail(fmt.Errorf("profiler: profile request: %w", err))
 				break
 			}
 			gaps++
+			p.m.windowsLost.Inc()
 			gap := &trace.ProfileRecord{Seq: seq, Gap: true}
 			seq++
 			p.deliver(gap)
+			p.opts.Obs.Emit("profiler", "window-lost",
+				fmt.Sprintf("seq=%d consecutive=%d: %v", gap.Seq, gaps, err))
 			p.degraded(fmt.Errorf("profiler: window %d lost (%d consecutive): %w", gap.Seq, gaps, err))
 			time.Sleep(p.opts.Interval)
 			continue
 		}
 		gaps = 0
 		breakpointHit := false
-		if len(resp.Events) > 0 {
+		if len(resp.Events) == 0 {
+			p.m.windowsEmpty.Inc()
+		} else {
+			p.m.windowsFetched.Inc()
 			rec := trace.Reduce(seq, resp.WindowStart, resp.Events, resp.IdleFrac, resp.MXUUtil)
 			rec.Truncated = rec.Truncated || resp.Truncated
 			seq++
@@ -265,9 +315,12 @@ func (p *Profiler) nextProfile() (*tpu.ProfileResponse, error) {
 	var lastErr error
 	for attempt := 0; attempt <= p.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
+			p.m.reqRetries.Inc()
 			time.Sleep(p.opts.Backoff << (attempt - 1))
 		}
+		start := time.Now()
 		resp, err := p.client.NextProfile()
+		p.m.reqLatency.ObserveSince(start)
 		if err == nil {
 			return resp, nil
 		}
@@ -306,7 +359,11 @@ func (p *Profiler) deliver(rec *trace.ProfileRecord) {
 	}
 	select {
 	case ch <- rec:
+		p.m.queueDepth.Set(int64(len(ch)))
 	default:
+		p.m.recsDropped.Inc()
+		p.opts.Obs.Emit("profiler", "record-dropped",
+			fmt.Sprintf("seq=%d persist queue full", rec.Seq))
 		p.degraded(fmt.Errorf("profiler: record %d not persisted: queue full", rec.Seq))
 	}
 }
@@ -316,21 +373,31 @@ func (p *Profiler) deliver(rec *trace.ProfileRecord) {
 // retried with backoff; if one still fails, recording degrades to
 // in-memory only but keeps draining the channel so the profiling thread
 // can never block on a dead recorder.
+//
+// Storage death is a *degradation*, not a failure: every record is still
+// held in memory and returned by Stop, so the run's data is intact. It is
+// reported through OnDegraded and the obs counters; fail() is reserved
+// for unrecoverable profile-loop errors that actually lose data.
 func (p *Profiler) recordLoop(ch <-chan *trace.ProfileRecord) {
 	defer p.recWG.Done()
 	i := 0
 	dead := false
 	for rec := range ch {
+		p.m.queueDepth.Set(int64(len(ch)))
 		if dead {
 			continue // drain without persisting
 		}
 		name := fmt.Sprintf("%srecord-%06d", p.opts.ObjectPrefix, i)
 		i++
 		if err := p.putWithRetry(name, trace.MarshalRecord(rec)); err != nil {
-			p.fail(fmt.Errorf("profiler: recording %s: %w", name, err))
+			p.m.memoryOnly.Inc()
+			p.opts.Obs.Emit("profiler", "memory-only",
+				fmt.Sprintf("recording %s failed; records stay in memory: %v", name, err))
 			p.degraded(fmt.Errorf("profiler: recording degraded to memory-only: %w", err))
 			dead = true
+			continue
 		}
+		p.m.recsPersisted.Inc()
 	}
 }
 
@@ -338,9 +405,13 @@ func (p *Profiler) putWithRetry(name string, data []byte) error {
 	var lastErr error
 	for attempt := 0; attempt <= p.opts.PutRetries; attempt++ {
 		if attempt > 0 {
+			p.m.putRetries.Inc()
 			time.Sleep(p.opts.Backoff << (attempt - 1))
 		}
-		if err := p.timedPut(name, data); err != nil {
+		start := time.Now()
+		err := p.timedPut(name, data)
+		p.m.putLatency.ObserveSince(start)
+		if err != nil {
 			lastErr = err
 			continue
 		}
@@ -369,6 +440,7 @@ func (p *Profiler) timedPut(name string, data []byte) error {
 	case err := <-done:
 		return err
 	case <-timer.C:
+		p.m.putTimeouts.Inc()
 		return fmt.Errorf("%w: %s after %v", ErrPutTimeout, name, p.opts.PutTimeout)
 	}
 }
@@ -382,6 +454,7 @@ func (p *Profiler) fail(err error) {
 }
 
 func (p *Profiler) degraded(err error) {
+	p.m.degraded.Inc()
 	if cb := p.opts.OnDegraded; cb != nil {
 		cb(err)
 	}
@@ -389,6 +462,12 @@ func (p *Profiler) degraded(err error) {
 
 // Stop sends the final profile request, waits for both goroutines to
 // drain, and returns the collected records.
+//
+// The returned error covers unrecoverable profile-loop failures only (a
+// fatal transport error, MaxGaps exceeded). Storage-side degradation —
+// recording having fallen back to memory-only, dropped persists, put
+// timeouts — does NOT surface here: every record is still returned, and
+// the degradation is visible through OnDegraded and the obs counters.
 func (p *Profiler) Stop() ([]*trace.ProfileRecord, error) {
 	p.mu.Lock()
 	if !p.started {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/tpu"
@@ -31,6 +32,26 @@ func (d *degradedLog) count() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.errs)
+}
+
+func (d *degradedLog) first() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.errs) == 0 {
+		return nil
+	}
+	return d.errs[0]
+}
+
+func (d *degradedLog) anyIs(target error) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, err := range d.errs {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
 }
 
 // Acceptance (a): the profiler survives repeated injected disconnects by
@@ -118,14 +139,16 @@ func (c *flakyWindowClient) NextProfile() (*tpu.ProfileResponse, error) {
 
 // Acceptance (a), gap half: windows lost after exhausted retries become
 // Gap markers in sequence order; profiling continues and all real events
-// are still collected.
+// are still collected. The obs registry must show the same story: lost
+// windows and degradations counted, nothing fatal.
 func TestProfilerEmitsGapMarkersAndRecovers(t *testing.T) {
 	r := fixture(t, 3000)
 	// Retries disabled: each scripted failure costs exactly one window.
 	inner := &ServiceClient{Service: r.ProfileService()}
 	client := &flakyWindowClient{inner: inner, fail: map[int]bool{2: true, 4: true}}
 	deg := &degradedLog{}
-	p := New(client, Options{MaxRetries: -1, MaxGaps: 3, OnDegraded: deg.cb})
+	reg := obs.NewRegistry(0)
+	p := New(client, Options{MaxRetries: -1, MaxGaps: 3, OnDegraded: deg.cb, Obs: reg})
 	if err := p.Start(false); err != nil {
 		t.Fatal(err)
 	}
@@ -156,6 +179,25 @@ func TestProfilerEmitsGapMarkersAndRecovers(t *testing.T) {
 	}
 	if deg.count() != 2 {
 		t.Fatalf("OnDegraded fired %d times, want 2", deg.count())
+	}
+	snap := reg.Snapshot()
+	if snap.C("profiler.windows.lost") != 2 {
+		t.Fatalf("windows.lost = %d, want 2", snap.C("profiler.windows.lost"))
+	}
+	if snap.C("profiler.degraded") != 2 {
+		t.Fatalf("degraded = %d, want 2", snap.C("profiler.degraded"))
+	}
+	if snap.C("profiler.windows.fetched") == 0 {
+		t.Fatal("no fetched windows counted")
+	}
+	lostEvents := 0
+	for _, ev := range snap.Events {
+		if ev.Scope == "profiler" && ev.Name == "window-lost" {
+			lostEvents++
+		}
+	}
+	if lostEvents != 2 {
+		t.Fatalf("window-lost ring events = %d, want 2", lostEvents)
 	}
 }
 
@@ -297,6 +339,8 @@ func TestProfilerRecordingRetriesTransientPutFailures(t *testing.T) {
 // Acceptance (c): a storage endpoint that stalls forever must not block
 // the profiling goroutine — every window is still collected in memory
 // while the recorder is wedged — and Stop stays bounded via PutTimeout.
+// Since the degradation loses no records, Stop returns them with a nil
+// error; the incident is visible via OnDegraded and the obs counters.
 func TestProfilerStorageStallDoesNotBlockProfiling(t *testing.T) {
 	r := fixture(t, 800)
 	svc := storage.NewService()
@@ -311,12 +355,14 @@ func TestProfilerStorageStallDoesNotBlockProfiling(t *testing.T) {
 	}()
 	fs := &faultnet.FlakyStore{Inner: bucket, Stall: stall}
 	deg := &degradedLog{}
+	reg := obs.NewRegistry(0)
 	p := New(&ServiceClient{Service: r.ProfileService()}, Options{
 		Bucket:     fs,
 		QueueSize:  1, // tiny queue: the stall backs up after one record
 		PutTimeout: 50 * time.Millisecond,
 		PutRetries: -1,
 		OnDegraded: deg.cb,
+		Obs:        reg,
 	})
 	if err := p.Start(true); err != nil {
 		t.Fatal(err)
@@ -359,17 +405,31 @@ func TestProfilerStorageStallDoesNotBlockProfiling(t *testing.T) {
 	if records == 0 {
 		t.Fatal("records lost to the storage stall")
 	}
-	if stopErr == nil || !errors.Is(stopErr, ErrPutTimeout) {
-		t.Fatalf("Stop err = %v, want ErrPutTimeout in the chain", stopErr)
+	// Degrading to memory-only keeps every record: not a hard error.
+	if stopErr != nil {
+		t.Fatalf("Stop err = %v, want nil (degradation must not be fatal)", stopErr)
 	}
 	if deg.count() == 0 {
 		t.Fatal("no degradation reported despite dropped persists")
 	}
+	degErr := deg.first()
+	if !errors.Is(degErr, ErrPutTimeout) && !strings.Contains(degErr.Error(), "queue full") {
+		t.Fatalf("degradation cause unclassified: %v", degErr)
+	}
+	snap := reg.Snapshot()
+	if snap.C("profiler.put.timeouts") == 0 {
+		t.Fatal("put timeout not counted")
+	}
+	if snap.C("profiler.recording.memory_only") != 1 {
+		t.Fatalf("memory_only = %d, want 1", snap.C("profiler.recording.memory_only"))
+	}
 }
 
-// Satellite: concurrent profiling and recording failures must both
-// surface from Stop (errors.Join), not shadow one another.
-func TestProfilerJoinsConcurrentFailures(t *testing.T) {
+// Concurrent profiling and recording failures: the profile-loop failure
+// is fatal (data genuinely lost), while the storage failure is a
+// degradation — reported via OnDegraded with its cause intact, never
+// joined into Stop's error, with all collected records still returned.
+func TestProfilerSeparatesFatalFromDegradedFailures(t *testing.T) {
 	r := fixture(t, 800)
 	svc := storage.NewService()
 	bucket, _ := svc.CreateBucket("b")
@@ -380,6 +440,8 @@ func TestProfilerJoinsConcurrentFailures(t *testing.T) {
 		fail:  alwaysFail{}.asMap(64),
 	}
 	client.fail[1] = false // one good window so recording has work
+	deg := &degradedLog{}
+	reg := obs.NewRegistry(0)
 	p := New(client, Options{
 		Bucket:     fs,
 		MaxRetries: -1,
@@ -387,18 +449,29 @@ func TestProfilerJoinsConcurrentFailures(t *testing.T) {
 		PutRetries: -1,
 		Backoff:    10 * time.Microsecond,
 		Interval:   10 * time.Microsecond,
+		OnDegraded: deg.cb,
+		Obs:        reg,
 	})
 	if err := p.Start(true); err != nil {
 		t.Fatal(err)
 	}
-	_, err := p.Stop()
+	records, err := p.Stop()
 	if err == nil {
-		t.Fatal("no error from doubly-failing run")
-	}
-	if !errors.Is(err, faultnet.ErrTransientStorage) {
-		t.Fatalf("storage failure shadowed: %v", err)
+		t.Fatal("unrecoverable profile-loop failure did not surface")
 	}
 	if !strings.Contains(err.Error(), "profile request") {
-		t.Fatalf("profile failure shadowed: %v", err)
+		t.Fatalf("profile failure missing from Stop error: %v", err)
+	}
+	if errors.Is(err, faultnet.ErrTransientStorage) {
+		t.Fatalf("storage degradation leaked into Stop's error: %v", err)
+	}
+	if !deg.anyIs(faultnet.ErrTransientStorage) {
+		t.Fatal("storage degradation never reported via OnDegraded")
+	}
+	if len(records) == 0 {
+		t.Fatal("collected records lost")
+	}
+	if reg.Snapshot().C("profiler.recording.memory_only") != 1 {
+		t.Fatal("memory-only degradation not counted")
 	}
 }

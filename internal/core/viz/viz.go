@@ -66,7 +66,26 @@ func WriteChromeTrace(w io.Writer, phases []*analyzer.Phase, records []*trace.Pr
 	meta(tidHostOps, "Host Ops")
 	meta(tidTPUOps, "TPU Ops")
 
-	for _, rec := range records {
+	for i, rec := range records {
+		if rec.Gap {
+			// Gap records carry no window of their own (the window was
+			// lost before it could be measured); rendering their zero
+			// timestamps literally piled every gap into a zero-width
+			// sliver at t=0. Synthesize the hole's span from the
+			// neighboring records instead.
+			start, end := gapSpan(records, i)
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: fmt.Sprintf("gap %d", rec.Seq),
+				Ph:   "X",
+				Ts:   int64(start),
+				Dur:  int64(end.Sub(start)),
+				Pid:  pidTPUPoint,
+				Tid:  tidProfiles,
+				Args: map[string]any{"gap": true},
+			})
+			// No counter events: a lost window has no idle/MXU samples.
+			continue
+		}
 		out.TraceEvents = append(out.TraceEvents, traceEvent{
 			Name: fmt.Sprintf("profile %d", rec.Seq),
 			Ph:   "X",
@@ -133,6 +152,40 @@ func WriteChromeTrace(w io.Writer, phases []*analyzer.Phase, records []*trace.Pr
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(&out)
+}
+
+// gapSpan synthesizes a window for the gap record at index i: a run of
+// consecutive gaps splits the hole between its non-gap neighbors evenly.
+// A run with no following record collapses to zero width at the previous
+// record's end — the hole's extent is genuinely unknown there.
+func gapSpan(records []*trace.ProfileRecord, i int) (simclock.Time, simclock.Time) {
+	prev := i - 1
+	for prev >= 0 && records[prev].Gap {
+		prev--
+	}
+	next := i + 1
+	for next < len(records) && records[next].Gap {
+		next++
+	}
+	var holeStart simclock.Time // 0 when the stream opens with gaps
+	if prev >= 0 {
+		holeStart = records[prev].WindowEnd
+	}
+	if next >= len(records) {
+		return holeStart, holeStart
+	}
+	holeEnd := records[next].WindowStart
+	if holeEnd < holeStart {
+		holeEnd = holeStart
+	}
+	run := next - prev - 1 // consecutive gaps sharing this hole
+	pos := i - prev - 1
+	width := holeEnd.Sub(holeStart) / simclock.Duration(run)
+	start := holeStart.Add(width * simclock.Duration(pos))
+	if pos == run-1 {
+		return start, holeEnd // absorb division remainder
+	}
+	return start, start.Add(width)
 }
 
 func sortByStart(phases []*analyzer.Phase) []*analyzer.Phase {

@@ -90,6 +90,75 @@ func TestChromeTraceOpCap(t *testing.T) {
 	}
 }
 
+func TestChromeTraceGapWindows(t *testing.T) {
+	// Two fetched windows at [0,100) and [300,400) with a two-gap hole
+	// between them, plus a trailing gap with no following record. The
+	// gaps carry no timestamps of their own (the windows were lost), so
+	// the renderer must synthesize slices spanning the hole — not pile
+	// zero-width slivers at t=0.
+	records := []*trace.ProfileRecord{
+		{Seq: 0, WindowStart: 0, WindowEnd: 100},
+		{Seq: 1, Gap: true},
+		{Seq: 2, Gap: true},
+		{Seq: 3, WindowStart: 300, WindowEnd: 400},
+		{Seq: 4, Gap: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, records, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	type span struct{ ts, dur int64 }
+	gaps := map[string]span{}
+	counters := 0
+	for _, e := range decoded.TraceEvents {
+		if e.Ph == "C" {
+			counters++
+		}
+		if e.Ph != "X" || e.Tid != tidProfiles {
+			continue
+		}
+		if strings.HasPrefix(e.Name, "gap ") {
+			if e.Args["gap"] != true {
+				t.Fatalf("%s lacks the gap annotation: %v", e.Name, e.Args)
+			}
+			gaps[e.Name] = span{e.Ts, e.Dur}
+		}
+	}
+	if len(gaps) != 3 {
+		t.Fatalf("gap slices = %d, want 3 (%v)", len(gaps), gaps)
+	}
+	// The interior hole [100,300) splits evenly across the two gaps.
+	if g := gaps["gap 1"]; g != (span{100, 100}) {
+		t.Fatalf("gap 1 = %+v, want {100 100}", g)
+	}
+	if g := gaps["gap 2"]; g != (span{200, 100}) {
+		t.Fatalf("gap 2 = %+v, want {200 100}", g)
+	}
+	// The trailing gap has no right neighbor: zero width at the last
+	// record's end, never at t=0.
+	if g := gaps["gap 4"]; g != (span{400, 0}) {
+		t.Fatalf("gap 4 = %+v, want {400 0}", g)
+	}
+	// Lost windows have no idle/MXU samples: counter events come only
+	// from the two real records.
+	if counters != 4 {
+		t.Fatalf("counter events = %d, want 4 (two per fetched window)", counters)
+	}
+}
+
 func TestCSVOutput(t *testing.T) {
 	rep, _, _ := fixture(t)
 	var buf bytes.Buffer

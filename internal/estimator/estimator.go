@@ -83,6 +83,7 @@ type Runner struct {
 
 	consumedAt  []simclock.Time // per train-batch consumption time
 	now         simclock.Time
+	nonTrain    simclock.Duration // time in init/eval/checkpoint/summary phases
 	done        bool
 	ran         bool
 	checkpoints []Checkpoint
@@ -124,7 +125,7 @@ func New(w *workloads.Workload, opts Options) (*Runner, error) {
 	if err := dev.LoadProgram(trainProg); err != nil {
 		return nil, err
 	}
-	hst, err := host.New(host.DefaultSpec(), params, w.Input, seed+1)
+	hst, err := host.New(w.Spec(), params, w.Input, seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +188,7 @@ func (r *Runner) Run() error {
 	initEnd := r.hst.EmitInit(0, r.trainProg.WeightBytes)
 	r.dev.InjectEvent("StartProgram", initEnd, 2000, -1)
 	r.now = initEnd.Add(2000)
+	r.nonTrain += simclock.Duration(r.now) // init phase spans [0, now)
 	r.mu.Unlock()
 
 	var loopGate simclock.Time  // batches wait for loop-boundary syncs
@@ -235,9 +237,12 @@ func (r *Runner) Run() error {
 		}
 		// --- summaries and checkpoints ----------------------------------
 		if r.W.SummaryEvery > 0 && trainDone%r.W.SummaryEvery == 0 {
+			before := r.now
 			r.advance(r.hst.EmitSummary(globalStep-1, r.now))
+			r.nonTrain += r.now.Sub(before)
 		}
 		if r.W.CheckpointEvery > 0 && trainDone%r.W.CheckpointEvery == 0 {
+			before := r.now
 			end := r.hst.EmitCheckpoint(globalStep-1, r.now, r.trainProg.WeightBytes)
 			ck := Checkpoint{Step: globalStep - 1, At: end,
 				Object: fmt.Sprintf("ckpt/model.ckpt-%d", globalStep-1)}
@@ -251,6 +256,7 @@ func (r *Runner) Run() error {
 			r.checkpoints = append(r.checkpoints, ck)
 			loopGate = end
 			r.advance(end)
+			r.nonTrain += r.now.Sub(before)
 		}
 		hook := r.opts.OnTrainStep
 		r.mu.Unlock()
@@ -294,6 +300,7 @@ func (r *Runner) runEvalBlock(globalStep *int64) error {
 	if err := r.dev.LoadProgram(r.evalProg); err != nil {
 		return err
 	}
+	before := r.now
 	for i := 0; i < r.W.EvalSteps; i++ {
 		st, err := r.dev.RunStep(*globalStep, 0)
 		if err != nil {
@@ -302,6 +309,7 @@ func (r *Runner) runEvalBlock(globalStep *int64) error {
 		*globalStep++
 		r.advance(st.End)
 	}
+	r.nonTrain += r.now.Sub(before)
 	return r.dev.LoadProgram(r.trainProg)
 }
 
@@ -358,6 +366,17 @@ func (r *Runner) Now() simclock.Time {
 // TotalTime returns the simulated wall time of the completed run.
 func (r *Runner) TotalTime() simclock.Duration {
 	return simclock.Duration(r.Now())
+}
+
+// NonTrainTime returns the simulated time spent outside training steps so
+// far: session init, eval blocks, and checkpoint/summary writes. The
+// optimizer's critical-phase detector compares the training phase against
+// this — without it, "training holds >50% of aggregated time" is vacuously
+// true from the first step.
+func (r *Runner) NonTrainTime() simclock.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nonTrain
 }
 
 // Checkpoints returns the checkpoints saved during the run.

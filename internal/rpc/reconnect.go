@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -66,6 +67,33 @@ type ReconnectOptions struct {
 	// Sleep is the delay function, injectable so tests can count
 	// backoffs instead of waiting them out. Default time.Sleep.
 	Sleep func(time.Duration)
+
+	// Obs, when set, receives the client's metrics (calls, failures,
+	// per-call latency, redials) and breaker state-transition events.
+	Obs *obs.Registry
+}
+
+// rcMetrics are the ReconnectClient's obs instruments (nil-safe).
+type rcMetrics struct {
+	calls       *obs.Counter // Call/CallTimeout invocations
+	failures    *obs.Counter // calls that returned a transport error
+	retries     *obs.Counter // per-call retry attempts after backoff
+	redials     *obs.Counter // fresh connections established
+	breakerOpen *obs.Counter // times the breaker tripped
+	latency     *obs.Histogram
+	breaker     *obs.Gauge // 0 closed, 1 open
+}
+
+func newRCMetrics(r *obs.Registry) rcMetrics {
+	return rcMetrics{
+		calls:       r.Counter("rpc.calls"),
+		failures:    r.Counter("rpc.call.failures"),
+		retries:     r.Counter("rpc.call.retries"),
+		redials:     r.Counter("rpc.redials"),
+		breakerOpen: r.Counter("rpc.breaker.opened"),
+		latency:     r.Histogram("rpc.call.latency_us"),
+		breaker:     r.Gauge("rpc.breaker.state"),
+	}
 }
 
 const (
@@ -84,6 +112,7 @@ const (
 // retry storm.
 type ReconnectClient struct {
 	opts ReconnectOptions
+	m    rcMetrics
 
 	mu      sync.Mutex
 	rng     *prng.Source
@@ -122,7 +151,7 @@ func NewReconnectClient(opts ReconnectOptions) (*ReconnectClient, error) {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
-	return &ReconnectClient{opts: opts, rng: prng.New(opts.Seed)}, nil
+	return &ReconnectClient{opts: opts, m: newRCMetrics(opts.Obs), rng: prng.New(opts.Seed)}, nil
 }
 
 // Call invokes method, transparently redialing and retrying transport
@@ -135,9 +164,13 @@ func (r *ReconnectClient) Call(method string, body []byte) ([]byte, error) {
 // CallTimeout is Call with an explicit per-attempt deadline overriding
 // the configured CallTimeout.
 func (r *ReconnectClient) CallTimeout(method string, body []byte, timeout time.Duration) ([]byte, error) {
+	r.m.calls.Inc()
+	start := time.Now()
+	defer r.m.latency.ObserveSince(start)
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
+			r.m.retries.Inc()
 			r.opts.Sleep(r.backoff(attempt))
 		}
 		c, err := r.client()
@@ -146,6 +179,7 @@ func (r *ReconnectClient) CallTimeout(method string, body []byte, timeout time.D
 				return nil, err // closed client or open breaker
 			}
 			lastErr = err
+			r.m.failures.Inc()
 			if r.recordFailure(nil) {
 				return nil, fmt.Errorf("%w: %d consecutive failures, last: %v", ErrCircuitOpen, r.opts.BreakerThreshold, err)
 			}
@@ -162,6 +196,7 @@ func (r *ReconnectClient) CallTimeout(method string, body []byte, timeout time.D
 			return nil, err
 		}
 		lastErr = err
+		r.m.failures.Inc()
 		if r.recordFailure(c) {
 			return nil, fmt.Errorf("%w: %d consecutive failures, last: %v", ErrCircuitOpen, r.opts.BreakerThreshold, err)
 		}
@@ -188,6 +223,10 @@ func (r *ReconnectClient) client() (*Client, error) {
 	}
 	r.cur = NewClient(conn)
 	r.redials++
+	r.m.redials.Inc()
+	if r.redials > 1 {
+		r.opts.Obs.Emit("rpc", "redial", fmt.Sprintf("connection %d established", r.redials))
+	}
 	return r.cur, nil
 }
 
@@ -208,8 +247,12 @@ func (r *ReconnectClient) recordFailure(c *Client) (open bool) {
 		r.cur = nil
 	}
 	r.consec++
-	if th := r.opts.BreakerThreshold; th > 0 && r.consec >= th {
+	if th := r.opts.BreakerThreshold; th > 0 && r.consec >= th && !r.tripped {
 		r.tripped = true
+		r.m.breakerOpen.Inc()
+		r.m.breaker.Set(1)
+		r.opts.Obs.Emit("rpc", "breaker-open",
+			fmt.Sprintf("%d consecutive transport failures", r.consec))
 	}
 	return r.tripped
 }

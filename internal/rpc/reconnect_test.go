@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 )
 
 // noSleep replaces real backoff sleeps with a recorder so fault tests run
@@ -201,6 +202,87 @@ func TestCircuitBreakerTripsAfterKFailures(t *testing.T) {
 	_, err = rc.Call("echo", nil)
 	if IsTransient(err) {
 		t.Fatal("ErrCircuitOpen classified transient")
+	}
+}
+
+func TestReconnectObsMetrics(t *testing.T) {
+	s := echoServer(t)
+	defer s.Close()
+
+	// Two connections die after one request each, then healthy: the
+	// registry must record the calls, the churn, and no breaker trip.
+	d := dialerFor(s, func(attempt int) faultnet.Config {
+		if attempt <= 2 {
+			return faultnet.Config{DropAfterWrites: 2}
+		}
+		return faultnet.Config{}
+	})
+	reg := obs.NewRegistry(16)
+	ns := &noSleep{}
+	rc, err := NewReconnectClient(ReconnectOptions{
+		Dial:  d.Next,
+		Sleep: ns.sleep,
+		Obs:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		if _, err := rc.Call("echo", []byte{byte(i)}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.C("rpc.calls"); got != calls {
+		t.Fatalf("rpc.calls = %d, want %d", got, calls)
+	}
+	if got := snap.C("rpc.redials"); got != int64(d.Attempts()) {
+		t.Fatalf("rpc.redials = %d, dialer saw %d attempts", got, d.Attempts())
+	}
+	if got := snap.C("rpc.call.failures"); got != 2 {
+		t.Fatalf("rpc.call.failures = %d, want 2 (one per dead conn)", got)
+	}
+	if got := snap.C("rpc.breaker.opened"); got != 0 {
+		t.Fatalf("breaker opened %d times on a recoverable sequence", got)
+	}
+	if h := snap.Histograms["rpc.call.latency_us"]; h.Count != calls {
+		t.Fatalf("latency observations = %d, want %d", h.Count, calls)
+	}
+
+	// A dead endpoint trips the breaker: counter, gauge, and event.
+	reg2 := obs.NewRegistry(16)
+	rc2, err := NewReconnectClient(ReconnectOptions{
+		Dial:             func() (net.Conn, error) { return nil, errors.New("no route") },
+		MaxRetries:       10,
+		BreakerThreshold: 3,
+		Sleep:            ns.sleep,
+		Obs:              reg2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc2.Close()
+	if _, err := rc2.Call("echo", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	snap2 := reg2.Snapshot()
+	if got := snap2.C("rpc.breaker.opened"); got != 1 {
+		t.Fatalf("rpc.breaker.opened = %d, want 1", got)
+	}
+	if got := snap2.Gauges["rpc.breaker.state"]; got != 1 {
+		t.Fatalf("rpc.breaker.state = %d, want 1 (open)", got)
+	}
+	found := false
+	for _, ev := range snap2.Events {
+		if ev.Scope == "rpc" && ev.Name == "breaker-open" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no breaker-open event in ring: %+v", snap2.Events)
 	}
 }
 

@@ -61,7 +61,19 @@ type Workload struct {
 	EvalGraph  *graph.Graph
 	Input      host.InputSpec
 	HostParams host.Params
+	HostSpec   host.Spec // host VM driving the run (DefaultSpec unless overridden)
 	Seed       uint64
+}
+
+// Spec returns the workload's host spec, falling back to the default when
+// the field was left zero (hand-constructed Workload values). Everything
+// that reasons about the host — calibration, the estimator, the
+// optimizer's clamping — must go through this so they can never disagree.
+func (w *Workload) Spec() host.Spec {
+	if w.HostSpec == (host.Spec{}) {
+		return host.DefaultSpec()
+	}
+	return w.HostSpec
 }
 
 // spec is the static registry entry; Get instantiates graphs from it.
@@ -193,6 +205,7 @@ func Get(name string) (*Workload, error) {
 		TrainGraph:        s.buildTrain(),
 		EvalGraph:         s.buildEval(),
 		HostParams:        host.DefaultParams(),
+		HostSpec:          host.DefaultSpec(),
 		Seed:              fnv(name),
 	}
 	decoded := ds.DecodedBytes
@@ -259,7 +272,7 @@ func (w *Workload) calibrate() error {
 	hTarget := c / (1 - f)
 
 	threads := float64(w.HostParams.DecodeThreads)
-	spec := host.DefaultSpec()
+	spec := w.Spec()
 
 	// Correct for the per-epoch boundary stall, which adds to the mean
 	// step period on top of the steady state. With spe steps per epoch,

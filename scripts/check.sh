@@ -28,6 +28,12 @@ echo "== vet filter selftest"
 echo "== go test -race ./..."
 go test -race ./...
 
+# The obs instruments are lock-free by design; hammer them a second time
+# under the race detector so a future regression to unsynchronized state
+# cannot hide behind a lucky schedule.
+echo "== go test -race -count=2 ./internal/obs"
+go test -race -count=2 ./internal/obs
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh

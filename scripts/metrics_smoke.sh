@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# End-to-end observability smoke test: run a small workload through
+# `tpupoint -metrics <file>` and assert the exported snapshot is valid
+# JSON whose core profiler counters actually moved. Catches wiring
+# regressions (a component silently handed a nil registry) that unit
+# tests on the obs package itself cannot see.
+#
+# No jq dependency: the assertions live in scripts/metricscheck, a tiny
+# Go program run with `go run`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+echo "== tpupoint -metrics (profile run)"
+go run ./cmd/tpupoint -workload dcgan-mnist -steps 150 -metrics "$out/metrics.json" >"$out/stdout.txt"
+
+grep -q '^run summary: .*windows=' "$out/stdout.txt" || {
+    echo "metrics-smoke: run summary line missing from tpupoint output" >&2
+    cat "$out/stdout.txt" >&2
+    exit 1
+}
+
+echo "== snapshot assertions"
+go run ./scripts/metricscheck "$out/metrics.json" \
+    profiler.windows.fetched \
+    profiler.records.persisted
+
+echo "metrics-smoke: OK"

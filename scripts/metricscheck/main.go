@@ -1,0 +1,63 @@
+// Command metricscheck asserts properties of an obs JSON snapshot from
+// the command line — the jq-free checker behind `make metrics-smoke`.
+//
+// Usage:
+//
+//	metricscheck <snapshot.json> [counter ...]
+//
+// The snapshot must parse, and every named counter must be present with
+// a value greater than zero. Failures report what was actually in the
+// snapshot so a broken wiring is diagnosable from CI logs alone.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <snapshot.json> [counter ...]")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		fatal(fmt.Errorf("snapshot is not valid JSON: %w", err))
+	}
+	failed := false
+	for _, name := range os.Args[2:] {
+		v, ok := snap.Counters[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "metricscheck: counter %q missing from snapshot\n", name)
+			failed = true
+		case v <= 0:
+			fmt.Fprintf(os.Stderr, "metricscheck: counter %q = %d, want > 0\n", name, v)
+			failed = true
+		default:
+			fmt.Printf("ok: %s = %d\n", name, v)
+		}
+	}
+	if failed {
+		names := make([]string, 0, len(snap.Counters))
+		for n := range snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "snapshot counters: %v\n", names)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(1)
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/estimator"
 	"repro/internal/host"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tpu"
 	"repro/internal/trace"
@@ -77,7 +78,15 @@ type (
 	PipelineParams = host.Params
 	// Workload is a runnable model/dataset pair from the Table I registry.
 	Workload = workloads.Workload
+	// Metrics is the observability registry components report into; pass
+	// one via Options.Obs / OptimizeOptions.Obs and snapshot it after the
+	// run (see internal/obs).
+	Metrics = obs.Registry
 )
+
+// NewMetrics builds an observability registry with the given event-ring
+// capacity (0 = default).
+func NewMetrics(eventCap int) *Metrics { return obs.NewRegistry(eventCap) }
 
 // Workloads returns the names of the nine Table I workloads.
 func Workloads() []string { return workloads.Names() }
@@ -110,6 +119,11 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = serial). Phase results are bit-identical for
 	// every setting.
 	Parallelism int
+
+	// Obs, when set, collects metrics and structured events from every
+	// component the session wires together (profiler, analyzer). Nil
+	// disables observability at zero cost.
+	Obs *obs.Registry
 }
 
 // Session owns one training run: the workload, the simulated machine, a
@@ -121,6 +135,7 @@ type Session struct {
 	bucket      *storage.Bucket
 	trained     bool
 	parallelism int
+	obs         *obs.Registry
 }
 
 // NewSession prepares a training session for a named workload.
@@ -162,7 +177,8 @@ func NewSession(workloadName string, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{workload: w, runner: runner, bucket: bucket, parallelism: opts.Parallelism}, nil
+	return &Session{workload: w, runner: runner, bucket: bucket,
+		parallelism: opts.Parallelism, obs: opts.Obs}, nil
 }
 
 // Workload returns the session's workload spec.
@@ -177,7 +193,7 @@ func (s *Session) Bucket() *storage.Bucket { return s.bucket }
 func (s *Session) StartProfiler(analyzerMode bool) (*profiler.Profiler, error) {
 	p := profiler.New(
 		&profiler.ServiceClient{Service: s.runner.ProfileService()},
-		profiler.Options{Bucket: s.bucket},
+		profiler.Options{Bucket: s.bucket, Obs: s.obs},
 	)
 	if err := p.Start(analyzerMode); err != nil {
 		return nil, err
@@ -207,7 +223,7 @@ func (s *Session) TotalSeconds() float64 { return s.runner.TotalTime().Seconds()
 // algorithm, associating phases with the run's checkpoints.
 func (s *Session) Analyze(records []*ProfileRecord, algo Algorithm) (*Report, error) {
 	rep, err := analyzer.Analyze(s.workload.Name, records, algo,
-		analyzer.Options{Seed: s.workload.Seed, Parallelism: s.parallelism})
+		analyzer.Options{Seed: s.workload.Seed, Parallelism: s.parallelism, Obs: s.obs})
 	if err != nil {
 		return nil, err
 	}
@@ -288,6 +304,9 @@ type OptimizeOptions struct {
 	// Naive tunes the paper's naive implementation instead of the
 	// hand-tuned reference.
 	Naive bool
+	// Obs, when set, collects the optimizer's probe/rollback metrics and
+	// per-axis move events.
+	Obs *obs.Registry
 }
 
 // Optimize runs TPUPoint-Optimizer on a named workload and reports the
@@ -304,6 +323,7 @@ func Optimize(workloadName string, opts OptimizeOptions) (*OptimizeResult, error
 		Version: opts.Version,
 		Steps:   opts.Steps,
 		Seed:    opts.Seed,
+		Obs:     opts.Obs,
 	})
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench check metrics-smoke
+.PHONY: build test race vet fmt bench archive-bench check metrics-smoke archive-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,15 @@ fmt:
 bench:
 	$(GO) run ./cmd/paperbench -analyzer-bench $(or $(BENCH_OUT),BENCH_analyzer.json) $(BENCH_ARGS)
 
+# Regenerate the archive encode/decode + diff benchmarks (BENCH_archive.json).
+archive-bench:
+	$(GO) run ./cmd/paperbench -archive-bench $(or $(BENCH_OUT),BENCH_archive.json) $(BENCH_ARGS)
+
+# End-to-end profile-repository smoke: archive two runs through the CLI
+# and diff them.
+archive-smoke:
+	./scripts/archive_smoke.sh
+
 # End-to-end observability smoke: run tpupoint with -metrics on a real
 # workload and assert the snapshot parses with nonzero core counters.
 metrics-smoke:
@@ -40,4 +49,5 @@ check: build fmt vet
 	./scripts/check_selftest.sh
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs
+	./scripts/archive_smoke.sh
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

@@ -35,13 +35,21 @@ func main() {
 	steps := flag.Int("steps", 0, "override per-workload step counts (0 = calibrated full runs)")
 	jsonOut := flag.String("json", "", "also write all regenerated data as JSON to this file")
 	benchOut := flag.String("analyzer-bench", "", "run the analyzer clustering benchmark and write BENCH_analyzer.json here, then exit")
-	benchQuick := flag.Bool("bench-quick", false, "shorten the analyzer benchmark and skip the O(n²) DBSCAN reference above 10k rows (CI smoke mode)")
+	archiveBenchOut := flag.String("archive-bench", "", "run the profile archive/diff benchmark and write BENCH_archive.json here, then exit")
+	benchQuick := flag.Bool("bench-quick", false, "shorten the benchmarks and skip the O(n²) DBSCAN reference above 10k rows (CI smoke mode)")
 	par := flag.Int("parallelism", 0, "worker pool size for the parallel benchmark runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *benchOut != "" {
 		if err := analyzerBench(*benchOut, *par, *benchQuick); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: analyzer-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *archiveBenchOut != "" {
+		if err := archiveBench(*archiveBenchOut, *benchQuick); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: archive-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -104,6 +112,20 @@ func analyzerBench(path string, workers int, quick bool) error {
 	if err != nil {
 		return err
 	}
+	return writeBenchReport("analyzer", path, rep)
+}
+
+// archiveBench runs the archive encode/decode and diff benchmark and
+// writes the BENCH_archive.json document.
+func archiveBench(path string, quick bool) error {
+	rep, err := experiments.RunArchiveBench(nil, quick)
+	if err != nil {
+		return err
+	}
+	return writeBenchReport("archive", path, rep)
+}
+
+func writeBenchReport(name, path string, rep *experiments.AnalyzerBenchReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -117,7 +139,7 @@ func analyzerBench(path string, workers int, quick bool) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("analyzer benchmark (GOMAXPROCS=%d, quick=%v) -> %s\n", rep.GOMAXPROCS, rep.Quick, path)
+	fmt.Printf("%s benchmark (GOMAXPROCS=%d, quick=%v) -> %s\n", name, rep.GOMAXPROCS, rep.Quick, path)
 	fmt.Printf("%-14s %-9s %9s %8s %14s %14s\n", "kernel", "mode", "n", "iters", "ns/op", "steps/sec")
 	for _, e := range rep.Entries {
 		fmt.Printf("%-14s %-9s %9d %8d %14.0f %14.0f\n",

@@ -7,6 +7,19 @@
 //	tpupoint -workload resnet-imagenet -version 3 -algo ols -out ./out
 //	tpupoint -list
 //	tpupoint -workload qanet-squad -optimize
+//
+// Profile repository (multi-run archive + cross-run diff):
+//
+//	tpupoint -workload resnet-imagenet -archive ./runs -run-id base
+//	tpupoint -workload resnet-imagenet -archive ./runs -run-id tuned -version 3
+//	tpupoint -archive ./runs runs list
+//	tpupoint -archive ./runs runs diff base tuned
+//	tpupoint -archive ./runs -keep 2 runs gc
+//
+// Fleet collection (profilers stream records to a central server):
+//
+//	tpupoint -collect-serve :8471 -archive ./runs -max-sessions 16
+//	tpupoint -workload bert-squad -collect 127.0.0.1:8471 -run-id vm0
 package main
 
 import (
@@ -16,12 +29,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	tpupoint "repro"
 	"repro/internal/core/analyzer"
 	"repro/internal/core/profiler"
 	"repro/internal/estimator"
 	"repro/internal/obs"
+	"repro/internal/repo"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/workloads"
@@ -43,6 +58,16 @@ func main() {
 		export   = flag.String("export", "", "after profiling, export the recorded profiles to this directory (input for -analyze)")
 		par      = flag.Int("parallelism", 0, "analyzer worker pool size (0 = GOMAXPROCS, 1 = serial; results are identical for any value)")
 		metrics  = flag.String("metrics", "", "observability sink: a host:port serves live JSON snapshots over HTTP, anything else is a file the final snapshot is written to")
+
+		archiveDir  = flag.String("archive", "", "profile repository directory: archive the run there, or operate on it with the `runs` verbs")
+		runID       = flag.String("run-id", "", "run identifier in the repository (default: <workload>-<nanos>)")
+		label       = flag.String("label", "", "free-form run label recorded in the archive (e.g. an experiment tag)")
+		csvOut      = flag.Bool("csv", false, "runs diff: emit machine-readable CSV instead of the table")
+		keep        = flag.Int("keep", 3, "runs gc: newest runs to keep per workload")
+		collect     = flag.String("collect", "", "stream profile records to a fleet collection server at this address instead of the local bucket")
+		collectSrv  = flag.String("collect-serve", "", "run a fleet collection server at this TCP address writing into -archive")
+		maxSessions = flag.Int("max-sessions", 0, "collection server: concurrent session cap (0 = default)")
+		maxConns    = flag.Int("max-conns", 0, "served RPC endpoints: connection cap; excess connections get a transient busy error (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -55,6 +80,20 @@ func main() {
 			fatal(err)
 		}
 		defer flush()
+	}
+
+	if args := flag.Args(); len(args) > 0 && args[0] == "runs" {
+		if err := runsCmd(args[1:], *archiveDir, *keep, *csvOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *collectSrv != "" {
+		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, reg); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *analyze != "" {
@@ -83,7 +122,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		if err := serveProfile(*workload, ver, *steps, *serve); err != nil {
+		if err := serveProfile(*workload, ver, *steps, *serve, *maxConns); err != nil {
 			fatal(err)
 		}
 		return
@@ -123,8 +162,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := s.StartProfiler(true)
-	if err != nil {
+	rid := *runID
+	if rid == "" {
+		rid = fmt.Sprintf("%s-%d", *workload, time.Now().UnixNano())
+	}
+
+	var p *profiler.Profiler
+	var fc *repo.FleetClient
+	if *collect != "" {
+		// Stream records to the fleet collection server as they are
+		// produced; the server archives and indexes them at finalize.
+		addr := *collect
+		client, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			Obs:  reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Close()
+		spec := s.Workload().Spec()
+		fc, err = repo.OpenSession(client, repo.OpenRequest{
+			RunID: rid, Workload: s.Workload().Name, Label: *label,
+			HostSpec:   fmt.Sprintf("%dc %gMBps", spec.Cores, spec.ReadMBps),
+			TPUVersion: ver.String(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if p, err = s.StartProfilerTo(fc); err != nil {
+			fatal(err)
+		}
+	} else if p, err = s.StartProfiler(true); err != nil {
 		fatal(err)
 	}
 	if err := s.Train(); err != nil {
@@ -155,6 +224,27 @@ func main() {
 	}
 	if line := reg.Snapshot().SummaryLine(); line != "" {
 		fmt.Printf("run summary: %s\n", line)
+	}
+
+	if fc != nil {
+		info, err := fc.Finalize()
+		if err != nil {
+			fatal(err)
+		}
+		printRunInfo(os.Stdout, info, "")
+	} else if *archiveDir != "" {
+		r, bucket, err := openRepoDir(*archiveDir)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := s.ArchiveRun(r, rid, *label, records, rep)
+		if err != nil {
+			fatal(err)
+		}
+		if err := syncRepoDir(bucket, *archiveDir); err != nil {
+			fatal(err)
+		}
+		printRunInfo(os.Stdout, info, *archiveDir)
 	}
 
 	if *outDir != "" {
@@ -232,7 +322,7 @@ func analyzeDir(dir, algo string, parallelism int) error {
 // serveProfile trains the workload and keeps its profile service reachable
 // over TCP, so external tools (tpuprof, a remote TPUPoint-Profiler) can
 // request profile windows — the Cloud TPU deployment shape.
-func serveProfile(workload string, ver tpupoint.Version, steps int, addr string) error {
+func serveProfile(workload string, ver tpupoint.Version, steps int, addr string, maxConns int) error {
 	w, err := workloads.Get(workload)
 	if err != nil {
 		return err
@@ -242,6 +332,9 @@ func serveProfile(workload string, ver tpupoint.Version, steps int, addr string)
 		return err
 	}
 	srv := rpc.NewServer()
+	if maxConns > 0 {
+		srv.SetConnLimit(maxConns)
+	}
 	runner.ProfileService().Register(srv)
 	l, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,214 @@
+// Profile-repository subcommands and the fleet collection server.
+//
+// The repository lives in a directory on disk (-archive): the bucket
+// layout (runs/manifest.json + runs/<id>/archive) mirrored as files.
+// Each invocation imports the directory into an in-memory bucket,
+// operates on it through internal/repo, and syncs mutations back.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/core/viz"
+	"repro/internal/obs"
+	"repro/internal/repo"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+// openRepoDir loads a profile repository from a directory (which may
+// not exist yet — that's an empty repository).
+func openRepoDir(dir string) (*repo.Repo, *storage.Bucket, error) {
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket("profile-repo")
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		if _, err := bucket.ImportDir(dir); err != nil {
+			return nil, nil, fmt.Errorf("loading repository %s: %w", dir, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	return repo.New(bucket), bucket, nil
+}
+
+// syncRepoDir writes the repository objects back to dir. The runs/
+// subtree is replaced wholesale so deletions (runs gc) propagate.
+func syncRepoDir(bucket *storage.Bucket, dir string) error {
+	if err := os.RemoveAll(filepath.Join(dir, "runs")); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	_, err := bucket.ExportDir(dir, "runs/")
+	return err
+}
+
+// runsCmd dispatches the `runs list|show|diff|gc` verbs.
+func runsCmd(args []string, dir string, keep int, csv bool) error {
+	if dir == "" {
+		return errors.New("runs: -archive <dir> is required")
+	}
+	r, bucket, err := openRepoDir(dir)
+	if err != nil {
+		return err
+	}
+	verb := "list"
+	if len(args) > 0 {
+		verb = args[0]
+		args = args[1:]
+	}
+	switch verb {
+	case "list":
+		runs, err := r.List(repo.Filter{})
+		if err != nil {
+			return err
+		}
+		if len(runs) == 0 {
+			fmt.Println("repository is empty")
+			return nil
+		}
+		fmt.Printf("%-24s %-20s %-12s %-6s %8s %8s %10s\n",
+			"RUN", "WORKLOAD", "LABEL", "TPU", "RECORDS", "WINDOWS", "BYTES")
+		for _, info := range runs {
+			fmt.Printf("%-24s %-20s %-12s %-6s %8d %8d %10d\n",
+				info.RunID, info.Workload, info.Label, info.TPUVersion,
+				info.Records, info.Windows, info.Bytes)
+		}
+		return nil
+
+	case "show":
+		if len(args) != 1 {
+			return errors.New("usage: runs show <run-id>")
+		}
+		info, a, err := r.Get(args[0])
+		if err != nil {
+			return err
+		}
+		first, last := a.TimeRange()
+		fmt.Printf("run:       %s (seq %d)\n", info.RunID, info.CreatedSeq)
+		fmt.Printf("workload:  %s  label=%q  host=%q  tpu=%s\n",
+			info.Workload, info.Label, info.HostSpec, info.TPUVersion)
+		fmt.Printf("records:   %d (%d windows), %d bytes, sim time [%.1fms, %.1fms]\n",
+			a.RecordCount(), a.WindowCount(), a.Size(),
+			float64(first)/1000, float64(last)/1000)
+		sum := a.Summary()
+		if sum == nil {
+			fmt.Println("summary:   (none embedded)")
+			return nil
+		}
+		fmt.Printf("summary:   %s phases=%d steps=%d idle=%.1f%% mxu=%.1f%% top-3 cover %.1f%%\n",
+			sum.Algorithm, len(sum.Phases), sum.Steps,
+			100*sum.IdleFrac, 100*sum.MXUUtil, 100*sum.CoverageTop3)
+		for _, p := range sum.Phases {
+			fmt.Printf("  phase #%d: %d steps, %s, idle=%.1f%% mxu=%.1f%%\n",
+				p.ID, p.Steps, p.Total, 100*p.IdleFrac, 100*p.MXUUtil)
+			for _, op := range p.Ops {
+				fmt.Printf("    %-6s %-32s x%-6d %10.1fms\n",
+					op.Device, op.Name, op.Count, op.Total.Milliseconds())
+			}
+		}
+		return nil
+
+	case "diff":
+		if len(args) != 2 {
+			return errors.New("usage: runs diff <run-a> <run-b>")
+		}
+		d, err := r.Compare(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		if csv {
+			return viz.WriteDiffCSV(os.Stdout, d)
+		}
+		return viz.WriteDiffTable(os.Stdout, d)
+
+	case "gc":
+		victims, err := r.GC(keep)
+		if err != nil {
+			return err
+		}
+		for _, id := range victims {
+			fmt.Printf("removed %s\n", id)
+		}
+		fmt.Printf("gc: removed %d runs (keeping %d newest per workload)\n", len(victims), keep)
+		return syncRepoDir(bucket, dir)
+
+	case "delete":
+		if len(args) != 1 {
+			return errors.New("usage: runs delete <run-id>")
+		}
+		if err := r.Delete(args[0]); err != nil {
+			return err
+		}
+		fmt.Printf("removed %s\n", args[0])
+		return syncRepoDir(bucket, dir)
+
+	default:
+		return fmt.Errorf("unknown runs verb %q (want list, show, diff, gc, delete)", verb)
+	}
+}
+
+// collectServe runs the fleet collection server: profilers stream
+// records in over RPC (tpupoint -collect <addr>), every finalized
+// session becomes an indexed archive in the -archive directory.
+func collectServe(addr, dir string, maxSessions, maxConns int, reg *obs.Registry) error {
+	if dir == "" {
+		return errors.New("-collect-serve needs -archive <dir> for the repository")
+	}
+	r, bucket, err := openRepoDir(dir)
+	if err != nil {
+		return err
+	}
+	fleet := repo.NewFleet(r, repo.FleetOptions{MaxSessions: maxSessions, Obs: reg})
+	srv := rpc.NewServer()
+	if maxConns > 0 {
+		srv.SetConnLimit(maxConns)
+	}
+	fleet.Register(srv)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("fleet collection server on %s (max %d sessions), repository %s\n",
+		l.Addr(), maxSessions, dir)
+	go srv.Serve(l)
+
+	// Serve until interrupted, then flush the repository to disk.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	if fleet.ActiveSessions() > 0 {
+		fmt.Printf("warning: %d sessions still open; their records are discarded\n",
+			fleet.ActiveSessions())
+	}
+	if err := syncRepoDir(bucket, dir); err != nil {
+		return err
+	}
+	fmt.Printf("repository synced to %s\n", dir)
+	return nil
+}
+
+// printRunInfo summarizes a freshly archived run. dir is the local
+// repository directory, or "" when the archive lives on a remote
+// collection server.
+func printRunInfo(w io.Writer, info repo.RunInfo, dir string) {
+	dest := "collection server " + info.Object
+	if dir != "" {
+		dest = filepath.Join(dir, filepath.FromSlash(info.Object))
+	}
+	fmt.Fprintf(w, "archived:    run %q (seq %d): %d records, %d bytes -> %s\n",
+		info.RunID, info.CreatedSeq, info.Records, info.Bytes, dest)
+}

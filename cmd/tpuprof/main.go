@@ -12,6 +12,7 @@
 //	tpuprof -workload bert-squad          # in-process demo run
 //	tpuprof -addr 127.0.0.1:8470          # profile a served TPU
 //	tpuprof -addr ... -retries 5 -timeout 10s -backoff 50ms
+//	tpuprof -addr ... -sessions 8         # concurrent fleet-style grabs
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/estimator"
@@ -38,6 +40,7 @@ func main() {
 		retries  = flag.Int("retries", 3, "transport retries per request before giving up")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = wait forever)")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base reconnect backoff (doubles per attempt)")
+		sessions = flag.Int("sessions", 1, "concurrent profile sessions against -addr, one connection each (exercises the server's -max-conns cap; busy refusals are retried with backoff)")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (RPC calls, retries, redials) to this file at exit")
 	)
 	flag.Parse()
@@ -62,24 +65,60 @@ func main() {
 	if *addr != "" {
 		// The resilient path: redial on transport failure with capped
 		// exponential backoff; a circuit breaker turns a dead endpoint
-		// into a prompt error instead of a retry storm.
-		client, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
-			Dial:        func() (net.Conn, error) { return net.Dial("tcp", *addr) },
-			CallTimeout: *timeout,
-			MaxRetries:  *retries,
-			BaseBackoff: *backoff,
-			Obs:         reg,
-		})
-		if err != nil {
-			fatal(err)
+		// into a prompt error instead of a retry storm. With -sessions N,
+		// N clients each hold their own connection, the way a fleet of
+		// profiling hosts would; a conn-capped server answers the excess
+		// with a transient busy refusal they back off and retry.
+		fetch := func() (*tpu.ProfileResponse, error) {
+			client, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
+				Dial:        func() (net.Conn, error) { return net.Dial("tcp", *addr) },
+				CallTimeout: *timeout,
+				MaxRetries:  *retries,
+				BaseBackoff: *backoff,
+				Obs:         reg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer client.Close()
+			raw, err := client.Call(tpu.MethodProfile, nil)
+			if err != nil {
+				return nil, err
+			}
+			return tpu.UnmarshalProfileResponse(raw)
 		}
-		defer client.Close()
-		raw, err := client.Call(tpu.MethodProfile, nil)
-		if err != nil {
-			fatal(err)
-		}
-		if resp, err = tpu.UnmarshalProfileResponse(raw); err != nil {
-			fatal(err)
+		if *sessions <= 1 {
+			var err error
+			if resp, err = fetch(); err != nil {
+				fatal(err)
+			}
+		} else {
+			responses := make([]*tpu.ProfileResponse, *sessions)
+			errs := make([]error, *sessions)
+			var wg sync.WaitGroup
+			for i := 0; i < *sessions; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					responses[i], errs[i] = fetch()
+				}(i)
+			}
+			wg.Wait()
+			ok := 0
+			for i := range responses {
+				if errs[i] != nil {
+					fmt.Fprintf(os.Stderr, "tpuprof: session %d: %v\n", i, errs[i])
+					continue
+				}
+				ok++
+				if resp == nil {
+					resp = responses[i]
+				}
+			}
+			fmt.Printf("sessions: %d/%d fetched a profile window\n", ok, *sessions)
+			if resp == nil {
+				fatal(fmt.Errorf("all %d sessions failed", *sessions))
+			}
 		}
 	} else {
 		w, err := workloads.Get(*workload)

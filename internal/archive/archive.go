@@ -1,0 +1,806 @@
+// Package archive defines the on-bucket profile archive format: the
+// durable unit of the run repository (internal/repo).
+//
+// One archive captures one profiling run — every ProfileRecord the
+// profiler produced plus an embedded analyzer summary — in a single
+// blob a storage bucket can hold. The paper's evaluation is entirely
+// cross-run (phase structure of BERT vs DCGAN, TPUv2 vs TPUv3, Tables
+// II-IV); a compact self-describing archive is what makes those
+// comparisons possible after the profiling process is gone.
+//
+// Layout (all integers little-endian):
+//
+//	magic "TPAR" | version u8
+//	repeated segment: u32 payloadLen | payload
+//	footer (protobuf wire, see below)
+//	u32 footerLen | magic "TPAF"
+//
+// A segment payload is a concatenation of (uvarint recordLen,
+// recordBytes) pairs, where recordBytes is trace.MarshalRecord output —
+// the exact wire encoding the RPC layer ships, so records move between
+// live streams and archives without re-encoding. The footer indexes
+// every segment with its offset, length, CRC32C (Castagnoli, the GCS
+// object checksum), and record count, and carries aggregate counts, the
+// covered time range, run metadata, and the analyzer summary. Readers
+// trust nothing: magic, version, bounds, and every segment checksum are
+// verified before any record is decoded, and all failures are typed
+// (ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrMalformed) —
+// never a panic, however corrupt the input (see FuzzOpen).
+//
+// Footer message schema (protobuf field numbers):
+//
+//	message Footer {
+//	  uint64 version = 1;
+//	  repeated Segment segments = 2;
+//	  uint64 record_count = 3;
+//	  uint64 window_count = 4;   // non-gap records
+//	  uint64 time_first = 5;
+//	  uint64 time_last = 6;
+//	  Summary summary = 7;
+//	  Meta meta = 8;
+//	}
+//	message Segment { uint64 offset = 1; uint64 length = 2;
+//	                  uint64 crc32c = 3; uint64 records = 4; }
+//	message Meta { string run_id = 1; string workload = 2;
+//	               string label = 3; string host_spec = 4;
+//	               string tpu_version = 5; uint64 created_seq = 6; }
+//	message Summary { string workload = 1; string algorithm = 2;
+//	                  uint64 steps = 3; double idle_frac = 4;
+//	                  double mxu_util = 5; double coverage_top3 = 6;
+//	                  uint64 total_time = 7; repeated PhaseSummary phases = 8; }
+//	message PhaseSummary { sint64 id = 1; uint64 steps = 2;
+//	                       uint64 start = 3; uint64 end = 4;
+//	                       uint64 total = 5; double idle_frac = 6;
+//	                       double mxu_util = 7; repeated Op ops = 8; }
+//	message Op { string name = 1; uint64 device = 2;
+//	             uint64 count = 3; uint64 total = 4; }
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/protowire"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Format constants.
+const (
+	// Version is the current archive format version.
+	Version = 1
+
+	headerMagic  = "TPAR"
+	trailerMagic = "TPAF"
+	headerLen    = 5 // magic + version byte
+	trailerLen   = 8 // u32 footerLen + magic
+
+	// DefaultSegmentTarget is the payload size at which the writer cuts
+	// a new segment. Small enough that one flipped bit invalidates one
+	// segment, not the whole run; large enough that the per-segment
+	// index stays negligible.
+	DefaultSegmentTarget = 32 << 10
+
+	// maxSegment bounds a single segment on read — anything larger is
+	// corruption, not data (writers cut at DefaultSegmentTarget plus at
+	// most one record, and records are bounded by the profile window).
+	maxSegment = 256 << 20
+)
+
+// Typed corruption errors. Open wraps these so callers can classify
+// failures with errors.Is.
+var (
+	ErrBadMagic  = errors.New("archive: bad magic")
+	ErrVersion   = errors.New("archive: unsupported version")
+	ErrTruncated = errors.New("archive: truncated")
+	ErrChecksum  = errors.New("archive: segment checksum mismatch")
+	ErrMalformed = errors.New("archive: malformed")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta identifies a run: how the repository indexes archives.
+type Meta struct {
+	RunID      string
+	Workload   string
+	Label      string // free-form experiment tag
+	HostSpec   string // rendered host.Spec the run used
+	TPUVersion string
+	CreatedSeq uint64 // repository-issued logical creation order
+}
+
+// OpSummary is one operator's aggregate within a phase.
+type OpSummary struct {
+	Name   string
+	Device trace.Device
+	Count  int64
+	Total  simclock.Duration
+}
+
+// PhaseSummary is the compact form of one analyzer phase: enough to
+// diff phase structure across runs without re-running the analyzer.
+type PhaseSummary struct {
+	ID       int
+	Steps    int64
+	Start    simclock.Time
+	End      simclock.Time
+	Total    simclock.Duration
+	IdleFrac float64
+	MXUUtil  float64
+	Ops      []OpSummary // top ops per device, duration-descending
+}
+
+// Summary is the embedded analyzer result: phases, top-op breakdowns,
+// and the idle/MXU aggregates the paper tabulates.
+type Summary struct {
+	Workload     string
+	Algorithm    string
+	Steps        int64
+	IdleFrac     float64
+	MXUUtil      float64
+	CoverageTop3 float64
+	TotalTime    simclock.Duration
+	Phases       []PhaseSummary
+}
+
+// SummaryTopOps is how many operators per device a phase summary keeps —
+// the paper's Table II depth.
+const SummaryTopOps = 5
+
+// SummarizeReport compacts an analyzer report into the archivable
+// summary. The conversion is deterministic: phases keep the analyzer's
+// order, ops come from trace.TopOps (duration-descending, name
+// tie-break), and phase idle/MXU are duration-weighted step averages —
+// so re-analyzing the same records always reproduces identical bytes
+// (see TestRoundTripDeterministic).
+func SummarizeReport(rep *analyzer.Report) *Summary {
+	s := &Summary{
+		Workload:     rep.Workload,
+		Algorithm:    string(rep.Algorithm),
+		Steps:        int64(rep.Steps),
+		IdleFrac:     rep.IdleFrac,
+		MXUUtil:      rep.MXUUtil,
+		CoverageTop3: rep.CoverageTop3,
+		TotalTime:    rep.TotalTime,
+	}
+	for _, p := range rep.Phases {
+		ps := PhaseSummary{
+			ID:    p.ID,
+			Steps: int64(len(p.Steps)),
+			Start: p.Start,
+			End:   p.End,
+			Total: p.Total,
+		}
+		var span float64
+		for _, st := range p.Steps {
+			d := float64(st.End.Sub(st.Start))
+			span += d
+			ps.IdleFrac += st.IdleFrac * d
+			ps.MXUUtil += st.MXUUtil * d
+		}
+		if span > 0 {
+			ps.IdleFrac /= span
+			ps.MXUUtil /= span
+		}
+		for _, dev := range []trace.Device{trace.Host, trace.TPU} {
+			for _, op := range p.TopOps(dev, SummaryTopOps) {
+				ps.Ops = append(ps.Ops, OpSummary{
+					Name: op.Name, Device: op.Device,
+					Count: op.Count, Total: op.Total,
+				})
+			}
+		}
+		s.Phases = append(s.Phases, ps)
+	}
+	return s
+}
+
+// segment is one indexed run of records inside the archive body.
+type segment struct {
+	offset  int64 // payload start within the archive blob
+	length  int64
+	crc     uint32
+	records int64
+}
+
+// Writer accumulates records into archive bytes. Not safe for
+// concurrent use; the fleet server serializes per-session appends.
+type Writer struct {
+	meta      Meta
+	segTarget int
+
+	body     []byte // header + flushed segments
+	cur      []byte // unflushed segment payload
+	curRecs  int64
+	segments []segment
+
+	recordCount int64
+	windowCount int64
+	haveTime    bool
+	tsFirst     simclock.Time
+	tsLast      simclock.Time
+}
+
+// NewWriter starts an archive for the given run metadata.
+func NewWriter(meta Meta) *Writer {
+	w := &Writer{meta: meta, segTarget: DefaultSegmentTarget}
+	w.body = append(w.body, headerMagic...)
+	w.body = append(w.body, Version)
+	return w
+}
+
+// SetSegmentTarget overrides the segment cut size (testing knob; values
+// < 1 keep the default).
+func (w *Writer) SetSegmentTarget(n int) {
+	if n >= 1 {
+		w.segTarget = n
+	}
+}
+
+// Add appends one record.
+func (w *Writer) Add(rec *trace.ProfileRecord) {
+	w.addBytes(trace.MarshalRecord(rec), rec)
+}
+
+// AddRaw appends an already wire-encoded record (the form the fleet
+// endpoint receives). The bytes are decoded once to validate them and
+// update the archive's counts; malformed input is rejected rather than
+// poisoning the archive.
+func (w *Writer) AddRaw(b []byte) error {
+	rec, err := trace.UnmarshalRecord(b)
+	if err != nil {
+		return fmt.Errorf("archive: reject record: %w", err)
+	}
+	w.addBytes(b, rec)
+	return nil
+}
+
+func (w *Writer) addBytes(b []byte, rec *trace.ProfileRecord) {
+	w.cur = binary.AppendUvarint(w.cur, uint64(len(b)))
+	w.cur = append(w.cur, b...)
+	w.curRecs++
+	w.recordCount++
+	if !rec.Gap {
+		w.windowCount++
+	}
+	if rec.WindowEnd > 0 {
+		if !w.haveTime || rec.WindowStart < w.tsFirst {
+			w.tsFirst = rec.WindowStart
+		}
+		if rec.WindowEnd > w.tsLast {
+			w.tsLast = rec.WindowEnd
+		}
+		w.haveTime = true
+	}
+	if len(w.cur) >= w.segTarget {
+		w.flush()
+	}
+}
+
+func (w *Writer) flush() {
+	if len(w.cur) == 0 {
+		return
+	}
+	var lenPrefix [4]byte
+	binary.LittleEndian.PutUint32(lenPrefix[:], uint32(len(w.cur)))
+	w.body = append(w.body, lenPrefix[:]...)
+	w.segments = append(w.segments, segment{
+		offset:  int64(len(w.body)),
+		length:  int64(len(w.cur)),
+		crc:     crc32.Checksum(w.cur, castagnoli),
+		records: w.curRecs,
+	})
+	w.body = append(w.body, w.cur...)
+	w.cur = w.cur[:0]
+	w.curRecs = 0
+}
+
+// Records reports how many records have been added so far.
+func (w *Writer) Records() int64 { return w.recordCount }
+
+// Finalize flushes the last segment, appends the footer embedding sum
+// (which may be nil for a summary-less capture), and returns the
+// complete archive blob. The writer must not be used afterwards.
+func (w *Writer) Finalize(sum *Summary) []byte {
+	w.flush()
+	footer := w.encodeFooter(sum)
+	out := w.body
+	out = append(out, footer...)
+	var trailer [trailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:4], uint32(len(footer)))
+	copy(trailer[4:], trailerMagic)
+	out = append(out, trailer[:]...)
+	w.body = nil
+	return out
+}
+
+func (w *Writer) encodeFooter(sum *Summary) []byte {
+	e := protowire.NewEncoder(nil)
+	e.Uint64(1, Version)
+	for _, s := range w.segments {
+		se := protowire.NewEncoder(nil)
+		se.Uint64(1, uint64(s.offset))
+		se.Uint64(2, uint64(s.length))
+		se.Uint64(3, uint64(s.crc))
+		se.Uint64(4, uint64(s.records))
+		e.Raw(2, se.Bytes())
+	}
+	e.Uint64(3, uint64(w.recordCount))
+	e.Uint64(4, uint64(w.windowCount))
+	e.Uint64(5, uint64(w.tsFirst))
+	e.Uint64(6, uint64(w.tsLast))
+	if sum != nil {
+		e.Raw(7, MarshalSummary(sum))
+	}
+	e.Raw(8, marshalMeta(w.meta))
+	return e.Bytes()
+}
+
+// MarshalSummary encodes a summary to its canonical wire bytes.
+// Exported because bit-identical summary bytes are the archive's
+// determinism contract: the round-trip test compares these directly.
+func MarshalSummary(s *Summary) []byte {
+	e := protowire.NewEncoder(nil)
+	e.String(1, s.Workload)
+	e.String(2, s.Algorithm)
+	e.Uint64(3, uint64(s.Steps))
+	e.Double(4, s.IdleFrac)
+	e.Double(5, s.MXUUtil)
+	e.Double(6, s.CoverageTop3)
+	e.Uint64(7, uint64(s.TotalTime))
+	for _, p := range s.Phases {
+		pe := protowire.NewEncoder(nil)
+		pe.Int64(1, int64(p.ID))
+		pe.Uint64(2, uint64(p.Steps))
+		pe.Uint64(3, uint64(p.Start))
+		pe.Uint64(4, uint64(p.End))
+		pe.Uint64(5, uint64(p.Total))
+		pe.Double(6, p.IdleFrac)
+		pe.Double(7, p.MXUUtil)
+		for _, op := range p.Ops {
+			oe := protowire.NewEncoder(nil)
+			oe.String(1, op.Name)
+			oe.Uint64(2, uint64(op.Device))
+			oe.Uint64(3, uint64(op.Count))
+			oe.Uint64(4, uint64(op.Total))
+			pe.Raw(8, oe.Bytes())
+		}
+		e.Raw(8, pe.Bytes())
+	}
+	return e.Bytes()
+}
+
+func marshalMeta(m Meta) []byte {
+	e := protowire.NewEncoder(nil)
+	e.String(1, m.RunID)
+	e.String(2, m.Workload)
+	e.String(3, m.Label)
+	e.String(4, m.HostSpec)
+	e.String(5, m.TPUVersion)
+	e.Uint64(6, m.CreatedSeq)
+	return e.Bytes()
+}
+
+// Archive is a verified, opened archive blob.
+type Archive struct {
+	data     []byte
+	meta     Meta
+	summary  *Summary
+	segments []segment
+
+	recordCount int64
+	windowCount int64
+	tsFirst     simclock.Time
+	tsLast      simclock.Time
+}
+
+// Open parses and fully verifies an archive blob: magic, version,
+// trailer bounds, footer structure, and every segment's CRC32C. The
+// returned Archive retains data (callers handing in a shared buffer
+// should pass a copy — bucket reads already are copies).
+func Open(data []byte) (*Archive, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if string(data[:4]) != headerMagic {
+		return nil, fmt.Errorf("%w: header %q", ErrBadMagic, data[:4])
+	}
+	if v := data[4]; v != Version {
+		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrVersion, v, Version)
+	}
+	trailer := data[len(data)-trailerLen:]
+	if string(trailer[4:]) != trailerMagic {
+		return nil, fmt.Errorf("%w: trailer %q", ErrBadMagic, trailer[4:])
+	}
+	footerLen := int64(binary.LittleEndian.Uint32(trailer[:4]))
+	footerEnd := int64(len(data) - trailerLen)
+	if footerLen > footerEnd-headerLen {
+		return nil, fmt.Errorf("%w: footer length %d exceeds archive", ErrTruncated, footerLen)
+	}
+	a := &Archive{data: data}
+	if err := a.decodeFooter(data[footerEnd-footerLen : footerEnd]); err != nil {
+		return nil, err
+	}
+	for i, s := range a.segments {
+		if s.offset < headerLen || s.length < 0 || s.length > maxSegment ||
+			s.offset+s.length > footerEnd-footerLen {
+			return nil, fmt.Errorf("%w: segment %d bounds [%d,+%d)", ErrMalformed, i, s.offset, s.length)
+		}
+		if got := crc32.Checksum(data[s.offset:s.offset+s.length], castagnoli); got != s.crc {
+			return nil, fmt.Errorf("%w: segment %d crc %08x != %08x", ErrChecksum, i, got, s.crc)
+		}
+	}
+	return a, nil
+}
+
+func (a *Archive) decodeFooter(b []byte) error {
+	d := protowire.NewDecoder(b)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return fmt.Errorf("%w: footer: %v", ErrMalformed, err)
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return fmt.Errorf("%w: footer version: %v", ErrMalformed, err)
+			}
+			if v != Version {
+				return fmt.Errorf("%w: footer says %d", ErrVersion, v)
+			}
+		case 2:
+			raw, err := d.Raw()
+			if err != nil {
+				return fmt.Errorf("%w: footer segment: %v", ErrMalformed, err)
+			}
+			s, err := decodeSegment(raw)
+			if err != nil {
+				return err
+			}
+			a.segments = append(a.segments, s)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return fmt.Errorf("%w: record count: %v", ErrMalformed, err)
+			}
+			a.recordCount = int64(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return fmt.Errorf("%w: window count: %v", ErrMalformed, err)
+			}
+			a.windowCount = int64(v)
+		case 5:
+			v, err := d.Uint64()
+			if err != nil {
+				return fmt.Errorf("%w: time first: %v", ErrMalformed, err)
+			}
+			a.tsFirst = simclock.Time(v)
+		case 6:
+			v, err := d.Uint64()
+			if err != nil {
+				return fmt.Errorf("%w: time last: %v", ErrMalformed, err)
+			}
+			a.tsLast = simclock.Time(v)
+		case 7:
+			raw, err := d.Raw()
+			if err != nil {
+				return fmt.Errorf("%w: summary: %v", ErrMalformed, err)
+			}
+			sum, err := UnmarshalSummary(raw)
+			if err != nil {
+				return err
+			}
+			a.summary = sum
+		case 8:
+			raw, err := d.Raw()
+			if err != nil {
+				return fmt.Errorf("%w: meta: %v", ErrMalformed, err)
+			}
+			m, err := unmarshalMeta(raw)
+			if err != nil {
+				return err
+			}
+			a.meta = m
+		default:
+			if err := d.Skip(ty); err != nil {
+				return fmt.Errorf("%w: footer field %d: %v", ErrMalformed, f, err)
+			}
+		}
+	}
+	return nil
+}
+
+func decodeSegment(b []byte) (segment, error) {
+	var s segment
+	d := protowire.NewDecoder(b)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return s, fmt.Errorf("%w: segment: %v", ErrMalformed, err)
+		}
+		var v uint64
+		switch f {
+		case 1, 2, 3, 4:
+			if v, err = d.Uint64(); err != nil {
+				return s, fmt.Errorf("%w: segment field %d: %v", ErrMalformed, f, err)
+			}
+		default:
+			if err := d.Skip(ty); err != nil {
+				return s, fmt.Errorf("%w: segment field %d: %v", ErrMalformed, f, err)
+			}
+			continue
+		}
+		switch f {
+		case 1:
+			s.offset = int64(v)
+		case 2:
+			s.length = int64(v)
+		case 3:
+			if v > 0xffffffff {
+				return s, fmt.Errorf("%w: segment crc %d", ErrMalformed, v)
+			}
+			s.crc = uint32(v)
+		case 4:
+			s.records = int64(v)
+		}
+	}
+	return s, nil
+}
+
+// UnmarshalSummary decodes summary wire bytes.
+func UnmarshalSummary(b []byte) (*Summary, error) {
+	s := &Summary{}
+	d := protowire.NewDecoder(b)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("%w: summary: %v", ErrMalformed, err)
+		}
+		switch f {
+		case 1:
+			if s.Workload, err = d.String(); err != nil {
+				return nil, fmt.Errorf("%w: summary workload: %v", ErrMalformed, err)
+			}
+		case 2:
+			if s.Algorithm, err = d.String(); err != nil {
+				return nil, fmt.Errorf("%w: summary algorithm: %v", ErrMalformed, err)
+			}
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: summary steps: %v", ErrMalformed, err)
+			}
+			s.Steps = int64(v)
+		case 4:
+			if s.IdleFrac, err = d.Double(); err != nil {
+				return nil, fmt.Errorf("%w: summary idle: %v", ErrMalformed, err)
+			}
+		case 5:
+			if s.MXUUtil, err = d.Double(); err != nil {
+				return nil, fmt.Errorf("%w: summary mxu: %v", ErrMalformed, err)
+			}
+		case 6:
+			if s.CoverageTop3, err = d.Double(); err != nil {
+				return nil, fmt.Errorf("%w: summary coverage: %v", ErrMalformed, err)
+			}
+		case 7:
+			v, err := d.Uint64()
+			if err != nil {
+				return nil, fmt.Errorf("%w: summary total time: %v", ErrMalformed, err)
+			}
+			s.TotalTime = simclock.Duration(v)
+		case 8:
+			raw, err := d.Raw()
+			if err != nil {
+				return nil, fmt.Errorf("%w: summary phase: %v", ErrMalformed, err)
+			}
+			p, err := unmarshalPhase(raw)
+			if err != nil {
+				return nil, err
+			}
+			s.Phases = append(s.Phases, p)
+		default:
+			if err := d.Skip(ty); err != nil {
+				return nil, fmt.Errorf("%w: summary field %d: %v", ErrMalformed, f, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+func unmarshalPhase(b []byte) (PhaseSummary, error) {
+	var p PhaseSummary
+	d := protowire.NewDecoder(b)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return p, fmt.Errorf("%w: phase: %v", ErrMalformed, err)
+		}
+		switch f {
+		case 1:
+			v, err := d.Int64()
+			if err != nil {
+				return p, fmt.Errorf("%w: phase id: %v", ErrMalformed, err)
+			}
+			p.ID = int(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return p, fmt.Errorf("%w: phase steps: %v", ErrMalformed, err)
+			}
+			p.Steps = int64(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return p, fmt.Errorf("%w: phase start: %v", ErrMalformed, err)
+			}
+			p.Start = simclock.Time(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return p, fmt.Errorf("%w: phase end: %v", ErrMalformed, err)
+			}
+			p.End = simclock.Time(v)
+		case 5:
+			v, err := d.Uint64()
+			if err != nil {
+				return p, fmt.Errorf("%w: phase total: %v", ErrMalformed, err)
+			}
+			p.Total = simclock.Duration(v)
+		case 6:
+			if p.IdleFrac, err = d.Double(); err != nil {
+				return p, fmt.Errorf("%w: phase idle: %v", ErrMalformed, err)
+			}
+		case 7:
+			if p.MXUUtil, err = d.Double(); err != nil {
+				return p, fmt.Errorf("%w: phase mxu: %v", ErrMalformed, err)
+			}
+		case 8:
+			raw, err := d.Raw()
+			if err != nil {
+				return p, fmt.Errorf("%w: phase op: %v", ErrMalformed, err)
+			}
+			op, err := unmarshalOp(raw)
+			if err != nil {
+				return p, err
+			}
+			p.Ops = append(p.Ops, op)
+		default:
+			if err := d.Skip(ty); err != nil {
+				return p, fmt.Errorf("%w: phase field %d: %v", ErrMalformed, f, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+func unmarshalOp(b []byte) (OpSummary, error) {
+	var op OpSummary
+	d := protowire.NewDecoder(b)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return op, fmt.Errorf("%w: op: %v", ErrMalformed, err)
+		}
+		switch f {
+		case 1:
+			if op.Name, err = d.String(); err != nil {
+				return op, fmt.Errorf("%w: op name: %v", ErrMalformed, err)
+			}
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return op, fmt.Errorf("%w: op device: %v", ErrMalformed, err)
+			}
+			if v > uint64(trace.TPU) {
+				return op, fmt.Errorf("%w: op device %d", ErrMalformed, v)
+			}
+			op.Device = trace.Device(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return op, fmt.Errorf("%w: op count: %v", ErrMalformed, err)
+			}
+			op.Count = int64(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return op, fmt.Errorf("%w: op total: %v", ErrMalformed, err)
+			}
+			op.Total = simclock.Duration(v)
+		default:
+			if err := d.Skip(ty); err != nil {
+				return op, fmt.Errorf("%w: op field %d: %v", ErrMalformed, f, err)
+			}
+		}
+	}
+	return op, nil
+}
+
+func unmarshalMeta(b []byte) (Meta, error) {
+	var m Meta
+	d := protowire.NewDecoder(b)
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return m, fmt.Errorf("%w: meta: %v", ErrMalformed, err)
+		}
+		switch f {
+		case 1, 2, 3, 4, 5:
+			v, err := d.String()
+			if err != nil {
+				return m, fmt.Errorf("%w: meta field %d: %v", ErrMalformed, f, err)
+			}
+			switch f {
+			case 1:
+				m.RunID = v
+			case 2:
+				m.Workload = v
+			case 3:
+				m.Label = v
+			case 4:
+				m.HostSpec = v
+			case 5:
+				m.TPUVersion = v
+			}
+		case 6:
+			v, err := d.Uint64()
+			if err != nil {
+				return m, fmt.Errorf("%w: meta created seq: %v", ErrMalformed, err)
+			}
+			m.CreatedSeq = v
+		default:
+			if err := d.Skip(ty); err != nil {
+				return m, fmt.Errorf("%w: meta field %d: %v", ErrMalformed, f, err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Meta returns the run metadata.
+func (a *Archive) Meta() Meta { return a.meta }
+
+// Summary returns the embedded analyzer summary (nil if none).
+func (a *Archive) Summary() *Summary { return a.summary }
+
+// RecordCount is the number of archived records (including gaps).
+func (a *Archive) RecordCount() int64 { return a.recordCount }
+
+// WindowCount is the number of archived non-gap profile windows.
+func (a *Archive) WindowCount() int64 { return a.windowCount }
+
+// TimeRange returns the covered simulated-time span.
+func (a *Archive) TimeRange() (first, last simclock.Time) {
+	return a.tsFirst, a.tsLast
+}
+
+// Size is the blob's byte size.
+func (a *Archive) Size() int64 { return int64(len(a.data)) }
+
+// Records decodes every archived record, in archive order.
+func (a *Archive) Records() ([]*trace.ProfileRecord, error) {
+	out := make([]*trace.ProfileRecord, 0, a.recordCount)
+	for i, s := range a.segments {
+		payload := a.data[s.offset : s.offset+s.length]
+		for pos := 0; pos < len(payload); {
+			n, adv := binary.Uvarint(payload[pos:])
+			if adv <= 0 || n > uint64(len(payload)-pos-adv) {
+				return nil, fmt.Errorf("%w: segment %d record framing at %d", ErrMalformed, i, pos)
+			}
+			pos += adv
+			rec, err := trace.UnmarshalRecord(payload[pos : pos+int(n)])
+			if err != nil {
+				return nil, fmt.Errorf("%w: segment %d record: %v", ErrMalformed, i, err)
+			}
+			out = append(out, rec)
+			pos += int(n)
+		}
+	}
+	return out, nil
+}

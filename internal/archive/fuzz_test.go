@@ -1,0 +1,48 @@
+package archive
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzOpen feeds arbitrary bytes to the archive reader. The contract
+// under corruption is typed errors, never a panic — the same promise
+// trace's record decoder makes (internal/trace/fuzz_test.go).
+func FuzzOpen(f *testing.F) {
+	// Seed with a small valid archive plus targeted mutations of it.
+	w := NewWriter(Meta{RunID: "fuzz", Workload: "w"})
+	w.SetSegmentTarget(64)
+	for i := 0; i < 6; i++ {
+		w.Add(trace.Reduce(int64(i), 0, []trace.Event{
+			{Name: "MatMul", Device: trace.TPU, Start: 0, Dur: 10, Step: int64(i)},
+		}, 0.2, 0.4))
+	}
+	valid := w.Finalize(&Summary{Workload: "w", Algorithm: "ols", Steps: 6,
+		Phases: []PhaseSummary{{ID: 0, Steps: 6, Ops: []OpSummary{{Name: "MatMul", Device: trace.TPU, Count: 6, Total: 60}}}}})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("TPAR"))
+	f.Add([]byte("TPAR\x01TPAF"))
+	for _, cut := range []int{1, 4, 8, len(valid) / 2} {
+		if cut < len(valid) {
+			f.Add(valid[:len(valid)-cut])
+		}
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Open(data)
+		if err != nil {
+			return
+		}
+		// A blob that opens cleanly must also decode without panicking.
+		if _, err := a.Records(); err != nil {
+			return
+		}
+		_ = a.Meta()
+		_ = a.Summary()
+	})
+}

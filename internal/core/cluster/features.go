@@ -213,6 +213,18 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
+// SqDist is the squared Euclidean distance between two equal-length
+// vectors — the metric every clustering kernel in this package uses.
+// Exported so cross-run phase alignment (internal/repo's diff engine)
+// measures phase-signature similarity with the exact same distance the
+// analyzer clustered with.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cluster: SqDist dimension mismatch %d != %d", len(a), len(b)))
+	}
+	return sqDist(a, b)
+}
+
 // validateBudget fails if need exceeds budget (budget <= 0 disables).
 func validateBudget(need, budget int64, what string) error {
 	if budget > 0 && need > budget {

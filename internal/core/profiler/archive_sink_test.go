@@ -1,0 +1,112 @@
+package profiler
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/simclock"
+	"repro/internal/tpu"
+	"repro/internal/trace"
+)
+
+func TestArchiveSink(t *testing.T) {
+	sink := NewArchiveSink(archive.Meta{RunID: "sink-run", Workload: "w"})
+	var _ RecordStore = sink
+
+	var ts simclock.Time
+	for i := 0; i < 5; i++ {
+		rec := trace.Reduce(int64(i), ts, []trace.Event{
+			{Name: "MatMul", Device: trace.TPU, Start: ts, Dur: 100, Step: int64(i)},
+		}, 0.1, 0.5)
+		if _, err := sink.Put("profiles/record-000001", trace.MarshalRecord(rec)); err != nil {
+			t.Fatal(err)
+		}
+		ts = ts.Add(1000)
+	}
+	if sink.Records() != 5 {
+		t.Fatalf("records = %d", sink.Records())
+	}
+
+	// Malformed writes are rejected without corrupting the sink.
+	if _, err := sink.Put("bad", []byte{0xff}); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+
+	blob, err := sink.Finalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordCount() != 5 || a.Meta().RunID != "sink-run" {
+		t.Fatalf("archive: %d records, meta %+v", a.RecordCount(), a.Meta())
+	}
+
+	if _, err := sink.Put("late", nil); !errors.Is(err, ErrSinkFinalized) {
+		t.Fatalf("post-finalize put: %v", err)
+	}
+	if _, err := sink.Finalize(nil); !errors.Is(err, ErrSinkFinalized) {
+		t.Fatalf("double finalize: %v", err)
+	}
+}
+
+// scriptedSinkClient plays back a fixed sequence of profile windows,
+// then reports end of stream.
+type scriptedSinkClient struct {
+	responses []*tpu.ProfileResponse
+	next      int
+}
+
+func (c *scriptedSinkClient) NextProfile() (*tpu.ProfileResponse, error) {
+	if c.next >= len(c.responses) {
+		return &tpu.ProfileResponse{EndOfStream: true}, nil
+	}
+	r := c.responses[c.next]
+	c.next++
+	return r, nil
+}
+
+// TestProfilerIntoArchiveSink runs the real profiler loop against the
+// sink, proving the persisted stream round-trips into an archive.
+func TestProfilerIntoArchiveSink(t *testing.T) {
+	var responses []*tpu.ProfileResponse
+	var ts simclock.Time
+	for i := 0; i < 3; i++ {
+		responses = append(responses, &tpu.ProfileResponse{
+			Events: []trace.Event{
+				{Name: "MatMul", Device: trace.TPU, Start: ts, Dur: 100, Step: int64(i)},
+			},
+			WindowStart: ts,
+			WindowEnd:   ts.Add(1000),
+			IdleFrac:    0.2,
+			MXUUtil:     0.3,
+		})
+		ts = ts.Add(1000)
+	}
+	sink := NewArchiveSink(archive.Meta{RunID: "live"})
+	p := New(&scriptedSinkClient{responses: responses}, Options{Bucket: sink})
+	if err := p.Start(true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("profiler returned %d records", len(got))
+	}
+	blob, err := sink.Finalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordCount() != 3 {
+		t.Fatalf("archived %d records", a.RecordCount())
+	}
+}

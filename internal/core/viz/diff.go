@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/repo"
+)
+
+// WriteDiffTable renders a cross-run diff as a fixed-width text report:
+// run headlines, a per-phase-match table with wall-time / idle / MXU
+// deltas, the biggest op-mix shifts per match, and any unmatched
+// phases. This is what `tpupoint runs diff` prints.
+func WriteDiffTable(w io.Writer, d *repo.Diff) error {
+	nameA, nameB := diffRunNames(d)
+	if _, err := fmt.Fprintf(w, "A: %s  workload=%s total=%s idle=%.1f%% mxu=%.1f%%\n",
+		nameA, d.WorkloadA, d.TotalA, 100*d.IdleA, 100*d.MXUA); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "B: %s  workload=%s total=%s idle=%.1f%% mxu=%.1f%%\n\n",
+		nameB, d.WorkloadB, d.TotalB, 100*d.IdleB, 100*d.MXUB); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "%-10s %-10s %12s %12s %12s %9s %9s %8s\n",
+		"phase A", "phase B", "wall A", "wall B", "Δwall", "Δidle", "Δmxu", "dist"); err != nil {
+		return err
+	}
+	for _, m := range d.Matches {
+		if _, err := fmt.Fprintf(w, "%-10s %-10s %12s %12s %+12.3f %+8.1f%% %+8.1f%% %8.3f\n",
+			fmt.Sprintf("#%d", m.A.ID), fmt.Sprintf("#%d", m.B.ID),
+			m.A.Total, m.B.Total, m.WallDelta.Milliseconds(),
+			100*m.IdleDelta, 100*m.MXUDelta, m.Distance); err != nil {
+			return err
+		}
+		for _, om := range m.OpMix {
+			if om.Delta == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "    %-40s %6.1f%% -> %6.1f%%  (%+.1f%%)\n",
+				om.Op, 100*om.ShareA, 100*om.ShareB, 100*om.Delta); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range d.OnlyA {
+		if _, err := fmt.Fprintf(w, "only in A: phase #%d (%d steps, %s)\n", p.ID, p.Steps, p.Total); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.OnlyB {
+		if _, err := fmt.Fprintf(w, "only in B: phase #%d (%d steps, %s)\n", p.ID, p.Steps, p.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDiffCSV renders the diff as machine-readable rows: one line per
+// phase match plus unmatched phases with an empty counterpart column.
+func WriteDiffCSV(w io.Writer, d *repo.Diff) error {
+	if _, err := fmt.Fprintln(w,
+		"phase_a,phase_b,wall_a_ms,wall_b_ms,wall_delta_ms,idle_delta,mxu_delta,distance,top_op_shifts"); err != nil {
+		return err
+	}
+	for _, m := range d.Matches {
+		var shifts []string
+		for _, om := range m.OpMix {
+			if om.Delta == 0 {
+				continue
+			}
+			shifts = append(shifts, fmt.Sprintf("%s %+.4f", om.Op, om.Delta))
+		}
+		row := []string{
+			fmt.Sprint(m.A.ID),
+			fmt.Sprint(m.B.ID),
+			fmt.Sprintf("%.3f", m.A.Total.Milliseconds()),
+			fmt.Sprintf("%.3f", m.B.Total.Milliseconds()),
+			fmt.Sprintf("%.3f", m.WallDelta.Milliseconds()),
+			fmt.Sprintf("%.4f", m.IdleDelta),
+			fmt.Sprintf("%.4f", m.MXUDelta),
+			fmt.Sprintf("%.4f", m.Distance),
+			csvEscape(strings.Join(shifts, "; ")),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.OnlyA {
+		if _, err := fmt.Fprintf(w, "%d,,%.3f,,,,,,\n", p.ID, p.Total.Milliseconds()); err != nil {
+			return err
+		}
+	}
+	for _, p := range d.OnlyB {
+		if _, err := fmt.Fprintf(w, ",%d,,%.3f,,,,,\n", p.ID, p.Total.Milliseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func diffRunNames(d *repo.Diff) (string, string) {
+	a, b := d.A.RunID, d.B.RunID
+	if a == "" {
+		a = "(archive)"
+	}
+	if b == "" {
+		b = "(archive)"
+	}
+	return a, b
+}

@@ -1,0 +1,72 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/repo"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+func testDiff(t *testing.T) *repo.Diff {
+	t.Helper()
+	sum := func(scale simclock.Duration) *archive.Summary {
+		return &archive.Summary{
+			Workload: "synthetic", Algorithm: "ols", Steps: 10,
+			IdleFrac: 0.2, MXUUtil: 0.4, TotalTime: 1000 * (1 + scale),
+			Phases: []archive.PhaseSummary{
+				{ID: 0, Steps: 5, Start: 0, End: 500, Total: 500,
+					IdleFrac: 0.3, MXUUtil: 0.2,
+					Ops: []archive.OpSummary{
+						{Name: "InfeedDequeue", Device: trace.Host, Count: 5, Total: 400},
+						{Name: "MatMul", Device: trace.TPU, Count: 5, Total: 100 + 50*scale},
+					}},
+				{ID: 1, Steps: 5, Start: 500, End: simclock.Time(1000), Total: 500 * (1 + scale),
+					IdleFrac: 0.1, MXUUtil: 0.6,
+					Ops: []archive.OpSummary{
+						{Name: "MatMul", Device: trace.TPU, Count: 5, Total: 800 + 200*scale},
+					}},
+			},
+		}
+	}
+	d, err := repo.DiffSummaries(sum(0), sum(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.A.RunID, d.B.RunID = "base", "scaled"
+	return d
+}
+
+func TestWriteDiffTable(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDiffTable(&b, testDiff(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"A: base", "B: scaled", "Δwall", "tpu:MatMul"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDiffCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDiffCSV(&b, testDiff(t)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 3 { // header + 2 matches
+		t.Fatalf("csv too short:\n%s", b.String())
+	}
+	if !strings.HasPrefix(lines[0], "phase_a,phase_b,wall_a_ms") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n < 8 {
+			t.Fatalf("row has %d commas: %q", n, line)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+// The archive benchmark harness behind `paperbench -archive-bench`: it
+// times the profile-archive encode/decode path (internal/archive) and
+// the cross-run diff engine (internal/repo) on synthetic record
+// streams and emits a BENCH_archive.json in the same document shape as
+// the analyzer benchmark, so cmd/benchdiff tracks it across PRs (with
+// -min-grid-speedup 0 — there is no grid/brute pair here).
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/repo"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// ArchiveBenchSizes is the record-count sweep. Both sizes run in quick
+// mode too (benchdiff matches entries by (kernel, mode, n)); quick only
+// shortens the measurement window.
+var ArchiveBenchSizes = []int{1_000, 10_000}
+
+// archiveBenchPhases is the per-summary phase count the diff kernel
+// aligns — a deliberately hard instance (every phase must be paired).
+const archiveBenchPhases = 64
+
+// RunArchiveBench times archive encode, archive decode (open + full
+// record scan, per-segment CRC verification included), and the
+// phase-alignment diff. quick shortens the measurement window for CI
+// smoke runs.
+func RunArchiveBench(sizes []int, quick bool) (*AnalyzerBenchReport, error) {
+	if len(sizes) == 0 {
+		sizes = ArchiveBenchSizes
+	}
+	minTime := 500 * time.Millisecond
+	if quick {
+		minTime = 100 * time.Millisecond
+	}
+	rep := &AnalyzerBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Speedups:   map[string]float64{},
+	}
+
+	for _, n := range sizes {
+		recs := archiveBenchRecords(n)
+		meta := archive.Meta{RunID: fmt.Sprintf("bench-%d", n), Workload: "synthetic"}
+		encode := func() error {
+			w := archive.NewWriter(meta)
+			for _, r := range recs {
+				w.Add(r)
+			}
+			if len(w.Finalize(nil)) == 0 {
+				return fmt.Errorf("empty archive")
+			}
+			return nil
+		}
+		w := archive.NewWriter(meta)
+		for _, r := range recs {
+			w.Add(r)
+		}
+		blob := w.Finalize(nil)
+		decode := func() error {
+			a, err := archive.Open(blob)
+			if err != nil {
+				return err
+			}
+			got, err := a.Records()
+			if err != nil {
+				return err
+			}
+			if len(got) != n {
+				return fmt.Errorf("decoded %d records, want %d", len(got), n)
+			}
+			return nil
+		}
+		sa := archiveBenchSummary(archiveBenchPhases, 0)
+		sb := archiveBenchSummary(archiveBenchPhases, 1)
+		diff := func() error {
+			d, err := repo.DiffSummaries(sa, sb)
+			if err != nil {
+				return err
+			}
+			if len(d.Matches) == 0 {
+				return fmt.Errorf("no phase matches")
+			}
+			return nil
+		}
+
+		for _, r := range []struct {
+			kernel string
+			fn     func() error
+		}{
+			{"archive_encode", encode},
+			{"archive_decode", decode},
+			{"repo_diff", diff},
+		} {
+			iters, nsPerOp, err := measure(minTime, 0, r.fn)
+			if err != nil {
+				return nil, fmt.Errorf("archive-bench: %s n=%d: %w", r.kernel, n, err)
+			}
+			rep.Entries = append(rep.Entries, AnalyzerBenchEntry{
+				Kernel: r.kernel, Mode: "serial", N: n, Workers: 1,
+				Iters: iters, NsPerOp: nsPerOp,
+				StepsPerSec: float64(n) * 1e9 / nsPerOp,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// archiveBenchRecords synthesizes a two-regime record stream (the
+// infeed-bound -> compute-bound shape real workloads produce).
+func archiveBenchRecords(n int) []*trace.ProfileRecord {
+	recs := make([]*trace.ProfileRecord, 0, n)
+	var ts simclock.Time
+	for i := 0; i < n; i++ {
+		step := int64(i)
+		compute := simclock.Duration(300 + 40*(i%7))
+		infeed := simclock.Duration(600 - 30*(i%5))
+		if i >= n/2 {
+			compute, infeed = 700+simclock.Duration(20*(i%3)), 100
+		}
+		events := []trace.Event{
+			{Name: "InfeedDequeueTuple", Device: trace.Host, Start: ts, Dur: infeed, Step: step},
+			{Name: "fusion", Device: trace.TPU, Start: ts.Add(infeed), Dur: compute, Step: step},
+			{Name: "Conv2D", Device: trace.TPU, Start: ts.Add(infeed + compute), Dur: 150, Step: step},
+		}
+		recs = append(recs, trace.Reduce(int64(i), ts, events, 0.2, 0.5))
+		ts = ts.Add(1000)
+	}
+	return recs
+}
+
+// archiveBenchSummary builds a many-phase summary; variant perturbs op
+// mixes and durations so the diff does real alignment work.
+func archiveBenchSummary(phases int, variant int) *archive.Summary {
+	s := &archive.Summary{
+		Workload: "synthetic", Algorithm: "ols", Steps: int64(phases * 10),
+		IdleFrac: 0.3, MXUUtil: 0.4,
+	}
+	var t simclock.Time
+	for i := 0; i < phases; i++ {
+		total := simclock.Duration(1000 + 100*(i%9) + 37*variant)
+		p := archive.PhaseSummary{
+			ID: i, Steps: 10, Start: t, End: t.Add(total), Total: total,
+			IdleFrac: 0.2 + 0.01*float64(i%13),
+			MXUUtil:  0.5 - 0.01*float64(i%11),
+			Ops: []archive.OpSummary{
+				{Name: fmt.Sprintf("fusion.%d", i%5), Device: trace.TPU, Count: 10,
+					Total: total / simclock.Duration(2+variant)},
+				{Name: "InfeedDequeueTuple", Device: trace.Host, Count: 10,
+					Total: total / 4},
+				{Name: fmt.Sprintf("Conv2D.%d", i%3), Device: trace.TPU, Count: 10,
+					Total: total / 8},
+			},
+		}
+		s.Phases = append(s.Phases, p)
+		t = t.Add(total)
+		s.TotalTime += total
+	}
+	return s
+}

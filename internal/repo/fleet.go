@@ -1,0 +1,506 @@
+// Fleet collection endpoint: the RPC service that lets N concurrent
+// profiler sessions stream records into the repository. This is the
+// ROADMAP's "many concurrent profiling sessions" north star — one
+// collection server per fleet, each training VM's profiler streaming
+// its records in, every finished session becoming an indexed archive.
+//
+// Resource discipline per session: a bounded record queue (appends
+// beyond it get a transient busy error, never unbounded memory), a
+// lease that expires abandoned sessions, and obs counters for every
+// admission decision. The zero-loss invariant the acceptance test
+// checks: fleet.records.in == fleet.records.archived once every
+// session finalizes.
+package repo
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core/analyzer"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Fleet RPC method names.
+const (
+	MethodFleetOpen     = "fleet.Open"
+	MethodFleetAppend   = "fleet.Append"
+	MethodFleetFinalize = "fleet.Finalize"
+	MethodFleetAbort    = "fleet.Abort"
+)
+
+// Fleet option defaults.
+const (
+	DefaultMaxSessions    = 32
+	DefaultQueueSize      = 128
+	DefaultEnqueueTimeout = 2 * time.Second
+	DefaultLease          = 30 * time.Second
+)
+
+// FleetOptions tune the collection endpoint. Zero values take the
+// defaults above.
+type FleetOptions struct {
+	// MaxSessions caps concurrently open sessions; Opens beyond it get
+	// a busy error (rpc.ErrBusy → transient, clients back off).
+	MaxSessions int
+	// QueueSize bounds each session's pending-record queue.
+	QueueSize int
+	// EnqueueTimeout is how long an Append waits for queue space
+	// before returning busy.
+	EnqueueTimeout time.Duration
+	// Lease expires sessions with no activity (crashed profilers must
+	// not pin session slots forever).
+	Lease time.Duration
+	// Algorithm and Analyzer configure the server-side analysis each
+	// session's records get at finalize (default OLS).
+	Algorithm analyzer.Algorithm
+	Analyzer  analyzer.Options
+	// Obs receives the endpoint's metrics.
+	Obs *obs.Registry
+	// Now is the lease clock (testing knob; default time.Now).
+	Now func() time.Time
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = DefaultMaxSessions
+	}
+	if o.QueueSize == 0 {
+		o.QueueSize = DefaultQueueSize
+	}
+	if o.EnqueueTimeout == 0 {
+		o.EnqueueTimeout = DefaultEnqueueTimeout
+	}
+	if o.Lease == 0 {
+		o.Lease = DefaultLease
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = analyzer.OLSAlgo
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+type fleetMetrics struct {
+	opened   *obs.Counter
+	active   *obs.Gauge
+	expired  *obs.Counter
+	rejected *obs.Counter
+	recIn    *obs.Counter
+	recArch  *obs.Counter
+	busy     *obs.Counter
+	bytesIn  *obs.Counter
+	saved    *obs.Counter
+}
+
+func newFleetMetrics(r *obs.Registry) fleetMetrics {
+	return fleetMetrics{
+		opened:   r.Counter("fleet.sessions.opened"),
+		active:   r.Gauge("fleet.sessions.active"),
+		expired:  r.Counter("fleet.sessions.expired"),
+		rejected: r.Counter("fleet.sessions.rejected"),
+		recIn:    r.Counter("fleet.records.in"),
+		recArch:  r.Counter("fleet.records.archived"),
+		busy:     r.Counter("fleet.appends.busy"),
+		bytesIn:  r.Counter("fleet.bytes.in"),
+		saved:    r.Counter("fleet.runs.saved"),
+	}
+}
+
+// Fleet is the collection endpoint. Register it on an rpc.Server and
+// point profilers at it through FleetClient.
+type Fleet struct {
+	repo *Repo
+	opts FleetOptions
+	m    fleetMetrics
+
+	mu       sync.Mutex
+	nextID   uint64
+	sessions map[uint64]*session
+}
+
+// NewFleet builds a collection endpoint writing into repo.
+func NewFleet(r *Repo, opts FleetOptions) *Fleet {
+	opts = opts.withDefaults()
+	return &Fleet{
+		repo:     r,
+		opts:     opts,
+		m:        newFleetMetrics(opts.Obs),
+		nextID:   1,
+		sessions: make(map[uint64]*session),
+	}
+}
+
+// Register installs the fleet methods on an RPC server.
+func (f *Fleet) Register(s *rpc.Server) {
+	s.Register(MethodFleetOpen, f.handleOpen)
+	s.Register(MethodFleetAppend, f.handleAppend)
+	s.Register(MethodFleetFinalize, f.handleFinalize)
+	s.Register(MethodFleetAbort, f.handleAbort)
+}
+
+// session is one in-flight collection stream.
+type session struct {
+	id   uint64
+	meta archive.Meta
+	w    *archive.Writer
+	recs []*trace.ProfileRecord
+
+	ch   chan []byte   // bounded pending-record queue
+	done chan struct{} // drain goroutine exit
+
+	// sendMu guards enqueue-vs-close: Append holds it across the
+	// channel send, Finalize/expiry set closed and close(ch) under it,
+	// so a send on a closed channel is impossible.
+	sendMu sync.Mutex
+	closed bool
+
+	mu         sync.Mutex
+	lastActive time.Time
+	archived   int64
+}
+
+// drain is the session's single consumer: it owns the writer and the
+// record slice, so neither needs locking.
+func (s *session) drain(m fleetMetrics) {
+	defer close(s.done)
+	for b := range s.ch {
+		rec, err := trace.UnmarshalRecord(b)
+		if err != nil {
+			// Can't happen: handleAppend validated the bytes. Skip
+			// defensively rather than corrupt the archive.
+			continue
+		}
+		s.w.Add(rec)
+		s.recs = append(s.recs, rec)
+		s.mu.Lock()
+		s.archived++
+		s.mu.Unlock()
+		m.recArch.Inc()
+	}
+}
+
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastActive = now
+	s.mu.Unlock()
+}
+
+// closeQueue marks the session closed and closes its queue exactly
+// once. Safe against concurrent appends.
+func (s *session) closeQueue() {
+	s.sendMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.sendMu.Unlock()
+}
+
+// Wire messages (JSON for control, binary for the append hot path).
+
+// OpenRequest asks for a new collection session.
+type OpenRequest struct {
+	RunID      string `json:"run_id"`
+	Workload   string `json:"workload"`
+	Label      string `json:"label,omitempty"`
+	HostSpec   string `json:"host_spec,omitempty"`
+	TPUVersion string `json:"tpu_version,omitempty"`
+}
+
+// OpenResponse returns the session handle.
+type OpenResponse struct {
+	SessionID uint64 `json:"session_id"`
+}
+
+type sessionRequest struct {
+	SessionID uint64 `json:"session_id"`
+}
+
+// sweepExpired evicts sessions idle past the lease. Called at handler
+// entry, so an abandoned slot frees the moment anyone else talks to
+// the endpoint.
+func (f *Fleet) sweepExpired() {
+	now := f.opts.Now()
+	f.mu.Lock()
+	var victims []*session
+	for id, s := range f.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastActive)
+		s.mu.Unlock()
+		if idle > f.opts.Lease {
+			delete(f.sessions, id)
+			victims = append(victims, s)
+		}
+	}
+	f.m.active.Set(int64(len(f.sessions)))
+	f.mu.Unlock()
+	for _, s := range victims {
+		s.closeQueue()
+		<-s.done
+		f.m.expired.Inc()
+		f.opts.Obs.Emit("fleet", "session-expired",
+			fmt.Sprintf("session %d (run %q) idle past lease", s.id, s.meta.RunID))
+	}
+}
+
+func (f *Fleet) handleOpen(body []byte) ([]byte, error) {
+	f.sweepExpired()
+	var req OpenRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("fleet: bad open request: %w", err)
+	}
+	if req.RunID == "" {
+		return nil, fmt.Errorf("fleet: open without run_id")
+	}
+	seq, err := f.repo.NextSeq()
+	if err != nil {
+		return nil, err
+	}
+	meta := archive.Meta{
+		RunID:      req.RunID,
+		Workload:   req.Workload,
+		Label:      req.Label,
+		HostSpec:   req.HostSpec,
+		TPUVersion: req.TPUVersion,
+		CreatedSeq: seq,
+	}
+	s := &session{
+		meta:       meta,
+		w:          archive.NewWriter(meta),
+		ch:         make(chan []byte, f.opts.QueueSize),
+		done:       make(chan struct{}),
+		lastActive: f.opts.Now(),
+	}
+
+	f.mu.Lock()
+	if len(f.sessions) >= f.opts.MaxSessions {
+		f.mu.Unlock()
+		f.m.rejected.Inc()
+		return nil, fmt.Errorf("%w: %d collection sessions open (limit %d)",
+			rpc.ErrBusy, f.opts.MaxSessions, f.opts.MaxSessions)
+	}
+	s.id = f.nextID
+	f.nextID++
+	f.sessions[s.id] = s
+	f.m.active.Set(int64(len(f.sessions)))
+	f.mu.Unlock()
+
+	go s.drain(f.m)
+	f.m.opened.Inc()
+	return json.Marshal(OpenResponse{SessionID: s.id})
+}
+
+func (f *Fleet) lookup(id uint64) (*session, error) {
+	f.mu.Lock()
+	s, ok := f.sessions[id]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown session %d", id)
+	}
+	return s, nil
+}
+
+// handleAppend body: u64le session id, then record wire bytes.
+func (f *Fleet) handleAppend(body []byte) ([]byte, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("fleet: short append frame")
+	}
+	id := binary.LittleEndian.Uint64(body[:8])
+	s, err := f.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	// The rpc layer reuses its read buffer per connection; copy before
+	// the bytes cross into the drain goroutine.
+	rec := make([]byte, len(body)-8)
+	copy(rec, body[8:])
+	if _, err := trace.UnmarshalRecord(rec); err != nil {
+		return nil, fmt.Errorf("fleet: reject record: %w", err)
+	}
+	s.touch(f.opts.Now())
+
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return nil, fmt.Errorf("fleet: session %d already finalized", id)
+	}
+	select {
+	case s.ch <- rec:
+		s.sendMu.Unlock()
+	default:
+		// Queue full: wait bounded, then shed load with a transient
+		// busy error instead of growing memory.
+		timer := time.NewTimer(f.opts.EnqueueTimeout)
+		select {
+		case s.ch <- rec:
+			timer.Stop()
+			s.sendMu.Unlock()
+		case <-timer.C:
+			s.sendMu.Unlock()
+			f.m.busy.Inc()
+			return nil, fmt.Errorf("%w: session %d queue full (%d pending)",
+				rpc.ErrBusy, id, f.opts.QueueSize)
+		}
+	}
+	f.m.recIn.Inc()
+	f.m.bytesIn.Add(int64(len(rec)))
+	return nil, nil
+}
+
+// remove detaches a session from the table.
+func (f *Fleet) remove(id uint64) (*session, error) {
+	f.mu.Lock()
+	s, ok := f.sessions[id]
+	if ok {
+		delete(f.sessions, id)
+	}
+	f.m.active.Set(int64(len(f.sessions)))
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown session %d", id)
+	}
+	return s, nil
+}
+
+func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
+	f.sweepExpired()
+	var req sessionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("fleet: bad finalize request: %w", err)
+	}
+	s, err := f.remove(req.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	s.closeQueue()
+	<-s.done // drain finished: s.recs and s.w are ours now
+
+	var sum *archive.Summary
+	if len(s.recs) > 0 {
+		rep, aerr := analyzer.Analyze(s.meta.Workload, s.recs, f.opts.Algorithm, f.opts.Analyzer)
+		if aerr == nil {
+			sum = archive.SummarizeReport(rep)
+		}
+		// Gap-only streams (no steps) archive without a summary
+		// rather than failing the whole session.
+	}
+	info, err := f.repo.Save(s.w.Finalize(sum))
+	if err != nil {
+		return nil, err
+	}
+	f.m.saved.Inc()
+	f.opts.Obs.Emit("fleet", "run-saved",
+		fmt.Sprintf("run %q: %d records, %d bytes", info.RunID, info.Records, info.Bytes))
+	return json.Marshal(info)
+}
+
+func (f *Fleet) handleAbort(body []byte) ([]byte, error) {
+	var req sessionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("fleet: bad abort request: %w", err)
+	}
+	s, err := f.remove(req.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	s.closeQueue()
+	<-s.done
+	return nil, nil
+}
+
+// ActiveSessions reports how many sessions are currently open.
+func (f *Fleet) ActiveSessions() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sessions)
+}
+
+// FleetClient is the profiler-side handle on one collection session.
+// It implements profiler.RecordStore, so a profiler can stream into
+// the fleet endpoint by setting it as its Bucket.
+type FleetClient struct {
+	c  rpc.Caller
+	id uint64
+}
+
+// OpenSession starts a collection session on the endpoint behind c.
+func OpenSession(c rpc.Caller, req OpenRequest) (*FleetClient, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Call(MethodFleetOpen, body)
+	if err != nil {
+		return nil, err
+	}
+	var resp OpenResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, fmt.Errorf("fleet: bad open response: %w", err)
+	}
+	return &FleetClient{c: c, id: resp.SessionID}, nil
+}
+
+// SessionID returns the server-issued session handle.
+func (fc *FleetClient) SessionID() uint64 { return fc.id }
+
+// AppendRaw streams one wire-encoded record.
+func (fc *FleetClient) AppendRaw(rec []byte) error {
+	body := make([]byte, 8+len(rec))
+	binary.LittleEndian.PutUint64(body[:8], fc.id)
+	copy(body[8:], rec)
+	_, err := fc.c.Call(MethodFleetAppend, body)
+	return err
+}
+
+// Append streams one record.
+func (fc *FleetClient) Append(rec *trace.ProfileRecord) error {
+	return fc.AppendRaw(trace.MarshalRecord(rec))
+}
+
+// Put implements profiler.RecordStore: the record name is the
+// profiler's local object name and is not persisted — the archive
+// orders records by arrival, which for a single profiler is the
+// record sequence.
+func (fc *FleetClient) Put(name string, data []byte) (*storage.Object, error) {
+	if err := fc.AppendRaw(data); err != nil {
+		return nil, err
+	}
+	return &storage.Object{Name: name, Data: append([]byte(nil), data...)}, nil
+}
+
+// Finalize closes the session; the server analyzes, archives, and
+// indexes the run, returning its manifest entry.
+func (fc *FleetClient) Finalize() (RunInfo, error) {
+	body, err := json.Marshal(sessionRequest{SessionID: fc.id})
+	if err != nil {
+		return RunInfo{}, err
+	}
+	out, err := fc.c.Call(MethodFleetFinalize, body)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	var info RunInfo
+	if err := json.Unmarshal(out, &info); err != nil {
+		return RunInfo{}, fmt.Errorf("fleet: bad finalize response: %w", err)
+	}
+	return info, nil
+}
+
+// Abort discards the session without archiving.
+func (fc *FleetClient) Abort() error {
+	body, err := json.Marshal(sessionRequest{SessionID: fc.id})
+	if err != nil {
+		return err
+	}
+	_, err = fc.c.Call(MethodFleetAbort, body)
+	return err
+}

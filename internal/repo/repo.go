@@ -1,0 +1,351 @@
+// Package repo is the multi-run profile repository: an index of
+// profile archives (internal/archive) stored in a bucket, plus the
+// cross-run diff engine the paper's evaluation implies — every table
+// comparing BERT to DCGAN or TPUv2 to TPUv3 is a query over a
+// collection of runs, and this package makes that collection durable
+// and addressable.
+//
+// Layout inside the bucket:
+//
+//	runs/manifest.json   — JSON index of every run + the seq allocator
+//	runs/<run-id>/archive — the archive blob
+//
+// The manifest is updated with a compare-and-swap loop over
+// storage.Bucket.PutIf, so concurrent writers (the fleet endpoint
+// finalizing several sessions at once) serialize safely: each retry
+// re-reads the latest manifest at its generation and re-applies its
+// mutation.
+package repo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/archive"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+)
+
+// ManifestObject is the bucket object holding the run index.
+const ManifestObject = "runs/manifest.json"
+
+// casRetries bounds the manifest compare-and-swap loop. Contention this
+// deep means dozens of simultaneous finalizations; surfacing an error
+// beats spinning.
+const casRetries = 32
+
+// Repository errors.
+var (
+	ErrRunExists          = errors.New("repo: run already exists")
+	ErrRunNotFound        = errors.New("repo: run not found")
+	ErrManifestContention = errors.New("repo: manifest contention")
+)
+
+// RunInfo is one manifest entry: everything list/show need without
+// opening the archive blob.
+type RunInfo struct {
+	RunID      string        `json:"run_id"`
+	Workload   string        `json:"workload"`
+	Label      string        `json:"label,omitempty"`
+	HostSpec   string        `json:"host_spec,omitempty"`
+	TPUVersion string        `json:"tpu_version,omitempty"`
+	CreatedSeq uint64        `json:"created_seq"`
+	Records    int64         `json:"records"`
+	Windows    int64         `json:"windows"`
+	Bytes      int64         `json:"bytes"`
+	TimeFirst  simclock.Time `json:"time_first"`
+	TimeLast   simclock.Time `json:"time_last"`
+	Object     string        `json:"object"`
+}
+
+// manifest is the stored index document.
+type manifest struct {
+	NextSeq uint64    `json:"next_seq"`
+	Runs    []RunInfo `json:"runs"`
+}
+
+func (m *manifest) find(runID string) int {
+	for i := range m.Runs {
+		if m.Runs[i].RunID == runID {
+			return i
+		}
+	}
+	return -1
+}
+
+// Repo is a run repository over one bucket. Safe for concurrent use:
+// all index mutations go through the manifest CAS.
+type Repo struct {
+	bucket *storage.Bucket
+}
+
+// New returns a repository over bucket. An empty bucket is an empty
+// repository; no initialization is needed.
+func New(bucket *storage.Bucket) *Repo {
+	return &Repo{bucket: bucket}
+}
+
+func runObject(runID string) string { return "runs/" + runID + "/archive" }
+
+// load reads the manifest and its generation (0 = not created yet).
+func (r *Repo) load() (*manifest, int64, error) {
+	obj, err := r.bucket.Get(ManifestObject)
+	if errors.Is(err, storage.ErrNotFound) {
+		return &manifest{NextSeq: 1}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var m manifest
+	if err := json.Unmarshal(obj.Data, &m); err != nil {
+		return nil, 0, fmt.Errorf("repo: corrupt manifest: %w", err)
+	}
+	if m.NextSeq == 0 {
+		m.NextSeq = 1
+	}
+	return &m, obj.Generation, nil
+}
+
+// update applies mut to the manifest under a CAS loop. mut may be
+// called multiple times; it must be idempotent on its input.
+func (r *Repo) update(mut func(*manifest) error) error {
+	for i := 0; i < casRetries; i++ {
+		m, gen, err := r.load()
+		if err != nil {
+			return err
+		}
+		if err := mut(m); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := r.bucket.PutIf(ManifestObject, data, gen); err == nil {
+			return nil
+		} else if !errors.Is(err, storage.ErrGenerationMismatch) {
+			return err
+		}
+	}
+	return ErrManifestContention
+}
+
+// NextSeq allocates the next logical creation sequence number. Archives
+// carry it as Meta.CreatedSeq so listings sort by creation order
+// without any wall clock (deterministic runs stay deterministic).
+func (r *Repo) NextSeq() (uint64, error) {
+	var seq uint64
+	err := r.update(func(m *manifest) error {
+		seq = m.NextSeq
+		m.NextSeq++
+		return nil
+	})
+	return seq, err
+}
+
+// Save validates blob as an archive, stores it, and indexes the run.
+// The archive's Meta.RunID must be non-empty and unused.
+func (r *Repo) Save(blob []byte) (RunInfo, error) {
+	a, err := archive.Open(blob)
+	if err != nil {
+		return RunInfo{}, fmt.Errorf("repo: refusing to save: %w", err)
+	}
+	meta := a.Meta()
+	if meta.RunID == "" {
+		return RunInfo{}, errors.New("repo: archive has no run ID")
+	}
+	first, last := a.TimeRange()
+	info := RunInfo{
+		RunID:      meta.RunID,
+		Workload:   meta.Workload,
+		Label:      meta.Label,
+		HostSpec:   meta.HostSpec,
+		TPUVersion: meta.TPUVersion,
+		CreatedSeq: meta.CreatedSeq,
+		Records:    a.RecordCount(),
+		Windows:    a.WindowCount(),
+		Bytes:      a.Size(),
+		TimeFirst:  first,
+		TimeLast:   last,
+		Object:     runObject(meta.RunID),
+	}
+	if _, err := r.bucket.Put(info.Object, blob); err != nil {
+		return RunInfo{}, err
+	}
+	err = r.update(func(m *manifest) error {
+		if m.find(info.RunID) >= 0 {
+			return fmt.Errorf("%w: %q", ErrRunExists, info.RunID)
+		}
+		m.Runs = append(m.Runs, info)
+		return nil
+	})
+	if err != nil {
+		// Roll the blob back so a failed index never leaves an
+		// unlisted orphan. A concurrent duplicate's blob is the same
+		// object name; deleting here only removes our own write.
+		if errors.Is(err, ErrRunExists) {
+			return RunInfo{}, err
+		}
+		_ = r.bucket.Delete(info.Object)
+		return RunInfo{}, err
+	}
+	return info, nil
+}
+
+// Filter selects runs for List; zero fields match everything.
+type Filter struct {
+	Workload string
+	Label    string
+}
+
+func (f Filter) match(info RunInfo) bool {
+	if f.Workload != "" && info.Workload != f.Workload {
+		return false
+	}
+	if f.Label != "" && info.Label != f.Label {
+		return false
+	}
+	return true
+}
+
+// List returns matching runs sorted by creation sequence (run ID as a
+// tiebreak so listings are total-ordered).
+func (r *Repo) List(f Filter) ([]RunInfo, error) {
+	m, _, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	var out []RunInfo
+	for _, info := range m.Runs {
+		if f.match(info) {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CreatedSeq != out[j].CreatedSeq {
+			return out[i].CreatedSeq < out[j].CreatedSeq
+		}
+		return out[i].RunID < out[j].RunID
+	})
+	return out, nil
+}
+
+// Info returns one run's manifest entry.
+func (r *Repo) Info(runID string) (RunInfo, error) {
+	m, _, err := r.load()
+	if err != nil {
+		return RunInfo{}, err
+	}
+	i := m.find(runID)
+	if i < 0 {
+		return RunInfo{}, fmt.Errorf("%w: %q", ErrRunNotFound, runID)
+	}
+	return m.Runs[i], nil
+}
+
+// Get opens a run's archive.
+func (r *Repo) Get(runID string) (RunInfo, *archive.Archive, error) {
+	info, err := r.Info(runID)
+	if err != nil {
+		return RunInfo{}, nil, err
+	}
+	obj, err := r.bucket.Get(info.Object)
+	if err != nil {
+		return RunInfo{}, nil, fmt.Errorf("repo: run %q blob: %w", runID, err)
+	}
+	a, err := archive.Open(obj.Data)
+	if err != nil {
+		return RunInfo{}, nil, fmt.Errorf("repo: run %q: %w", runID, err)
+	}
+	return info, a, nil
+}
+
+// Delete removes a run from the index and deletes its blob.
+func (r *Repo) Delete(runID string) error {
+	err := r.update(func(m *manifest) error {
+		i := m.find(runID)
+		if i < 0 {
+			return fmt.Errorf("%w: %q", ErrRunNotFound, runID)
+		}
+		m.Runs = append(m.Runs[:i], m.Runs[i+1:]...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if derr := r.bucket.Delete(runObject(runID)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+		return derr
+	}
+	return nil
+}
+
+// GC keeps the newest keep runs per workload (by creation sequence) and
+// deletes the rest, returning the deleted run IDs in deletion order.
+func (r *Repo) GC(keep int) ([]string, error) {
+	if keep < 0 {
+		keep = 0
+	}
+	var victims []string
+	err := r.update(func(m *manifest) error {
+		victims = victims[:0]
+		byWorkload := make(map[string][]RunInfo)
+		for _, info := range m.Runs {
+			byWorkload[info.Workload] = append(byWorkload[info.Workload], info)
+		}
+		drop := make(map[string]bool)
+		for _, runs := range byWorkload {
+			if len(runs) <= keep {
+				continue
+			}
+			sort.Slice(runs, func(i, j int) bool {
+				if runs[i].CreatedSeq != runs[j].CreatedSeq {
+					return runs[i].CreatedSeq > runs[j].CreatedSeq
+				}
+				return runs[i].RunID > runs[j].RunID
+			})
+			for _, info := range runs[keep:] {
+				drop[info.RunID] = true
+			}
+		}
+		kept := m.Runs[:0]
+		for _, info := range m.Runs {
+			if drop[info.RunID] {
+				victims = append(victims, info.RunID)
+			} else {
+				kept = append(kept, info)
+			}
+		}
+		m.Runs = kept
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range victims {
+		if derr := r.bucket.Delete(runObject(id)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+			return victims, derr
+		}
+	}
+	return victims, nil
+}
+
+// Compare diffs two stored runs by ID. See DiffArchives for the
+// alignment algorithm.
+func (r *Repo) Compare(aID, bID string) (*Diff, error) {
+	infoA, archA, err := r.Get(aID)
+	if err != nil {
+		return nil, err
+	}
+	infoB, archB, err := r.Get(bID)
+	if err != nil {
+		return nil, err
+	}
+	d, err := DiffArchives(archA, archB)
+	if err != nil {
+		return nil, err
+	}
+	d.A, d.B = infoA, infoB
+	return d, nil
+}

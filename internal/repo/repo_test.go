@@ -1,0 +1,307 @@
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/core/analyzer"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+func newTestRepo(t *testing.T) *Repo {
+	t.Helper()
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket("repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(bucket)
+}
+
+// synthRecords produces a two-regime run; scale skews the second
+// regime's op durations so different runs get different phase mixes.
+func synthRecords(n int, scale simclock.Duration) []*trace.ProfileRecord {
+	recs := make([]*trace.ProfileRecord, 0, n)
+	var t simclock.Time
+	for i := 0; i < n; i++ {
+		step := int64(i)
+		var events []trace.Event
+		if i < n/2 {
+			events = []trace.Event{
+				{Name: "InfeedDequeue", Device: trace.Host, Start: t, Dur: 900, Step: step},
+				{Name: "MatMul", Device: trace.TPU, Start: t + 500, Dur: 200, Step: step},
+			}
+		} else {
+			events = []trace.Event{
+				{Name: "MatMul", Device: trace.TPU, Start: t, Dur: 600 + scale, Step: step},
+				{Name: "CrossReplicaSum", Device: trace.TPU, Start: t + 700, Dur: 150, Step: step},
+			}
+		}
+		recs = append(recs, trace.Reduce(int64(i), t, events, 0.2, 0.4))
+		t = t.Add(1000 + scale)
+	}
+	return recs
+}
+
+func archiveBlob(t *testing.T, runID string, seq uint64, scale simclock.Duration) []byte {
+	t.Helper()
+	recs := synthRecords(30, scale)
+	rep, err := analyzer.Analyze("synthetic", recs, analyzer.OLSAlgo, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := archive.NewWriter(archive.Meta{
+		RunID: runID, Workload: "synthetic", Label: "test",
+		TPUVersion: "v2", CreatedSeq: seq,
+	})
+	for _, r := range recs {
+		w.Add(r)
+	}
+	return w.Finalize(archive.SummarizeReport(rep))
+}
+
+func TestSaveListGetDelete(t *testing.T) {
+	r := newTestRepo(t)
+
+	infoA, err := r.Save(archiveBlob(t, "run-a", 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA.Records != 30 || infoA.Workload != "synthetic" {
+		t.Fatalf("info = %+v", infoA)
+	}
+	if _, err := r.Save(archiveBlob(t, "run-b", 2, 100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate run ID is rejected and does not clobber the original.
+	if _, err := r.Save(archiveBlob(t, "run-a", 3, 50)); !errors.Is(err, ErrRunExists) {
+		t.Fatalf("duplicate save err = %v", err)
+	}
+
+	runs, err := r.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].RunID != "run-a" || runs[1].RunID != "run-b" {
+		t.Fatalf("list = %+v", runs)
+	}
+	if got, _ := r.List(Filter{Workload: "other"}); len(got) != 0 {
+		t.Fatalf("filtered list = %+v", got)
+	}
+
+	info, a, err := r.Get("run-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RunID != "run-a" || a.Summary() == nil {
+		t.Fatalf("get: info=%+v summary=%v", info, a.Summary())
+	}
+	recs, err := a.Records()
+	if err != nil || len(recs) != 30 {
+		t.Fatalf("records: %d, %v", len(recs), err)
+	}
+
+	if err := r.Delete("run-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get("run-a"); !errors.Is(err, ErrRunNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if err := r.Delete("run-a"); !errors.Is(err, ErrRunNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestSaveRejectsCorruptArchive(t *testing.T) {
+	r := newTestRepo(t)
+	if _, err := r.Save([]byte("not an archive")); err == nil {
+		t.Fatal("corrupt blob saved")
+	}
+	if runs, _ := r.List(Filter{}); len(runs) != 0 {
+		t.Fatalf("manifest polluted: %+v", runs)
+	}
+}
+
+func TestNextSeqMonotonic(t *testing.T) {
+	r := newTestRepo(t)
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				seq, err := r.NextSeq()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[seq] {
+					t.Errorf("seq %d issued twice", seq)
+				}
+				seen[seq] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 80 {
+		t.Fatalf("issued %d unique seqs, want 80", len(seen))
+	}
+}
+
+func TestConcurrentSaves(t *testing.T) {
+	r := newTestRepo(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			blob := archiveBlob(t, fmt.Sprintf("run-%d", i), uint64(i+1), simclock.Duration(i*10))
+			_, errs[i] = r.Save(blob)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	runs, err := r.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != n {
+		t.Fatalf("listed %d runs, want %d", len(runs), n)
+	}
+}
+
+func TestGC(t *testing.T) {
+	r := newTestRepo(t)
+	for i := 0; i < 5; i++ {
+		if _, err := r.Save(archiveBlob(t, fmt.Sprintf("run-%d", i), uint64(i+1), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted, err := r.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 3 {
+		t.Fatalf("deleted %v, want 3 victims", deleted)
+	}
+	runs, _ := r.List(Filter{})
+	if len(runs) != 2 || runs[0].RunID != "run-3" || runs[1].RunID != "run-4" {
+		t.Fatalf("survivors = %+v (want the 2 newest)", runs)
+	}
+	// Blobs of deleted runs are gone too.
+	for _, id := range deleted {
+		if _, _, err := r.Get(id); !errors.Is(err, ErrRunNotFound) {
+			t.Fatalf("gc'd run %s still present: %v", id, err)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	r := newTestRepo(t)
+	if _, err := r.Save(archiveBlob(t, "base", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Save(archiveBlob(t, "slow", 2, 400)); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := r.Compare("base", "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.A.RunID != "base" || d.B.RunID != "slow" {
+		t.Fatalf("diff runs = %s vs %s", d.A.RunID, d.B.RunID)
+	}
+	if len(d.Matches) == 0 {
+		t.Fatal("no phase matches")
+	}
+	if d.TotalB <= d.TotalA {
+		t.Fatalf("slow run should be longer: %v vs %v", d.TotalA, d.TotalB)
+	}
+	var sawWallDelta, sawOpMix bool
+	for _, m := range d.Matches {
+		if m.WallDelta != 0 {
+			sawWallDelta = true
+		}
+		if len(m.OpMix) > 0 {
+			sawOpMix = true
+		}
+	}
+	if !sawWallDelta || !sawOpMix {
+		t.Fatalf("deltas missing: wall=%v opmix=%v", sawWallDelta, sawOpMix)
+	}
+
+	if _, err := r.Compare("base", "nope"); !errors.Is(err, ErrRunNotFound) {
+		t.Fatalf("compare with missing run: %v", err)
+	}
+}
+
+func TestDiffDeterministic(t *testing.T) {
+	r := newTestRepo(t)
+	if _, err := r.Save(archiveBlob(t, "a", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Save(archiveBlob(t, "b", 2, 250)); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := r.Compare("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Compare("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", d1) != fmt.Sprintf("%+v", d2) {
+		t.Fatal("diff is not deterministic")
+	}
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	r := newTestRepo(t)
+	if _, err := r.Save(archiveBlob(t, "x", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Save(archiveBlob(t, "y", 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Compare("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OnlyA) != 0 || len(d.OnlyB) != 0 {
+		t.Fatalf("identical runs left unmatched phases: %d/%d", len(d.OnlyA), len(d.OnlyB))
+	}
+	for _, m := range d.Matches {
+		if m.Distance != 0 || m.WallDelta != 0 {
+			t.Fatalf("identical runs should diff clean: %+v", m)
+		}
+	}
+}
+
+func TestDiffNoSummary(t *testing.T) {
+	w := archive.NewWriter(archive.Meta{RunID: "bare"})
+	a, err := archive.Open(w.Finalize(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiffArchives(a, a); !errors.Is(err, ErrNoSummary) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -78,6 +78,7 @@ type rcMetrics struct {
 	calls       *obs.Counter // Call/CallTimeout invocations
 	failures    *obs.Counter // calls that returned a transport error
 	retries     *obs.Counter // per-call retry attempts after backoff
+	busy        *obs.Counter // server-busy rejections retried with backoff
 	redials     *obs.Counter // fresh connections established
 	breakerOpen *obs.Counter // times the breaker tripped
 	latency     *obs.Histogram
@@ -89,6 +90,7 @@ func newRCMetrics(r *obs.Registry) rcMetrics {
 		calls:       r.Counter("rpc.calls"),
 		failures:    r.Counter("rpc.call.failures"),
 		retries:     r.Counter("rpc.call.retries"),
+		busy:        r.Counter("rpc.call.busy"),
 		redials:     r.Counter("rpc.redials"),
 		breakerOpen: r.Counter("rpc.breaker.opened"),
 		latency:     r.Histogram("rpc.call.latency_us"),
@@ -194,6 +196,15 @@ func (r *ReconnectClient) CallTimeout(method string, body []byte, timeout time.D
 		if errors.As(err, &re) {
 			r.recordSuccess()
 			return nil, err
+		}
+		if errors.Is(err, ErrBusy) {
+			// The server answered — the transport is fine, it's just
+			// saturated. Keep the connection, don't count toward the
+			// breaker, back off and retry.
+			lastErr = err
+			r.m.busy.Inc()
+			r.recordSuccess()
+			continue
 		}
 		lastErr = err
 		r.m.failures.Inc()

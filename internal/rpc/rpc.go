@@ -38,9 +38,19 @@ var (
 	ErrShutdownPending = errors.New("rpc: server shutting down")
 )
 
+// ErrBusy is the admission-control error: the server is at capacity
+// (connection limit reached, a collection session table full, or a
+// bounded queue saturated) and the caller should back off and retry.
+// Handlers return errors wrapping ErrBusy to ship the dedicated busy
+// status; clients see the error as transient (IsTransient), so
+// ReconnectClient retries it with backoff instead of failing the call
+// or tripping the circuit breaker.
+var ErrBusy = errors.New("rpc: server busy")
+
 const (
-	statusOK  = 0
-	statusErr = 1
+	statusOK   = 0
+	statusErr  = 1
+	statusBusy = 2
 )
 
 // Handler serves one method: body in, body out.
@@ -52,6 +62,7 @@ type Server struct {
 	handlers map[string]Handler
 	closed   bool
 	conns    map[net.Conn]struct{}
+	maxConns int
 	wg       sync.WaitGroup
 }
 
@@ -74,6 +85,17 @@ func (s *Server) Register(method string, h Handler) {
 	s.handlers[method] = h
 }
 
+// SetConnLimit caps the number of concurrently served connections
+// (0 = unlimited). A connection beyond the cap is answered with one
+// busy-status response and closed instead of getting its own serving
+// goroutine — bounded resource use under a connection storm, and a
+// clear transient error the resilient client backs off on.
+func (s *Server) SetConnLimit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxConns = n
+}
+
 // ServeConn serves requests on conn until it closes or the server shuts
 // down. Each request is handled synchronously in arrival order, which
 // matches the profile service's behaviour (one outstanding profile at a
@@ -82,6 +104,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+		s.mu.Unlock()
+		refuseBusy(conn, s.maxConns)
 		conn.Close()
 		return
 	}
@@ -119,16 +147,35 @@ func (s *Server) ServeConn(conn net.Conn) {
 			resp = responseFrame(id, statusErr, []byte(fmt.Sprintf("%s: %q", ErrUnknownMethod, method)))
 		default:
 			out, herr := safeCall(h, body)
-			if herr != nil {
-				resp = responseFrame(id, statusErr, []byte(herr.Error()))
-			} else {
+			switch {
+			case herr == nil:
 				resp = responseFrame(id, statusOK, out)
+			case errors.Is(herr, ErrBusy):
+				resp = responseFrame(id, statusBusy, []byte(herr.Error()))
+			default:
+				resp = responseFrame(id, statusErr, []byte(herr.Error()))
 			}
 		}
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// refuseBusy answers the first request on an over-limit connection with
+// a busy-status response so the client gets a classifiable error rather
+// than a silent close.
+func refuseBusy(conn net.Conn, limit int) {
+	payload, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	id, _, _, err := splitRequest(payload)
+	if err != nil {
+		return
+	}
+	msg := fmt.Sprintf("%s: connection limit %d reached", ErrBusy, limit)
+	_ = writeFrame(conn, responseFrame(id, statusBusy, []byte(msg)))
 }
 
 // safeCall invokes a handler, converting a panic into a handler error so
@@ -263,8 +310,10 @@ func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 
 // IsTransient reports whether err could plausibly be cured by retrying on
 // a fresh connection: closed or reset transports, timeouts, dial
-// failures. Application-level RemoteErrors, oversized frames (a local
-// encoding bug), and an open circuit breaker are not transient.
+// failures, and server-busy rejections (ErrBusy — the server is alive,
+// just saturated; backing off and retrying is exactly right).
+// Application-level RemoteErrors, oversized frames (a local encoding
+// bug), and an open circuit breaker are not transient.
 func IsTransient(err error) bool {
 	if err == nil {
 		return false
@@ -307,10 +356,14 @@ func (c *Client) finish(resp response, ok bool) ([]byte, error) {
 	if !ok {
 		return nil, c.clientErr()
 	}
-	if resp.status != statusOK {
+	switch resp.status {
+	case statusOK:
+		return resp.body, nil
+	case statusBusy:
+		return nil, fmt.Errorf("%w: %s", ErrBusy, string(resp.body))
+	default:
 		return nil, &RemoteError{Msg: string(resp.body)}
 	}
-	return resp.body, nil
 }
 
 // CallTimeout is Call with a deadline. A zero or negative timeout means

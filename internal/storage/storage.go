@@ -26,7 +26,15 @@ var ErrNotFound = errors.New("storage: object not found")
 // ErrBucketExists is returned when creating a bucket that already exists.
 var ErrBucketExists = errors.New("storage: bucket already exists")
 
-// Object is a stored blob plus metadata.
+// ErrGenerationMismatch is returned by PutIf when the object's current
+// generation does not match the caller's expectation — some other writer
+// got there first (the GCS ifGenerationMatch precondition).
+var ErrGenerationMismatch = errors.New("storage: generation mismatch")
+
+// Object is a stored blob plus metadata. Every Object handed out by the
+// bucket API owns its Data slice: mutating it never corrupts the stored
+// copy, and later writes to the bucket never show through a previously
+// returned Object (see TestObjectDataIsDefensiveCopy).
 type Object struct {
 	Name       string
 	Data       []byte
@@ -107,7 +115,9 @@ func (s *Service) Buckets() []string {
 func (b *Bucket) Name() string { return b.name }
 
 // Put stores data under name, overwriting any prior object and bumping the
-// generation. The data is copied; callers may reuse their buffer.
+// generation. The data is copied; callers may reuse their buffer. The
+// returned Object is a defensive copy — mutating its Data cannot corrupt
+// the stored bytes.
 func (b *Bucket) Put(name string, data []byte) (*Object, error) {
 	if name == "" {
 		return nil, errors.New("storage: empty object name")
@@ -119,10 +129,45 @@ func (b *Bucket) Put(name string, data []byte) (*Object, error) {
 	obj := &Object{Name: name, Data: cp, Generation: b.nextGen}
 	b.nextGen++
 	b.objects[name] = obj
-	return obj, nil
+	return obj.copy(), nil
 }
 
-// Get returns the object stored under name. The returned data is a copy.
+// PutIf stores data under name only if the object's current generation
+// equals gen; gen 0 means the object must not exist yet. Any other state
+// fails with ErrGenerationMismatch and leaves the bucket untouched. This
+// is the compare-and-swap primitive concurrent manifest writers (the run
+// repository) use to serialize read-modify-write updates.
+func (b *Bucket) PutIf(name string, data []byte, gen int64) (*Object, error) {
+	if name == "" {
+		return nil, errors.New("storage: empty object name")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cur int64
+	if obj, ok := b.objects[name]; ok {
+		cur = obj.Generation
+	}
+	if cur != gen {
+		return nil, fmt.Errorf("%w: %s/%s at generation %d, expected %d",
+			ErrGenerationMismatch, b.name, name, cur, gen)
+	}
+	obj := &Object{Name: name, Data: cp, Generation: b.nextGen}
+	b.nextGen++
+	b.objects[name] = obj
+	return obj.copy(), nil
+}
+
+// copy returns an Object whose Data is independent of the stored slice.
+func (o *Object) copy() *Object {
+	cp := make([]byte, len(o.Data))
+	copy(cp, o.Data)
+	return &Object{Name: o.Name, Data: cp, Generation: o.Generation}
+}
+
+// Get returns the object stored under name. The returned data is a copy;
+// callers may mutate it freely without corrupting the bucket.
 func (b *Bucket) Get(name string) (*Object, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -130,9 +175,7 @@ func (b *Bucket) Get(name string) (*Object, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, b.name, name)
 	}
-	cp := make([]byte, len(obj.Data))
-	copy(cp, obj.Data)
-	return &Object{Name: obj.Name, Data: cp, Generation: obj.Generation}, nil
+	return obj.copy(), nil
 }
 
 // Exists reports whether an object is present.
@@ -238,7 +281,8 @@ func (b *Bucket) ImportDir(dir string) (int, error) {
 
 // Append appends data to an existing object, creating it if absent. This is
 // how the profiler's recording thread accumulates a profile log without
-// rewriting the whole object each time.
+// rewriting the whole object each time. The returned Object is a defensive
+// copy of the post-append state.
 func (b *Bucket) Append(name string, data []byte) (*Object, error) {
 	if name == "" {
 		return nil, errors.New("storage: empty object name")
@@ -252,10 +296,10 @@ func (b *Bucket) Append(name string, data []byte) (*Object, error) {
 		obj = &Object{Name: name, Data: cp, Generation: b.nextGen}
 		b.nextGen++
 		b.objects[name] = obj
-		return obj, nil
+		return obj.copy(), nil
 	}
 	obj.Data = append(obj.Data, data...)
 	obj.Generation = b.nextGen
 	b.nextGen++
-	return obj, nil
+	return obj.copy(), nil
 }

@@ -282,3 +282,124 @@ func TestExportImportDir(t *testing.T) {
 		t.Fatal("export leaked objects outside the prefix")
 	}
 }
+
+// Regression: Objects returned by Put/Append used to alias the stored
+// slice, so a caller scribbling on a returned buffer silently corrupted
+// the bucket. Every handout must be a defensive copy.
+func TestObjectDataIsDefensiveCopy(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+
+	put, err := b.Put("obj", []byte("pristine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range put.Data {
+		put.Data[i] = 'X'
+	}
+	got, err := b.Get("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte("pristine")) {
+		t.Fatalf("Put return aliased the store: got %q", got.Data)
+	}
+
+	app, err := b.Append("log", []byte("head"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range app.Data {
+		app.Data[i] = 'Y'
+	}
+	app2, err := b.Append("log", []byte("+tail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range app2.Data {
+		app2.Data[i] = 'Z'
+	}
+	got, err = b.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte("head+tail")) {
+		t.Fatalf("Append return aliased the store: got %q", got.Data)
+	}
+
+	// And the Get copy keeps protecting reads, both directions.
+	for i := range got.Data {
+		got.Data[i] = 'W'
+	}
+	again, _ := b.Get("log")
+	if !bytes.Equal(again.Data, []byte("head+tail")) {
+		t.Fatalf("Get return aliased the store: got %q", again.Data)
+	}
+}
+
+func TestPutIf(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+
+	// gen 0 = create-only: succeeds when absent, fails when present.
+	obj, err := b.PutIf("m", []byte("v1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PutIf("m", []byte("v1b"), 0); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("create-only over existing object: err = %v", err)
+	}
+
+	// Matching generation swaps; stale generation fails and changes nothing.
+	obj2, err := b.PutIf("m", []byte("v2"), obj.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PutIf("m", []byte("v3"), obj.Generation); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("stale swap: err = %v", err)
+	}
+	got, _ := b.Get("m")
+	if !bytes.Equal(got.Data, []byte("v2")) || got.Generation != obj2.Generation {
+		t.Fatalf("after failed swap: data=%q gen=%d", got.Data, got.Generation)
+	}
+}
+
+// Hammer PutIf from many writers doing read-modify-write loops; every
+// increment must land exactly once — the property the run repository's
+// manifest updates rely on.
+func TestPutIfSerializesConcurrentWriters(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+	if _, err := b.PutIf("counter", []byte{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				for {
+					cur, err := b.Get("counter")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					next := []byte{cur.Data[0] + 1}
+					if _, err := b.PutIf("counter", next, cur.Generation); err == nil {
+						break
+					} else if !errors.Is(err, ErrGenerationMismatch) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, _ := b.Get("counter")
+	if int(got.Data[0]) != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got.Data[0], writers*perWriter)
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# End-to-end profile-repository smoke: archive two real runs of the same
+# workload on different TPU generations, then assert the repository
+# verbs work — `runs list` shows both, `runs show` opens the archive
+# (checksum verification included), and `runs diff` aligns their phases
+# and reports wall-time and op-mix deltas.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d /tmp/archive_smoke.XXXXXX)"
+trap 'rm -rf "$workdir"' EXIT
+repodir="$workdir/runs"
+
+bin="$workdir/tpupoint"
+go build -o "$bin" ./cmd/tpupoint
+
+echo "== archiving two runs (dcgan-mnist, TPUv2 vs TPUv3)"
+"$bin" -workload dcgan-mnist -steps 60 -archive "$repodir" -run-id smoke-v2 -label smoke >/dev/null
+"$bin" -workload dcgan-mnist -steps 60 -version 3 -archive "$repodir" -run-id smoke-v3 -label smoke >/dev/null
+
+echo "== runs list"
+list="$("$bin" -archive "$repodir" runs list)"
+echo "$list"
+echo "$list" | grep -q smoke-v2
+echo "$list" | grep -q smoke-v3
+
+# grep -q exits at the first match, which would SIGPIPE the writer
+# under pipefail — capture to a variable instead of piping.
+echo "== runs show smoke-v2"
+show_out="$("$bin" -archive "$repodir" runs show smoke-v2)"
+echo "$show_out" | grep -q 'phases='
+
+echo "== runs diff smoke-v2 smoke-v3"
+diff_out="$("$bin" -archive "$repodir" runs diff smoke-v2 smoke-v3)"
+echo "$diff_out"
+# The diff must contain at least one matched phase row and op-mix deltas.
+echo "$diff_out" | grep -q 'Δwall'
+echo "$diff_out" | grep -Eq '^#[0-9]+ +#[0-9]+'
+echo "$diff_out" | grep -q '%'
+
+echo "== runs diff -csv"
+csv_out="$("$bin" -archive "$repodir" -csv runs diff smoke-v2 smoke-v3)"
+echo "$csv_out" | head -1 | grep -q '^phase_a,phase_b'
+
+echo "archive smoke: OK"

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Benchmark regression gate: regenerate the analyzer benchmarks in quick
-# mode and compare them against the committed BENCH_analyzer.json
-# baseline. Fails when any shared kernel/mode/n entry regresses past the
-# tolerance, or when the grid-indexed DBSCAN stops beating the quadratic
-# reference by at least MIN_GRID_SPEEDUP.
+# Benchmark regression gate: regenerate the analyzer and archive
+# benchmarks in quick mode and compare them against the committed
+# BENCH_analyzer.json / BENCH_archive.json baselines. Fails when any
+# shared kernel/mode/n entry regresses past the tolerance, or when the
+# grid-indexed DBSCAN stops beating the quadratic reference by at least
+# MIN_GRID_SPEEDUP.
 #
 # Environment:
 #   BENCH_TOLERANCE    allowed ns/op regression fraction (default 0.25;
 #                      looser than benchdiff's 0.15 default because the
 #                      quick run measures fewer iterations)
 #   MIN_GRID_SPEEDUP   required dbscan grid-vs-brute speedup (default 2)
-#   BENCH_BASELINE     baseline report (default BENCH_analyzer.json)
+#   BENCH_BASELINE     analyzer baseline (default BENCH_analyzer.json)
+#   ARCHIVE_BASELINE   archive baseline (default BENCH_archive.json)
 #
 # Run directly or via `BENCH_GATE=1 make check`.
 set -euo pipefail
@@ -18,16 +20,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline="${BENCH_BASELINE:-BENCH_analyzer.json}"
+archive_baseline="${ARCHIVE_BASELINE:-BENCH_archive.json}"
 tolerance="${BENCH_TOLERANCE:-0.25}"
 min_grid="${MIN_GRID_SPEEDUP:-2}"
 
-if [ ! -f "$baseline" ]; then
-    echo "benchdiff.sh: baseline $baseline not found" >&2
-    exit 1
-fi
+for b in "$baseline" "$archive_baseline"; do
+    if [ ! -f "$b" ]; then
+        echo "benchdiff.sh: baseline $b not found" >&2
+        exit 1
+    fi
+done
 
 fresh="$(mktemp /tmp/bench_analyzer.XXXXXX.json)"
-trap 'rm -f "$fresh"' EXIT
+fresh_archive="$(mktemp /tmp/bench_archive.XXXXXX.json)"
+trap 'rm -f "$fresh" "$fresh_archive"' EXIT
 
 echo "== paperbench -analyzer-bench (quick)"
 go run ./cmd/paperbench -analyzer-bench "$fresh" -bench-quick
@@ -35,3 +41,11 @@ go run ./cmd/paperbench -analyzer-bench "$fresh" -bench-quick
 echo "== benchdiff vs $baseline (tolerance ${tolerance}, grid floor ${min_grid}x)"
 go run ./cmd/benchdiff -old "$baseline" -new "$fresh" \
     -tolerance "$tolerance" -min-grid-speedup "$min_grid"
+
+echo "== paperbench -archive-bench (quick)"
+go run ./cmd/paperbench -archive-bench "$fresh_archive" -bench-quick
+
+# No grid/brute pair in the archive report: -min-grid-speedup 0.
+echo "== benchdiff vs $archive_baseline (tolerance ${tolerance})"
+go run ./cmd/benchdiff -old "$archive_baseline" -new "$fresh_archive" \
+    -tolerance "$tolerance" -min-grid-speedup 0

@@ -34,6 +34,11 @@ go test -race ./...
 echo "== go test -race -count=2 ./internal/obs"
 go test -race -count=2 ./internal/obs
 
+# Profile-repository round trip through the real CLI: archive two runs,
+# list/show them, and cross-run diff them.
+echo "== archive + diff smoke"
+./scripts/archive_smoke.sh
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/archive"
 	"repro/internal/core/analyzer"
 	"repro/internal/core/optimizer"
 	"repro/internal/core/profiler"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/host"
 	"repro/internal/obs"
+	"repro/internal/repo"
 	"repro/internal/storage"
 	"repro/internal/tpu"
 	"repro/internal/trace"
@@ -201,6 +203,21 @@ func (s *Session) StartProfiler(analyzerMode bool) (*profiler.Profiler, error) {
 	return p, nil
 }
 
+// StartProfilerTo starts the profiler in analyzer mode but persists
+// records into the given store instead of the session bucket — e.g. a
+// profiler.ArchiveSink, or a repo.FleetClient streaming to a fleet
+// collection server.
+func (s *Session) StartProfilerTo(store profiler.RecordStore) (*profiler.Profiler, error) {
+	p := profiler.New(
+		&profiler.ServiceClient{Service: s.runner.ProfileService()},
+		profiler.Options{Bucket: store, Obs: s.obs},
+	)
+	if err := p.Start(true); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // Train executes the training run (estimator.train in the paper's code).
 func (s *Session) Train() error {
 	if s.trained {
@@ -250,6 +267,42 @@ func (s *Session) WriteTrace(w io.Writer, rep *Report, records []*ProfileRecord)
 // WriteCSV emits the CSV phase summary of a report.
 func (s *Session) WriteCSV(w io.Writer, rep *Report) error {
 	return viz.WriteCSV(w, rep)
+}
+
+// ArchiveRun packs a completed run — its profile records plus the
+// analyzer report (which may be nil) — into a profile archive and
+// indexes it in the repository under runID. The archive embeds the
+// workload name, host spec, TPU generation, and an optional free-form
+// label so later `runs list`/`runs diff` invocations can locate and
+// compare it.
+func (s *Session) ArchiveRun(r *repo.Repo, runID, label string, records []*ProfileRecord, rep *Report) (repo.RunInfo, error) {
+	if r == nil {
+		return repo.RunInfo{}, errors.New("tpupoint: nil repository")
+	}
+	if runID == "" {
+		return repo.RunInfo{}, errors.New("tpupoint: empty run ID")
+	}
+	seq, err := r.NextSeq()
+	if err != nil {
+		return repo.RunInfo{}, err
+	}
+	spec := s.workload.Spec()
+	w := archive.NewWriter(archive.Meta{
+		RunID:      runID,
+		Workload:   s.workload.Name,
+		Label:      label,
+		HostSpec:   fmt.Sprintf("%dc %gMBps", spec.Cores, spec.ReadMBps),
+		TPUVersion: s.runner.Spec().Version.String(),
+		CreatedSeq: seq,
+	})
+	for _, rec := range records {
+		w.Add(rec)
+	}
+	var sum *archive.Summary
+	if rep != nil {
+		sum = archive.SummarizeReport(rep)
+	}
+	return r.Save(w.Finalize(sum))
 }
 
 // Resume builds a new session that fast-forwards this session's workload

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/archive"
 	"repro/internal/core/cluster"
 	"repro/internal/experiments"
 	"repro/internal/tpu"
+	"repro/internal/trace"
 )
 
 // benchSteps shortens runs so the full suite stays in benchmark budgets;
@@ -245,5 +247,112 @@ func BenchmarkAnalyzerDBSCAN(b *testing.B) {
 				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Codec kernel benchmarks: the archive and wire hot paths, serial vs
+// parallel. These are the `go test -bench` twins of `paperbench
+// -archive-bench` (BENCH_archive.json); run with -benchmem — the pooled
+// wire encoder's allocs/op is the number the benchdiff alloc gate
+// tracks. Serial and parallel variants produce bit-identical bytes (see
+// internal/archive's differential tests); only the timing differs.
+
+// archiveCodecBenchSizes mirrors experiments.ArchiveBenchSizes.
+var archiveCodecBenchSizes = []int{1_000, 10_000}
+
+func BenchmarkArchiveEncode(b *testing.B) {
+	for _, n := range archiveCodecBenchSizes {
+		recs := experiments.ArchiveBenchStream(n)
+		meta := archive.Meta{RunID: fmt.Sprintf("bench-%d", n), Workload: "synthetic"}
+		for _, mode := range analyzerBenchModes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w := archive.NewWriter(meta)
+					if mode.workers == 1 {
+						for _, r := range recs {
+							w.Add(r)
+						}
+					} else {
+						w.SetParallelism(mode.workers)
+						if err := w.AddBatch(recs); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if len(w.Finalize(nil)) == 0 {
+						b.Fatal("empty archive")
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
+	}
+}
+
+func BenchmarkArchiveDecode(b *testing.B) {
+	for _, n := range archiveCodecBenchSizes {
+		recs := experiments.ArchiveBenchStream(n)
+		w := archive.NewWriter(archive.Meta{RunID: fmt.Sprintf("bench-%d", n), Workload: "synthetic"})
+		for _, r := range recs {
+			w.Add(r)
+		}
+		blob := w.Finalize(nil)
+		for _, mode := range analyzerBenchModes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					a, err := archive.OpenWorkers(blob, mode.workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					got, err := a.RecordsWorkers(mode.workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) != n {
+						b.Fatalf("decoded %d records, want %d", len(got), n)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
+	}
+}
+
+func BenchmarkWireMarshal(b *testing.B) {
+	for _, n := range archiveCodecBenchSizes {
+		recs := experiments.ArchiveBenchStream(n)
+		b.Run(fmt.Sprintf("n=%d/pooled", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				for _, r := range recs {
+					buf = trace.MarshalRecordAppend(buf[:0], r)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+func BenchmarkWireUnmarshal(b *testing.B) {
+	for _, n := range archiveCodecBenchSizes {
+		recs := experiments.ArchiveBenchStream(n)
+		encoded := make([][]byte, len(recs))
+		for i, r := range recs {
+			encoded[i] = trace.MarshalRecord(r)
+		}
+		b.Run(fmt.Sprintf("n=%d/serial", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, raw := range encoded {
+					if _, err := trace.UnmarshalRecord(raw); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
 	}
 }

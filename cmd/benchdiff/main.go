@@ -1,18 +1,31 @@
-// Command benchdiff compares two analyzer benchmark reports (the
-// BENCH_analyzer.json documents that `paperbench -analyzer-bench`
-// emits) and fails when the new run regresses past a tolerance.
+// Command benchdiff compares two benchmark reports (the
+// BENCH_analyzer.json / BENCH_archive.json documents that `paperbench
+// -analyzer-bench` / `-archive-bench` emit) and fails when the new run
+// regresses past a tolerance.
 //
 // Entries are matched by (kernel, mode, n); configurations present in
 // only one report — e.g. the quadratic reference that quick mode skips
-// at large n — are ignored. Beyond per-entry timing, the tool asserts
-// the structural win the grid index exists for: the new report's
-// largest-n "dbscan_grid_parallel_vs_brute" speedup must clear
-// -min-grid-speedup.
+// at large n — are ignored. Entries that report allocs/op (the codec
+// kernels) are additionally held to -alloc-tolerance: allocation counts
+// are near-deterministic, so a regression there is a real code change,
+// not noise. Beyond per-entry comparisons, the tool asserts the
+// structural wins the optimizations exist for:
+//
+//   - -min-grid-speedup: the largest-n "dbscan_grid_parallel_vs_brute"
+//     speedup (analyzer reports).
+//   - -min-decode-speedup: the largest-n "archive_decode_par_vs_serial"
+//     speedup (archive reports). Enforced only when the candidate
+//     report ran with GOMAXPROCS >= 4 — on fewer cores the parallel
+//     decode degenerates to near-serial and the floor is meaningless.
+//   - -min-alloc-reduction: the largest-n "wire_marshal_alloc_reduction"
+//     fraction (archive reports) — how much of the naive encoder's
+//     allocations the pooled wire encoder eliminates. CPU-independent.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_analyzer.json -new /tmp/bench.json
-//	benchdiff -old base.json -new head.json -tolerance 0.25 -min-grid-speedup 2
+//	benchdiff -old BENCH_archive.json -new head.json -min-grid-speedup 0 \
+//	    -min-decode-speedup 2 -min-alloc-reduction 0.5
 package main
 
 import (
@@ -32,7 +45,10 @@ func main() {
 		oldPath   = flag.String("old", "BENCH_analyzer.json", "baseline report (committed)")
 		newPath   = flag.String("new", "", "candidate report (freshly generated)")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed ns/op regression fraction per entry")
+		allocTol  = flag.Float64("alloc-tolerance", 0.10, "allowed allocs/op regression fraction per entry, for entries both reports measured")
 		minGrid   = flag.Float64("min-grid-speedup", 2.0, "required dbscan grid-vs-brute speedup at the largest measured n (0 disables)")
+		minDecode = flag.Float64("min-decode-speedup", 0, "required archive parallel-decode speedup at the largest measured n; only enforced when the candidate ran with GOMAXPROCS >= 4 (0 disables)")
+		minAlloc  = flag.Float64("min-alloc-reduction", 0, "required wire_marshal allocation-reduction fraction at the largest measured n (0 disables)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -48,8 +64,10 @@ func main() {
 		fatal(err)
 	}
 
-	failures := compare(oldRep, newRep, *tolerance)
+	failures := compare(oldRep, newRep, *tolerance, *allocTol)
 	failures = append(failures, checkGridSpeedup(newRep, *minGrid)...)
+	failures = append(failures, checkDecodeSpeedup(newRep, *minDecode)...)
+	failures = append(failures, checkAllocReduction(newRep, *minAlloc)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
@@ -87,9 +105,15 @@ func index(rep *experiments.AnalyzerBenchReport) map[entryKey]experiments.Analyz
 	return m
 }
 
+// allocSlack is the absolute allocs/op play the alloc comparison grants
+// on top of the relative tolerance, so near-zero counts (the pooled
+// encoder's steady state) don't fail on a one-allocation wobble.
+const allocSlack = 16
+
 // compare prints a ratio table for every shared configuration and
-// returns one failure per entry whose ns/op grew past the tolerance.
-func compare(oldRep, newRep *experiments.AnalyzerBenchReport, tolerance float64) []string {
+// returns one failure per entry whose ns/op grew past the tolerance, or
+// whose allocs/op grew past allocTol when both reports measured it.
+func compare(oldRep, newRep *experiments.AnalyzerBenchReport, tolerance, allocTol float64) []string {
 	oldIdx := index(oldRep)
 	keys := make([]entryKey, 0, len(newRep.Entries))
 	newIdx := index(newRep)
@@ -113,7 +137,8 @@ func compare(oldRep, newRep *experiments.AnalyzerBenchReport, tolerance float64)
 	}
 
 	var failures []string
-	fmt.Printf("%-14s %-10s %8s %14s %14s %8s\n", "kernel", "mode", "n", "old ns/op", "new ns/op", "ratio")
+	fmt.Printf("%-18s %-10s %8s %14s %14s %8s %12s %12s\n",
+		"kernel", "mode", "n", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs")
 	for _, k := range keys {
 		o, n := oldIdx[k], newIdx[k]
 		ratio := n.NsPerOp / o.NsPerOp
@@ -124,8 +149,25 @@ func compare(oldRep, newRep *experiments.AnalyzerBenchReport, tolerance float64)
 				"%s/%s n=%d regressed %.1f%% (old %.0f ns/op, new %.0f ns/op, tolerance %.0f%%)",
 				k.kernel, k.mode, k.n, 100*(ratio-1), o.NsPerOp, n.NsPerOp, 100*tolerance))
 		}
-		fmt.Printf("%-14s %-10s %8d %14.0f %14.0f %7.2fx%s\n",
-			k.kernel, k.mode, k.n, o.NsPerOp, n.NsPerOp, ratio, mark)
+		oldAllocs, newAllocs := "-", "-"
+		if o.AllocsPerOp > 0 {
+			oldAllocs = fmt.Sprintf("%.0f", o.AllocsPerOp)
+		}
+		if n.AllocsPerOp > 0 {
+			newAllocs = fmt.Sprintf("%.0f", n.AllocsPerOp)
+		}
+		// Allocation counts are compared only where the baseline has them
+		// (older baselines predate allocs/op) and with an absolute slack,
+		// since a report's count is a near-exact property of the code.
+		if o.AllocsPerOp > 0 && n.AllocsPerOp > o.AllocsPerOp*(1+allocTol)+allocSlack {
+			mark = "  << ALLOC REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s n=%d allocs/op regressed %.1f%% (old %.0f, new %.0f, tolerance %.0f%% + %d)",
+				k.kernel, k.mode, k.n, 100*(n.AllocsPerOp/o.AllocsPerOp-1),
+				o.AllocsPerOp, n.AllocsPerOp, 100*allocTol, allocSlack))
+		}
+		fmt.Printf("%-18s %-10s %8d %14.0f %14.0f %7.2fx %12s %12s%s\n",
+			k.kernel, k.mode, k.n, o.NsPerOp, n.NsPerOp, ratio, oldAllocs, newAllocs, mark)
 	}
 	return failures
 }
@@ -138,20 +180,7 @@ func checkGridSpeedup(rep *experiments.AnalyzerBenchReport, minSpeedup float64) 
 	if minSpeedup <= 0 {
 		return nil
 	}
-	const prefix = "dbscan_grid_parallel_vs_brute_n"
-	bestN, speedup := -1, 0.0
-	for key, v := range rep.Speedups {
-		if !strings.HasPrefix(key, prefix) {
-			continue
-		}
-		n, err := strconv.Atoi(key[len(prefix):])
-		if err != nil {
-			continue
-		}
-		if n > bestN {
-			bestN, speedup = n, v
-		}
-	}
+	bestN, speedup := largestN(rep, "dbscan_grid_parallel_vs_brute_n")
 	if bestN < 0 {
 		return []string{"candidate report has no dbscan_grid_parallel_vs_brute speedup"}
 	}
@@ -162,6 +191,76 @@ func checkGridSpeedup(rep *experiments.AnalyzerBenchReport, minSpeedup float64) 
 			bestN, speedup, minSpeedup)}
 	}
 	return nil
+}
+
+// checkDecodeSpeedup asserts the structural win the parallel archive
+// codec exists for: at the largest measured n, parallel decode must beat
+// one-worker decode by the floor. The two paths are bit-identical by
+// construction (internal/archive's differential tests), so this is a
+// pure throughput gate — and it only means something when there are
+// cores to fan out to, hence the GOMAXPROCS >= 4 condition.
+func checkDecodeSpeedup(rep *experiments.AnalyzerBenchReport, minSpeedup float64) []string {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	if rep.GOMAXPROCS < 4 {
+		fmt.Printf("archive decode speedup floor skipped: candidate ran with GOMAXPROCS=%d (< 4)\n", rep.GOMAXPROCS)
+		return nil
+	}
+	bestN, speedup := largestN(rep, "archive_decode_par_vs_serial_n")
+	if bestN < 0 {
+		return []string{"candidate report has no archive_decode_par_vs_serial speedup"}
+	}
+	fmt.Printf("archive decode parallel vs serial at n=%d: %.2fx (floor %.2fx)\n", bestN, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return []string{fmt.Sprintf(
+			"archive parallel-decode speedup at n=%d is %.2fx, below the %.2fx floor",
+			bestN, speedup, minSpeedup)}
+	}
+	return nil
+}
+
+// checkAllocReduction asserts the pooled wire encoder still eliminates
+// at least the floor fraction of the naive reference's allocations at
+// the largest measured n. Unlike the decode gate this holds on any core
+// count: allocation behavior doesn't depend on parallelism.
+func checkAllocReduction(rep *experiments.AnalyzerBenchReport, minReduction float64) []string {
+	if minReduction <= 0 {
+		return nil
+	}
+	bestN, reduction := largestN(rep, "wire_marshal_alloc_reduction_n")
+	if bestN < 0 {
+		return []string{"candidate report has no wire_marshal_alloc_reduction entry"}
+	}
+	fmt.Printf("wire marshal allocation reduction at n=%d: %.1f%% (floor %.1f%%)\n",
+		bestN, 100*reduction, 100*minReduction)
+	if reduction < minReduction {
+		return []string{fmt.Sprintf(
+			"wire_marshal allocation reduction at n=%d is %.1f%%, below the %.1f%% floor",
+			bestN, 100*reduction, 100*minReduction)}
+	}
+	return nil
+}
+
+// largestN returns the value of the prefix-keyed speedup with the
+// biggest n suffix, or (-1, 0) when the report has none. Quick-mode
+// reports can skip expensive configurations, so gates always read the
+// biggest n the report actually measured.
+func largestN(rep *experiments.AnalyzerBenchReport, prefix string) (int, float64) {
+	bestN, v := -1, 0.0
+	for key, s := range rep.Speedups {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(key[len(prefix):])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			bestN, v = n, s
+		}
+	}
+	return bestN, v
 }
 
 func fatal(err error) {

@@ -48,7 +48,7 @@ func main() {
 		return
 	}
 	if *archiveBenchOut != "" {
-		if err := archiveBench(*archiveBenchOut, *benchQuick); err != nil {
+		if err := archiveBench(*archiveBenchOut, *par, *benchQuick); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: archive-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -115,10 +115,10 @@ func analyzerBench(path string, workers int, quick bool) error {
 	return writeBenchReport("analyzer", path, rep)
 }
 
-// archiveBench runs the archive encode/decode and diff benchmark and
+// archiveBench runs the archive/wire codec and diff benchmark and
 // writes the BENCH_archive.json document.
-func archiveBench(path string, quick bool) error {
-	rep, err := experiments.RunArchiveBench(nil, quick)
+func archiveBench(path string, workers int, quick bool) error {
+	rep, err := experiments.RunArchiveBench(nil, workers, quick)
 	if err != nil {
 		return err
 	}
@@ -140,10 +140,14 @@ func writeBenchReport(name, path string, rep *experiments.AnalyzerBenchReport) e
 		return err
 	}
 	fmt.Printf("%s benchmark (GOMAXPROCS=%d, quick=%v) -> %s\n", name, rep.GOMAXPROCS, rep.Quick, path)
-	fmt.Printf("%-14s %-9s %9s %8s %14s %14s\n", "kernel", "mode", "n", "iters", "ns/op", "steps/sec")
+	fmt.Printf("%-18s %-9s %9s %8s %14s %14s %12s\n", "kernel", "mode", "n", "iters", "ns/op", "steps/sec", "allocs/op")
 	for _, e := range rep.Entries {
-		fmt.Printf("%-14s %-9s %9d %8d %14.0f %14.0f\n",
-			e.Kernel, e.Mode, e.N, e.Iters, e.NsPerOp, e.StepsPerSec)
+		allocs := "-"
+		if e.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("%.0f", e.AllocsPerOp)
+		}
+		fmt.Printf("%-18s %-9s %9d %8d %14.0f %14.0f %12s\n",
+			e.Kernel, e.Mode, e.N, e.Iters, e.NsPerOp, e.StepsPerSec, allocs)
 	}
 	keys := make([]string, 0, len(rep.Speedups))
 	for k := range rep.Speedups {

@@ -68,6 +68,7 @@ func main() {
 		collectSrv  = flag.String("collect-serve", "", "run a fleet collection server at this TCP address writing into -archive")
 		maxSessions = flag.Int("max-sessions", 0, "collection server: concurrent session cap (0 = default)")
 		maxConns    = flag.Int("max-conns", 0, "served RPC endpoints: connection cap; excess connections get a transient busy error (0 = unlimited)")
+		codecPar    = flag.Int("codec-parallelism", 0, "archive codec worker pool size for repository reads (0 = GOMAXPROCS, 1 = serial; decoded runs are bit-identical for any value)")
 	)
 	flag.Parse()
 
@@ -83,14 +84,14 @@ func main() {
 	}
 
 	if args := flag.Args(); len(args) > 0 && args[0] == "runs" {
-		if err := runsCmd(args[1:], *archiveDir, *keep, *csvOut); err != nil {
+		if err := runsCmd(args[1:], *archiveDir, *keep, *csvOut, *codecPar); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	if *collectSrv != "" {
-		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, reg); err != nil {
+		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, reg); err != nil {
 			fatal(err)
 		}
 		return
@@ -233,7 +234,7 @@ func main() {
 		}
 		printRunInfo(os.Stdout, info, "")
 	} else if *archiveDir != "" {
-		r, bucket, err := openRepoDir(*archiveDir)
+		r, bucket, err := openRepoDir(*archiveDir, *codecPar)
 		if err != nil {
 			fatal(err)
 		}

@@ -24,8 +24,11 @@ import (
 )
 
 // openRepoDir loads a profile repository from a directory (which may
-// not exist yet — that's an empty repository).
-func openRepoDir(dir string) (*repo.Repo, *storage.Bucket, error) {
+// not exist yet — that's an empty repository). codecPar sets the
+// archive codec's worker pool for repository reads (-codec-parallelism:
+// 0 = GOMAXPROCS, 1 = serial; decoded runs are bit-identical either
+// way).
+func openRepoDir(dir string, codecPar int) (*repo.Repo, *storage.Bucket, error) {
 	svc := storage.NewService()
 	bucket, err := svc.CreateBucket("profile-repo")
 	if err != nil {
@@ -38,7 +41,9 @@ func openRepoDir(dir string) (*repo.Repo, *storage.Bucket, error) {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	}
-	return repo.New(bucket), bucket, nil
+	r := repo.New(bucket)
+	r.SetCodecParallelism(codecPar)
+	return r, bucket, nil
 }
 
 // syncRepoDir writes the repository objects back to dir. The runs/
@@ -55,11 +60,11 @@ func syncRepoDir(bucket *storage.Bucket, dir string) error {
 }
 
 // runsCmd dispatches the `runs list|show|diff|gc` verbs.
-func runsCmd(args []string, dir string, keep int, csv bool) error {
+func runsCmd(args []string, dir string, keep int, csv bool, codecPar int) error {
 	if dir == "" {
 		return errors.New("runs: -archive <dir> is required")
 	}
-	r, bucket, err := openRepoDir(dir)
+	r, bucket, err := openRepoDir(dir, codecPar)
 	if err != nil {
 		return err
 	}
@@ -162,11 +167,11 @@ func runsCmd(args []string, dir string, keep int, csv bool) error {
 // collectServe runs the fleet collection server: profilers stream
 // records in over RPC (tpupoint -collect <addr>), every finalized
 // session becomes an indexed archive in the -archive directory.
-func collectServe(addr, dir string, maxSessions, maxConns int, reg *obs.Registry) error {
+func collectServe(addr, dir string, maxSessions, maxConns, codecPar int, reg *obs.Registry) error {
 	if dir == "" {
 		return errors.New("-collect-serve needs -archive <dir> for the repository")
 	}
-	r, bucket, err := openRepoDir(dir)
+	r, bucket, err := openRepoDir(dir, codecPar)
 	if err != nil {
 		return err
 	}

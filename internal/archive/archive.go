@@ -57,12 +57,14 @@
 package archive
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"repro/internal/core/analyzer"
+	"repro/internal/parallel"
 	"repro/internal/protowire"
 	"repro/internal/simclock"
 	"repro/internal/trace"
@@ -99,6 +101,9 @@ var (
 	ErrChecksum  = errors.New("archive: segment checksum mismatch")
 	ErrMalformed = errors.New("archive: malformed")
 )
+
+// ErrSegmentTarget rejects out-of-range Writer.SetSegmentTarget values.
+var ErrSegmentTarget = errors.New("archive: segment target out of range")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -211,6 +216,7 @@ type segment struct {
 type Writer struct {
 	meta      Meta
 	segTarget int
+	workers   int // AddBatch marshal fan-out (0 = GOMAXPROCS)
 
 	body     []byte // header + flushed segments
 	cur      []byte // unflushed segment payload
@@ -232,17 +238,72 @@ func NewWriter(meta Meta) *Writer {
 	return w
 }
 
-// SetSegmentTarget overrides the segment cut size (testing knob; values
-// < 1 keep the default).
-func (w *Writer) SetSegmentTarget(n int) {
-	if n >= 1 {
-		w.segTarget = n
+// SetSegmentTarget overrides the segment cut size. Targets outside
+// [1, maxSegment] are rejected with ErrSegmentTarget and the current
+// target is kept: a non-positive target would make the writer cut a
+// segment per record (or never), and anything above maxSegment would
+// produce archives Open rejects as corrupt.
+func (w *Writer) SetSegmentTarget(n int) error {
+	if n < 1 || n > maxSegment {
+		return fmt.Errorf("%w: %d (want 1..%d)", ErrSegmentTarget, n, maxSegment)
 	}
+	w.segTarget = n
+	return nil
 }
+
+// SetParallelism bounds the marshal fan-out AddBatch uses
+// (0 = GOMAXPROCS, 1 = serial). Output bytes are identical for any
+// value.
+func (w *Writer) SetParallelism(n int) { w.workers = n }
 
 // Add appends one record.
 func (w *Writer) Add(rec *trace.ProfileRecord) {
 	w.addBytes(trace.MarshalRecord(rec), rec)
+}
+
+// batchEncodeChunk is the fixed AddBatch chunk size. Like every
+// internal/parallel fan-out, the boundaries depend only on the input
+// length — never on the worker count — so the archive bytes are
+// bit-identical however many workers marshal.
+const batchEncodeChunk = 256
+
+// AddBatch appends a batch of records, marshalling them in parallel.
+// The encoded chunks are merged into the segment stream in input order,
+// so the resulting archive is byte-identical to calling Add in a loop
+// (see TestAddBatchBitIdentical); only the wall-clock cost of the
+// marshal fan-out changes.
+func (w *Writer) AddBatch(recs []*trace.ProfileRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	type chunk struct {
+		buf  []byte
+		ends []int // cumulative record end offsets within buf
+	}
+	pool := parallel.New(w.workers)
+	chunks, err := parallel.Map(pool, context.Background(), len(recs), batchEncodeChunk,
+		func(ci, lo, hi int) (chunk, error) {
+			var c chunk
+			c.ends = make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				c.buf = trace.MarshalRecordAppend(c.buf, recs[i])
+				c.ends = append(c.ends, len(c.buf))
+			}
+			return c, nil
+		})
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, c := range chunks {
+		start := 0
+		for _, end := range c.ends {
+			w.addBytes(c.buf[start:end], recs[i])
+			start = end
+			i++
+		}
+	}
+	return nil
 }
 
 // AddRaw appends an already wire-encoded record (the form the fleet
@@ -256,6 +317,29 @@ func (w *Writer) AddRaw(b []byte) error {
 	}
 	w.addBytes(b, rec)
 	return nil
+}
+
+// AddRawBatch appends every record in a trace framed stream ((uvarint
+// length, record bytes)*), returning how many landed. The whole batch is
+// validated before any byte reaches the archive, so a malformed frame
+// rejects the batch atomically — no partial batch to reconcile.
+func (w *Writer) AddRawBatch(framed []byte) (int, error) {
+	frames, err := trace.SplitFramed(framed)
+	if err != nil {
+		return 0, fmt.Errorf("archive: reject batch: %w", err)
+	}
+	recs := make([]*trace.ProfileRecord, len(frames))
+	for i, fr := range frames {
+		rec, err := trace.UnmarshalRecord(fr)
+		if err != nil {
+			return 0, fmt.Errorf("archive: reject record: %w", err)
+		}
+		recs[i] = rec
+	}
+	for i, fr := range frames {
+		w.addBytes(fr, recs[i])
+	}
+	return len(frames), nil
 }
 
 func (w *Writer) addBytes(b []byte, rec *trace.ProfileRecord) {
@@ -300,6 +384,33 @@ func (w *Writer) flush() {
 
 // Records reports how many records have been added so far.
 func (w *Writer) Records() int64 { return w.recordCount }
+
+// DecodeRecords decodes every record added so far, in arrival order,
+// from the writer's own encoded stream. This is the finalize-time
+// analysis path: a long-lived collection session holds only the
+// compact encoded bytes and decodes once at the end, instead of
+// retaining a second, decoded copy of the whole run.
+func (w *Writer) DecodeRecords() ([]*trace.ProfileRecord, error) {
+	out := make([]*trace.ProfileRecord, 0, w.recordCount)
+	pos := headerLen
+	for seg := 0; pos < len(w.body); seg++ {
+		if pos+4 > len(w.body) {
+			return nil, fmt.Errorf("%w: writer segment %d header", ErrMalformed, seg)
+		}
+		n := int(binary.LittleEndian.Uint32(w.body[pos : pos+4]))
+		pos += 4
+		if n > len(w.body)-pos {
+			return nil, fmt.Errorf("%w: writer segment %d bounds", ErrMalformed, seg)
+		}
+		var err error
+		out, err = appendPayloadRecords(out, w.body[pos:pos+n], seg)
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+	}
+	return appendPayloadRecords(out, w.cur, len(w.segments))
+}
 
 // Finalize flushes the last segment, appends the footer embedding sum
 // (which may be nil for a summary-less capture), and returns the
@@ -400,8 +511,17 @@ type Archive struct {
 // Open parses and fully verifies an archive blob: magic, version,
 // trailer bounds, footer structure, and every segment's CRC32C. The
 // returned Archive retains data (callers handing in a shared buffer
-// should pass a copy — bucket reads already are copies).
-func Open(data []byte) (*Archive, error) {
+// should pass a copy — bucket reads already are copies). Segment
+// verification fans out over all CPUs; OpenWorkers bounds it.
+func Open(data []byte) (*Archive, error) { return OpenWorkers(data, 0) }
+
+// OpenWorkers is Open with an explicit verification fan-out bound
+// (0 = GOMAXPROCS, 1 = serial). Segments are independent by
+// construction, so the parallel scan checks exactly what the serial
+// one does; per-segment failures land in indexed slots and the
+// lowest-indexed one is reported, so the returned error is identical
+// for any worker count.
+func OpenWorkers(data []byte, workers int) (*Archive, error) {
 	if len(data) < headerLen+trailerLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
 	}
@@ -424,13 +544,27 @@ func Open(data []byte) (*Archive, error) {
 	if err := a.decodeFooter(data[footerEnd-footerLen : footerEnd]); err != nil {
 		return nil, err
 	}
-	for i, s := range a.segments {
-		if s.offset < headerLen || s.length < 0 || s.length > maxSegment ||
-			s.offset+s.length > footerEnd-footerLen {
-			return nil, fmt.Errorf("%w: segment %d bounds [%d,+%d)", ErrMalformed, i, s.offset, s.length)
+	errs := make([]error, len(a.segments))
+	pool := parallel.New(workers)
+	if err := pool.Run(context.Background(), len(a.segments), 1, func(ci, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			s := a.segments[i]
+			if s.offset < headerLen || s.length < 0 || s.length > maxSegment ||
+				s.offset+s.length > footerEnd-footerLen {
+				errs[i] = fmt.Errorf("%w: segment %d bounds [%d,+%d)", ErrMalformed, i, s.offset, s.length)
+				continue
+			}
+			if got := crc32.Checksum(data[s.offset:s.offset+s.length], castagnoli); got != s.crc {
+				errs[i] = fmt.Errorf("%w: segment %d crc %08x != %08x", ErrChecksum, i, got, s.crc)
+			}
 		}
-		if got := crc32.Checksum(data[s.offset:s.offset+s.length], castagnoli); got != s.crc {
-			return nil, fmt.Errorf("%w: segment %d crc %08x != %08x", ErrChecksum, i, got, s.crc)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return a, nil
@@ -783,24 +917,137 @@ func (a *Archive) TimeRange() (first, last simclock.Time) {
 // Size is the blob's byte size.
 func (a *Archive) Size() int64 { return int64(len(a.data)) }
 
-// Records decodes every archived record, in archive order.
+// Records decodes every archived record, in archive order. Segments
+// decode in parallel across all CPUs; RecordsWorkers bounds the
+// fan-out.
 func (a *Archive) Records() ([]*trace.ProfileRecord, error) {
-	out := make([]*trace.ProfileRecord, 0, a.recordCount)
-	for i, s := range a.segments {
-		payload := a.data[s.offset : s.offset+s.length]
-		for pos := 0; pos < len(payload); {
-			n, adv := binary.Uvarint(payload[pos:])
-			if adv <= 0 || n > uint64(len(payload)-pos-adv) {
-				return nil, fmt.Errorf("%w: segment %d record framing at %d", ErrMalformed, i, pos)
-			}
-			pos += adv
-			rec, err := trace.UnmarshalRecord(payload[pos : pos+int(n)])
-			if err != nil {
-				return nil, fmt.Errorf("%w: segment %d record: %v", ErrMalformed, i, err)
-			}
-			out = append(out, rec)
-			pos += int(n)
+	return a.RecordsWorkers(0)
+}
+
+// RecordsWorkers is Records with an explicit decode fan-out bound
+// (0 = GOMAXPROCS, 1 = serial). Each segment decodes into its own slot
+// and the slots merge in segment order, so the result — records and
+// error alike — is identical to the serial scan for any worker count
+// (see TestDecodeDifferential).
+func (a *Archive) RecordsWorkers(workers int) ([]*trace.ProfileRecord, error) {
+	chunks := make([][]*trace.ProfileRecord, len(a.segments))
+	errs := make([]error, len(a.segments))
+	pool := parallel.New(workers)
+	if err := pool.Run(context.Background(), len(a.segments), 1, func(ci, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			s := a.segments[i]
+			out := make([]*trace.ProfileRecord, 0, segCapHint(s))
+			out, errs[i] = appendPayloadRecords(out, a.data[s.offset:s.offset+s.length], i)
+			chunks[i] = out
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*trace.ProfileRecord, 0, a.recordCount)
+	for _, c := range chunks {
+		out = append(out, c...)
 	}
 	return out, nil
 }
+
+// segCapHint sizes a per-segment decode buffer from the footer's record
+// count, clamped by what the payload could physically frame so a lying
+// footer cannot force an oversized allocation.
+func segCapHint(s segment) int64 {
+	n := s.records
+	if n > s.length {
+		n = s.length
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// appendPayloadRecords decodes one segment payload — (uvarint len,
+// record bytes) pairs — appending onto out. seg only labels errors.
+func appendPayloadRecords(out []*trace.ProfileRecord, payload []byte, seg int) ([]*trace.ProfileRecord, error) {
+	for pos := 0; pos < len(payload); {
+		n, adv := binary.Uvarint(payload[pos:])
+		if adv <= 0 || n > uint64(len(payload)-pos-adv) {
+			return nil, fmt.Errorf("%w: segment %d record framing at %d", ErrMalformed, seg, pos)
+		}
+		pos += adv
+		rec, err := trace.UnmarshalRecord(payload[pos : pos+int(n)])
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d record: %v", ErrMalformed, seg, err)
+		}
+		out = append(out, rec)
+		pos += int(n)
+	}
+	return out, nil
+}
+
+// Iter returns a streaming reader over the archive's records, in
+// archive order. Unlike Records it never materializes the run: one
+// record is decoded per Next, so consumers that reduce or forward
+// records hold O(1) of them regardless of run size.
+//
+//	it := a.Iter()
+//	for it.Next() {
+//		use(it.Record())
+//	}
+//	if err := it.Err(); err != nil { ... }
+func (a *Archive) Iter() *Iter { return &Iter{a: a} }
+
+// Iter is a scanner-style record stream over an opened archive. Not
+// safe for concurrent use; open one Iter per goroutine.
+type Iter struct {
+	a       *Archive
+	rec     *trace.ProfileRecord
+	err     error
+	seg     int    // next segment to load
+	cur     int    // segment the current payload came from
+	payload []byte // remaining bytes of the current segment
+	pos     int    // decode offset within payload (error labels)
+}
+
+// Next advances to the next record, reporting false at the end of the
+// stream or on the first decode error (see Err).
+func (it *Iter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for it.pos >= len(it.payload) {
+		if it.seg >= len(it.a.segments) {
+			return false
+		}
+		s := it.a.segments[it.seg]
+		it.payload = it.a.data[s.offset : s.offset+s.length]
+		it.pos = 0
+		it.cur = it.seg
+		it.seg++
+	}
+	n, adv := binary.Uvarint(it.payload[it.pos:])
+	if adv <= 0 || n > uint64(len(it.payload)-it.pos-adv) {
+		it.err = fmt.Errorf("%w: segment %d record framing at %d", ErrMalformed, it.cur, it.pos)
+		return false
+	}
+	start := it.pos + adv
+	rec, err := trace.UnmarshalRecord(it.payload[start : start+int(n)])
+	if err != nil {
+		it.err = fmt.Errorf("%w: segment %d record: %v", ErrMalformed, it.cur, err)
+		return false
+	}
+	it.rec = rec
+	it.pos = start + int(n)
+	return true
+}
+
+// Record returns the record Next advanced to.
+func (it *Iter) Record() *trace.ProfileRecord { return it.rec }
+
+// Err returns the first decode error, if any. A clean end of stream
+// returns nil.
+func (it *Iter) Err() error { return it.err }

@@ -2,10 +2,12 @@ package profiler
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/archive"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // ArchiveSink is a RecordStore that accumulates the recording thread's
@@ -42,6 +44,30 @@ func (s *ArchiveSink) Put(name string, data []byte) (*storage.Object, error) {
 		return nil, err
 	}
 	return &storage.Object{Name: name, Data: append([]byte(nil), data...)}, nil
+}
+
+// PutBatch implements BatchStore: framed is a trace framed stream of
+// count records, appended to the archive in order (atomically — a bad
+// frame rejects the whole batch). Like Put, the object name is accepted
+// but not stored.
+func (s *ArchiveSink) PutBatch(name string, framed []byte, count int) (*storage.Object, error) {
+	frames, err := trace.SplitFramed(framed)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) != count {
+		return nil, fmt.Errorf("profiler: batch %s carries %d records, caller said %d",
+			name, len(frames), count)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return nil, ErrSinkFinalized
+	}
+	if _, err := s.w.AddRawBatch(framed); err != nil {
+		return nil, err
+	}
+	return &storage.Object{Name: name}, nil
 }
 
 // Records reports how many records the sink holds.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +67,17 @@ func (c *RPCClient) NextProfile() (*tpu.ProfileResponse, error) {
 // internal/faultnet) can stand in for the real bucket.
 type RecordStore interface {
 	Put(name string, data []byte) (*storage.Object, error)
+}
+
+// BatchStore is the optional fast path a RecordStore can offer for
+// batched persistence: framed is a trace framed stream (uvarint length,
+// record bytes)* holding count records. Stores that understand the
+// framed form natively — the archive sink, the fleet client — accept a
+// whole batch in one call; plain buckets get the framed blob through
+// Put instead and LoadRecords decodes it back.
+type BatchStore interface {
+	RecordStore
+	PutBatch(name string, framed []byte, count int) (*storage.Object, error)
 }
 
 // ErrPutTimeout marks a storage write abandoned after Options.PutTimeout.
@@ -125,6 +137,14 @@ type Options struct {
 	// 64). When the queue is full the record is kept in memory only and
 	// OnDegraded fires — the profiling thread never blocks on storage.
 	QueueSize int
+
+	// BatchRecords caps how many records the recording thread coalesces
+	// into one storage put. Values <= 1 keep the historical
+	// one-object-per-record behavior. Batching is opportunistic: only
+	// records already waiting in the queue are coalesced, so an idle
+	// stream still flushes every record immediately — batching adds
+	// throughput under load, never latency.
+	BatchRecords int
 
 	// Obs, when set, receives the profiler's metrics and degradation
 	// events (see the README's metric catalogue). Nil disables
@@ -382,14 +402,58 @@ func (p *Profiler) recordLoop(ch <-chan *trace.ProfileRecord) {
 	defer p.recWG.Done()
 	i := 0
 	dead := false
+	batchMax := p.opts.BatchRecords
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	var buf []byte // reused marshal buffer: one allocation for the run, not one per record
+	batch := make([]*trace.ProfileRecord, 0, batchMax)
 	for rec := range ch {
 		p.m.queueDepth.Set(int64(len(ch)))
 		if dead {
 			continue // drain without persisting
 		}
-		name := fmt.Sprintf("%srecord-%06d", p.opts.ObjectPrefix, i)
+		batch = append(batch[:0], rec)
+	coalesce:
+		for len(batch) < batchMax {
+			select {
+			case more, ok := <-ch:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, more)
+			default:
+				break coalesce // queue empty: flush now, don't wait
+			}
+		}
+		name, err := func() (string, error) {
+			if batchMax <= 1 {
+				name := fmt.Sprintf("%srecord-%06d", p.opts.ObjectPrefix, i)
+				buf = trace.MarshalRecordAppend(buf[:0], batch[0])
+				return name, p.putWithRetry(func(data []byte) error {
+					_, err := p.opts.Bucket.Put(name, data)
+					return err
+				}, name, buf)
+			}
+			name := fmt.Sprintf("%sbatch-%06d", p.opts.ObjectPrefix, i)
+			buf = buf[:0]
+			for _, r := range batch {
+				buf = trace.AppendFramedRecord(buf, r)
+			}
+			count := len(batch)
+			if bs, ok := p.opts.Bucket.(BatchStore); ok {
+				return name, p.putWithRetry(func(data []byte) error {
+					_, err := bs.PutBatch(name, data, count)
+					return err
+				}, name, buf)
+			}
+			return name, p.putWithRetry(func(data []byte) error {
+				_, err := p.opts.Bucket.Put(name, data)
+				return err
+			}, name, buf)
+		}()
 		i++
-		if err := p.putWithRetry(name, trace.MarshalRecord(rec)); err != nil {
+		if err != nil {
 			p.m.memoryOnly.Inc()
 			p.opts.Obs.Emit("profiler", "memory-only",
 				fmt.Sprintf("recording %s failed; records stay in memory: %v", name, err))
@@ -397,11 +461,15 @@ func (p *Profiler) recordLoop(ch <-chan *trace.ProfileRecord) {
 			dead = true
 			continue
 		}
-		p.m.recsPersisted.Inc()
+		p.m.recsPersisted.Add(int64(len(batch)))
 	}
 }
 
-func (p *Profiler) putWithRetry(name string, data []byte) error {
+// putWithRetry drives one logical write (put is Put or PutBatch bound to
+// its target) through the retry/backoff/timeout policy. data may be the
+// loop's reused marshal buffer; when a timeout could leave an abandoned
+// writer still reading it, timedPut copies first.
+func (p *Profiler) putWithRetry(put func(data []byte) error, name string, data []byte) error {
 	var lastErr error
 	for attempt := 0; attempt <= p.opts.PutRetries; attempt++ {
 		if attempt > 0 {
@@ -409,7 +477,7 @@ func (p *Profiler) putWithRetry(name string, data []byte) error {
 			time.Sleep(p.opts.Backoff << (attempt - 1))
 		}
 		start := time.Now()
-		err := p.timedPut(name, data)
+		err := p.timedPut(put, name, data)
 		p.m.putLatency.ObserveSince(start)
 		if err != nil {
 			lastErr = err
@@ -423,16 +491,17 @@ func (p *Profiler) putWithRetry(name string, data []byte) error {
 // timedPut bounds one storage write by PutTimeout. A write that overruns
 // is abandoned in a background goroutine (the store may complete it
 // later; the in-memory store's Put is cheap enough that the leak is
-// bounded by the retry budget) and reported as ErrPutTimeout.
-func (p *Profiler) timedPut(name string, data []byte) error {
+// bounded by the retry budget) and reported as ErrPutTimeout. The
+// abandoned goroutine gets a private copy of data so the recording loop
+// can keep reusing its marshal buffer.
+func (p *Profiler) timedPut(put func(data []byte) error, name string, data []byte) error {
 	if p.opts.PutTimeout <= 0 {
-		_, err := p.opts.Bucket.Put(name, data)
-		return err
+		return put(data)
 	}
+	owned := append([]byte(nil), data...)
 	done := make(chan error, 1)
 	go func() {
-		_, err := p.opts.Bucket.Put(name, data)
-		done <- err
+		done <- put(owned)
 	}()
 	timer := time.NewTimer(p.opts.PutTimeout)
 	defer timer.Stop()
@@ -499,7 +568,9 @@ func (p *Profiler) Records() []*trace.ProfileRecord {
 }
 
 // LoadRecords reads persisted records back from storage, ordered by
-// sequence number — the input to offline TPUPoint-Analyzer runs.
+// sequence number — the input to offline TPUPoint-Analyzer runs. Both
+// persisted forms decode: record-* objects hold one wire record,
+// batch-* objects hold a framed stream (see Options.BatchRecords).
 func LoadRecords(b *storage.Bucket, prefix string) ([]*trace.ProfileRecord, error) {
 	if prefix == "" {
 		prefix = "profiles/"
@@ -510,6 +581,14 @@ func LoadRecords(b *storage.Bucket, prefix string) ([]*trace.ProfileRecord, erro
 		obj, err := b.Get(name)
 		if err != nil {
 			return nil, err
+		}
+		if strings.HasPrefix(strings.TrimPrefix(name, prefix), "batch-") {
+			recs, err := trace.UnmarshalFramed(obj.Data)
+			if err != nil {
+				return nil, fmt.Errorf("profiler: decoding %s: %w", name, err)
+			}
+			out = append(out, recs...)
+			continue
 		}
 		rec, err := trace.UnmarshalRecord(obj.Data)
 		if err != nil {

@@ -66,9 +66,11 @@ func TestProfilerSurvivesInjectedDisconnects(t *testing.T) {
 	r.ProfileService().Register(srv)
 	defer srv.Close()
 
-	// Connections 1-3 each die after one request/response exchange
-	// (write-side: the dropped request never reaches the service, so no
-	// window is consumed). Connection 4+ are healthy.
+	// Connections 1-3 each die after one request/response exchange — a
+	// request is a single buffered client write, so the second write on
+	// the conn is the one dropped (write-side: the dropped request never
+	// reaches the service, so no window is consumed). Connection 4+ are
+	// healthy.
 	d := &faultnet.Dialer{
 		Dial: func() (net.Conn, error) {
 			cc, sc := net.Pipe()
@@ -77,7 +79,7 @@ func TestProfilerSurvivesInjectedDisconnects(t *testing.T) {
 		},
 		Faults: func(attempt int) faultnet.Config {
 			if attempt <= 3 {
-				return faultnet.Config{DropAfterWrites: 2}
+				return faultnet.Config{DropAfterWrites: 1}
 			}
 			return faultnet.Config{}
 		},

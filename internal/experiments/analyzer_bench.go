@@ -26,23 +26,30 @@ const bruteQuickCap = 10_000
 
 // AnalyzerBenchEntry is one timed kernel configuration.
 type AnalyzerBenchEntry struct {
-	Kernel      string  `json:"kernel"` // kmeans | dbscan | dbscan_brute | pca
-	Mode        string  `json:"mode"`   // serial | parallel
-	N           int     `json:"n"`      // rows (steps) clustered
+	Kernel      string  `json:"kernel"` // kmeans | dbscan | dbscan_brute | pca | archive_* | wire_*
+	Mode        string  `json:"mode"`   // serial | parallel | pooled
+	N           int     `json:"n"`      // rows (steps) clustered, or records coded
 	Workers     int     `json:"workers"`
 	Iters       int     `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	StepsPerSec float64 `json:"steps_per_sec"`
+	// AllocsPerOp is the heap-allocation count per operation (Mallocs
+	// delta across the run / iterations). Only the codec kernels report
+	// it; zero means "not measured" and is omitted from the JSON.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// AnalyzerBenchReport is the BENCH_analyzer.json document.
+// AnalyzerBenchReport is the BENCH_analyzer.json document (and, with the
+// clustering-only fields omitted, the BENCH_archive.json document).
 type AnalyzerBenchReport struct {
-	GOMAXPROCS int                  `json:"gomaxprocs"`
-	Dims       int                  `json:"dims"`
-	K          int                  `json:"kmeans_k"`
-	MinPts     int                  `json:"dbscan_min_pts"`
-	Quick      bool                 `json:"quick"`
-	Entries    []AnalyzerBenchEntry `json:"entries"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Dims, K and MinPts describe the clustering geometry; codec reports
+	// (archive/wire kernels) have no clustering and omit them.
+	Dims    int                  `json:"dims,omitempty"`
+	K       int                  `json:"kmeans_k,omitempty"`
+	MinPts  int                  `json:"dbscan_min_pts,omitempty"`
+	Quick   bool                 `json:"quick"`
+	Entries []AnalyzerBenchEntry `json:"entries"`
 	// Speedups derives the headline ratios, keyed
 	// "<kernel>_parallel_vs_serial_n<N>" and
 	// "dbscan_grid_parallel_vs_brute_n<N>".
@@ -206,6 +213,40 @@ func measure(minTime time.Duration, fixedIters int, fn func() error) (int, float
 		}
 	}
 	return iters, float64(total.Nanoseconds()) / float64(iters), nil
+}
+
+// measureAllocs is measure plus a heap-allocation count per iteration
+// (global Mallocs delta, so allocations made by worker goroutines the
+// kernel fans out to are honestly included). The MemStats reads sit
+// outside the timed window, so ns/op is comparable with measure's.
+func measureAllocs(minTime time.Duration, fixedIters int, fn func() error) (int, float64, float64, error) {
+	var ms runtime.MemStats
+	iters := 0
+	var total time.Duration
+	var mallocs uint64
+	for {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+		total += time.Since(start)
+		runtime.ReadMemStats(&ms)
+		mallocs += ms.Mallocs - before
+		iters++
+		if fixedIters > 0 {
+			if iters >= fixedIters {
+				break
+			}
+			continue
+		}
+		if total >= minTime {
+			break
+		}
+	}
+	return iters, float64(total.Nanoseconds()) / float64(iters),
+		float64(mallocs) / float64(iters), nil
 }
 
 // benchBlobs builds an n×dims matrix of three Gaussian blobs with low

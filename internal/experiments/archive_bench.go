@@ -1,13 +1,17 @@
 package experiments
 
 // The archive benchmark harness behind `paperbench -archive-bench`: it
-// times the profile-archive encode/decode path (internal/archive) and
-// the cross-run diff engine (internal/repo) on synthetic record
-// streams and emits a BENCH_archive.json in the same document shape as
-// the analyzer benchmark, so cmd/benchdiff tracks it across PRs (with
-// -min-grid-speedup 0 — there is no grid/brute pair here).
+// times the profile-archive codec (internal/archive, serial and
+// parallel), the record wire codec (internal/trace, naive reference vs
+// pooled append encoder, with allocs/op), and the cross-run diff engine
+// (internal/repo) on synthetic record streams. It emits a
+// BENCH_archive.json in the same document shape as the analyzer
+// benchmark, so cmd/benchdiff tracks it across PRs (with
+// -min-grid-speedup 0 — there is no grid/brute pair here — and the
+// codec gates -min-decode-speedup / -min-alloc-reduction instead).
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"time"
@@ -27,13 +31,20 @@ var ArchiveBenchSizes = []int{1_000, 10_000}
 // aligns — a deliberately hard instance (every phase must be paired).
 const archiveBenchPhases = 64
 
-// RunArchiveBench times archive encode, archive decode (open + full
-// record scan, per-segment CRC verification included), and the
-// phase-alignment diff. quick shortens the measurement window for CI
-// smoke runs.
-func RunArchiveBench(sizes []int, quick bool) (*AnalyzerBenchReport, error) {
+// RunArchiveBench times the codec pipeline end to end: archive encode
+// (serial Add loop vs parallel AddBatch), archive decode (open + full
+// record scan, per-segment CRC verification included; one worker vs a
+// pool — bit-identical output either way), the record wire codec
+// (naive per-call reference vs pooled append encoder, allocs/op
+// reported for both), and the phase-alignment diff. workers bounds the
+// parallel variants (0 = GOMAXPROCS); quick shortens the measurement
+// window for CI smoke runs.
+func RunArchiveBench(sizes []int, workers int, quick bool) (*AnalyzerBenchReport, error) {
 	if len(sizes) == 0 {
 		sizes = ArchiveBenchSizes
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	minTime := 500 * time.Millisecond
 	if quick {
@@ -48,10 +59,30 @@ func RunArchiveBench(sizes []int, quick bool) (*AnalyzerBenchReport, error) {
 	for _, n := range sizes {
 		recs := archiveBenchRecords(n)
 		meta := archive.Meta{RunID: fmt.Sprintf("bench-%d", n), Workload: "synthetic"}
+
+		// The naive reference is only a reference while it encodes the
+		// same bytes; assert that before timing anything against it.
+		for i, r := range recs {
+			if !bytes.Equal(naiveMarshalRecord(r), trace.MarshalRecord(r)) {
+				return nil, fmt.Errorf("archive-bench: naive encoder diverges from MarshalRecord at record %d", i)
+			}
+		}
+
 		encode := func() error {
 			w := archive.NewWriter(meta)
 			for _, r := range recs {
 				w.Add(r)
+			}
+			if len(w.Finalize(nil)) == 0 {
+				return fmt.Errorf("empty archive")
+			}
+			return nil
+		}
+		encodePar := func() error {
+			w := archive.NewWriter(meta)
+			w.SetParallelism(workers)
+			if err := w.AddBatch(recs); err != nil {
+				return err
 			}
 			if len(w.Finalize(nil)) == 0 {
 				return fmt.Errorf("empty archive")
@@ -63,17 +94,57 @@ func RunArchiveBench(sizes []int, quick bool) (*AnalyzerBenchReport, error) {
 			w.Add(r)
 		}
 		blob := w.Finalize(nil)
-		decode := func() error {
-			a, err := archive.Open(blob)
-			if err != nil {
-				return err
+		decodeWith := func(workers int) func() error {
+			return func() error {
+				a, err := archive.OpenWorkers(blob, workers)
+				if err != nil {
+					return err
+				}
+				got, err := a.RecordsWorkers(workers)
+				if err != nil {
+					return err
+				}
+				if len(got) != n {
+					return fmt.Errorf("decoded %d records, want %d", len(got), n)
+				}
+				return nil
 			}
-			got, err := a.Records()
-			if err != nil {
-				return err
+		}
+		wireSerial := func() error {
+			var total int
+			for _, r := range recs {
+				total += len(naiveMarshalRecord(r))
 			}
-			if len(got) != n {
-				return fmt.Errorf("decoded %d records, want %d", len(got), n)
+			if total == 0 {
+				return fmt.Errorf("empty encoding")
+			}
+			return nil
+		}
+		var wireBuf []byte
+		wirePooled := func() error {
+			var total int
+			for _, r := range recs {
+				wireBuf = trace.MarshalRecordAppend(wireBuf[:0], r)
+				total += len(wireBuf)
+			}
+			if total == 0 {
+				return fmt.Errorf("empty encoding")
+			}
+			return nil
+		}
+		encoded := make([][]byte, len(recs))
+		for i, r := range recs {
+			encoded[i] = trace.MarshalRecord(r)
+		}
+		wireUnmarshal := func() error {
+			for i, b := range encoded {
+				r, err := trace.UnmarshalRecord(b)
+				if err != nil {
+					return fmt.Errorf("record %d: %w", i, err)
+				}
+				if r.Seq != recs[i].Seq {
+					return fmt.Errorf("record %d decoded seq %d, want %d", i, r.Seq, recs[i].Seq)
+				}
 			}
 			return nil
 		}
@@ -91,25 +162,70 @@ func RunArchiveBench(sizes []int, quick bool) (*AnalyzerBenchReport, error) {
 		}
 
 		for _, r := range []struct {
-			kernel string
-			fn     func() error
+			kernel  string
+			mode    string
+			workers int
+			fn      func() error
 		}{
-			{"archive_encode", encode},
-			{"archive_decode", decode},
-			{"repo_diff", diff},
+			{"archive_encode", "serial", 1, encode},
+			{"archive_encode_par", "parallel", workers, encodePar},
+			{"archive_decode", "serial", 1, decodeWith(1)},
+			{"archive_decode_par", "parallel", workers, decodeWith(workers)},
+			{"wire_marshal", "serial", 1, wireSerial},
+			{"wire_marshal", "pooled", 1, wirePooled},
+			{"wire_unmarshal", "serial", 1, wireUnmarshal},
+			{"repo_diff", "serial", 1, diff},
 		} {
-			iters, nsPerOp, err := measure(minTime, 0, r.fn)
+			iters, nsPerOp, allocsPerOp, err := measureAllocs(minTime, 0, r.fn)
 			if err != nil {
-				return nil, fmt.Errorf("archive-bench: %s n=%d: %w", r.kernel, n, err)
+				return nil, fmt.Errorf("archive-bench: %s/%s n=%d: %w", r.kernel, r.mode, n, err)
 			}
 			rep.Entries = append(rep.Entries, AnalyzerBenchEntry{
-				Kernel: r.kernel, Mode: "serial", N: n, Workers: 1,
+				Kernel: r.kernel, Mode: r.mode, N: n, Workers: r.workers,
 				Iters: iters, NsPerOp: nsPerOp,
 				StepsPerSec: float64(n) * 1e9 / nsPerOp,
+				AllocsPerOp: allocsPerOp,
 			})
 		}
+		rep.deriveCodecSpeedups(n)
 	}
 	return rep, nil
+}
+
+// deriveCodecSpeedups records the headline ratios the codec gates in
+// cmd/benchdiff enforce: parallel-vs-serial archive encode/decode,
+// pooled-vs-naive wire marshal time, and the fraction of marshal
+// allocations the pooled encoder eliminates (0..1).
+func (r *AnalyzerBenchReport) deriveCodecSpeedups(n int) {
+	for _, kernel := range []string{"archive_encode", "archive_decode"} {
+		s := r.find(kernel, "serial", n)
+		p := r.find(kernel+"_par", "parallel", n)
+		if s != nil && p != nil && p.NsPerOp > 0 {
+			r.Speedups[fmt.Sprintf("%s_par_vs_serial_n%d", kernel, n)] = s.NsPerOp / p.NsPerOp
+		}
+	}
+	s := r.find("wire_marshal", "serial", n)
+	p := r.find("wire_marshal", "pooled", n)
+	if s == nil || p == nil {
+		return
+	}
+	if p.NsPerOp > 0 {
+		r.Speedups[fmt.Sprintf("wire_marshal_pooled_vs_serial_n%d", n)] = s.NsPerOp / p.NsPerOp
+	}
+	if s.AllocsPerOp > 0 {
+		reduction := 1 - p.AllocsPerOp/s.AllocsPerOp
+		if reduction < 0 {
+			reduction = 0
+		}
+		r.Speedups[fmt.Sprintf("wire_marshal_alloc_reduction_n%d", n)] = reduction
+	}
+}
+
+// ArchiveBenchStream builds the synthetic record stream the archive
+// benchmarks code — exported so bench_test.go times the codec kernels
+// on exactly the records BENCH_archive.json reports.
+func ArchiveBenchStream(n int) []*trace.ProfileRecord {
+	return archiveBenchRecords(n)
 }
 
 // archiveBenchRecords synthesizes a two-regime record stream (the

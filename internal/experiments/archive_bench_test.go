@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestNaiveMarshalRecordIdentity pins the property the wire_marshal
+// benchmark depends on: the naive reference encoder and the pooled
+// production encoder emit identical bytes, so their ns/op and allocs/op
+// are comparing the same work.
+func TestNaiveMarshalRecordIdentity(t *testing.T) {
+	for _, rec := range archiveBenchRecords(500) {
+		if !bytes.Equal(naiveMarshalRecord(rec), trace.MarshalRecord(rec)) {
+			t.Fatalf("naive encoder diverges from MarshalRecord at seq %d", rec.Seq)
+		}
+	}
+}
+
+// TestRunArchiveBenchReportShape runs the codec benchmark at a small
+// size and checks the document carries every kernel, the codec speedup
+// keys, and allocs/op on the wire kernels — the fields the benchdiff
+// gates read.
+func TestRunArchiveBenchReportShape(t *testing.T) {
+	const n = 200
+	rep, err := RunArchiveBench([]int{n}, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct{ kernel, mode string }{
+		{"archive_encode", "serial"},
+		{"archive_encode_par", "parallel"},
+		{"archive_decode", "serial"},
+		{"archive_decode_par", "parallel"},
+		{"wire_marshal", "serial"},
+		{"wire_marshal", "pooled"},
+		{"wire_unmarshal", "serial"},
+		{"repo_diff", "serial"},
+	} {
+		if rep.find(want.kernel, want.mode, n) == nil {
+			t.Fatalf("report is missing %s/%s n=%d", want.kernel, want.mode, n)
+		}
+	}
+	for _, key := range []string{
+		fmt.Sprintf("archive_encode_par_vs_serial_n%d", n),
+		fmt.Sprintf("archive_decode_par_vs_serial_n%d", n),
+		fmt.Sprintf("wire_marshal_pooled_vs_serial_n%d", n),
+		fmt.Sprintf("wire_marshal_alloc_reduction_n%d", n),
+	} {
+		if _, ok := rep.Speedups[key]; !ok {
+			t.Fatalf("report is missing speedup %q (have %v)", key, rep.Speedups)
+		}
+	}
+	naive := rep.find("wire_marshal", "serial", n)
+	pooled := rep.find("wire_marshal", "pooled", n)
+	if naive.AllocsPerOp <= 0 {
+		t.Fatal("naive wire_marshal reported no allocations")
+	}
+	if pooled.AllocsPerOp >= naive.AllocsPerOp {
+		t.Fatalf("pooled encoder allocates as much as the naive one: %.0f vs %.0f allocs/op",
+			pooled.AllocsPerOp, naive.AllocsPerOp)
+	}
+	red := rep.Speedups[fmt.Sprintf("wire_marshal_alloc_reduction_n%d", n)]
+	if red < 0 || red > 1 {
+		t.Fatalf("alloc reduction %f outside [0, 1]", red)
+	}
+	// Clustering-only fields stay zero on codec reports so omitempty
+	// drops them from BENCH_archive.json.
+	if rep.Dims != 0 || rep.K != 0 || rep.MinPts != 0 {
+		t.Fatalf("codec report carries clustering fields: dims=%d k=%d minPts=%d",
+			rep.Dims, rep.K, rep.MinPts)
+	}
+}

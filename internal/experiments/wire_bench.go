@@ -1,0 +1,68 @@
+package experiments
+
+// The naive record encoder the wire_marshal benchmark uses as its serial
+// reference: the straightforward fresh-buffers-everywhere form the trace
+// package shipped before MarshalRecordAppend pooled its scratch. It is
+// kept here — not in internal/trace — for the same reason DBSCANBrute
+// outlived the grid index: the allocation win the pooled encoder claims
+// (BENCH_archive.json's wire_marshal_alloc_reduction speedup) stays
+// measured against a live baseline instead of a number in a commit
+// message. Byte-identity with trace.MarshalRecord is asserted before
+// every benchmark run and in experiments_test.go.
+
+import (
+	"sort"
+
+	"repro/internal/protowire"
+	"repro/internal/trace"
+)
+
+// naiveMarshalRecord encodes r exactly like trace.MarshalRecord but
+// with per-call buffers: a fresh destination, a fresh staging buffer per
+// step and per op, and a fresh sorted-key slice per step.
+func naiveMarshalRecord(r *trace.ProfileRecord) []byte {
+	var dst []byte
+	dst = protowire.AppendUint64(dst, 1, uint64(r.Seq))
+	dst = protowire.AppendUint64(dst, 2, uint64(r.WindowStart))
+	dst = protowire.AppendUint64(dst, 3, uint64(r.WindowEnd))
+	dst = protowire.AppendUint64(dst, 4, uint64(r.NumEvents))
+	dst = protowire.AppendBool(dst, 5, r.Truncated)
+	dst = protowire.AppendDouble(dst, 6, r.IdleFrac)
+	dst = protowire.AppendDouble(dst, 7, r.MXUUtil)
+	for _, s := range r.Steps {
+		dst = protowire.AppendBytes(dst, 8, naiveMarshalStep(s))
+	}
+	if r.Gap {
+		dst = protowire.AppendBool(dst, 9, true)
+	}
+	return dst
+}
+
+func naiveMarshalStep(s *trace.StepStat) []byte {
+	var dst []byte
+	dst = protowire.AppendInt64(dst, 1, s.Step)
+	dst = protowire.AppendUint64(dst, 2, uint64(s.Start))
+	dst = protowire.AppendUint64(dst, 3, uint64(s.End))
+	dst = protowire.AppendDouble(dst, 4, s.IdleFrac)
+	dst = protowire.AppendDouble(dst, 5, s.MXUUtil)
+	keys := make([]trace.OpKey, 0, len(s.Ops))
+	for k := range s.Ops {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Device != keys[j].Device {
+			return keys[i].Device < keys[j].Device
+		}
+		return keys[i].Name < keys[j].Name
+	})
+	for _, k := range keys {
+		st := s.Ops[k]
+		var op []byte
+		op = protowire.AppendString(op, 1, k.Name)
+		op = protowire.AppendUint64(op, 2, uint64(k.Device))
+		op = protowire.AppendUint64(op, 3, uint64(st.Count))
+		op = protowire.AppendUint64(op, 4, uint64(st.Total))
+		dst = protowire.AppendBytes(dst, 6, op)
+	}
+	return dst
+}

@@ -108,6 +108,74 @@ func (e *Encoder) Raw(field int, b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// --- append-style encoding ----------------------------------------------
+//
+// The Append* functions are the allocation-free counterparts of the
+// Encoder methods: they write the identical bytes directly onto dst and
+// return the (possibly grown) slice, so a hot loop that reuses its
+// buffer encodes with zero steady-state allocations. Encoder remains
+// the convenient form for cold paths; both produce the same wire data.
+
+// AppendVarint appends a bare varint (no tag).
+func AppendVarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// AppendTag appends a field tag.
+func AppendTag(dst []byte, field int, t Type) []byte {
+	return AppendVarint(dst, uint64(field)<<3|uint64(t))
+}
+
+// AppendUint64 appends field as a varint.
+func AppendUint64(dst []byte, field int, v uint64) []byte {
+	dst = AppendTag(dst, field, Varint)
+	return AppendVarint(dst, v)
+}
+
+// AppendInt64 appends field zigzag-encoded (sint64 in proto terms).
+func AppendInt64(dst []byte, field int, v int64) []byte {
+	return AppendUint64(dst, field, zigzag(v))
+}
+
+// AppendBool appends field as a 0/1 varint.
+func AppendBool(dst []byte, field int, v bool) []byte {
+	var u uint64
+	if v {
+		u = 1
+	}
+	return AppendUint64(dst, field, u)
+}
+
+// AppendDouble appends field as a little-endian 64-bit IEEE 754 value.
+func AppendDouble(dst []byte, field int, v float64) []byte {
+	dst = AppendTag(dst, field, I64)
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(bits>>(8*i)))
+	}
+	return dst
+}
+
+// AppendString appends field as length-delimited UTF-8.
+func AppendString(dst []byte, field int, s string) []byte {
+	dst = AppendTag(dst, field, Bytes)
+	dst = AppendVarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends field as length-delimited opaque bytes — the
+// append-style Raw, used for embedded messages encoded into a scratch
+// buffer.
+func AppendBytes(dst []byte, field int, b []byte) []byte {
+	dst = AppendTag(dst, field, Bytes)
+	dst = AppendVarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
 func zigzag(v int64) uint64 {
 	return uint64(v<<1) ^ uint64(v>>63)
 }

@@ -29,10 +29,11 @@ import (
 
 // Fleet RPC method names.
 const (
-	MethodFleetOpen     = "fleet.Open"
-	MethodFleetAppend   = "fleet.Append"
-	MethodFleetFinalize = "fleet.Finalize"
-	MethodFleetAbort    = "fleet.Abort"
+	MethodFleetOpen        = "fleet.Open"
+	MethodFleetAppend      = "fleet.Append"
+	MethodFleetAppendBatch = "fleet.AppendBatch"
+	MethodFleetFinalize    = "fleet.Finalize"
+	MethodFleetAbort       = "fleet.Abort"
 )
 
 // Fleet option defaults.
@@ -143,16 +144,20 @@ func NewFleet(r *Repo, opts FleetOptions) *Fleet {
 func (f *Fleet) Register(s *rpc.Server) {
 	s.Register(MethodFleetOpen, f.handleOpen)
 	s.Register(MethodFleetAppend, f.handleAppend)
+	s.Register(MethodFleetAppendBatch, f.handleAppendBatch)
 	s.Register(MethodFleetFinalize, f.handleFinalize)
 	s.Register(MethodFleetAbort, f.handleAbort)
 }
 
-// session is one in-flight collection stream.
+// session is one in-flight collection stream. The session holds no
+// decoded record slice: records live only in the archive writer's
+// segment stream, and finalize decodes them back transiently for the
+// server-side analysis (Writer.DecodeRecords) — a long session's memory
+// is its compacted wire bytes, not N live record structs.
 type session struct {
 	id   uint64
 	meta archive.Meta
 	w    *archive.Writer
-	recs []*trace.ProfileRecord
 
 	ch   chan []byte   // bounded pending-record queue
 	done chan struct{} // drain goroutine exit
@@ -168,19 +173,18 @@ type session struct {
 	archived   int64
 }
 
-// drain is the session's single consumer: it owns the writer and the
-// record slice, so neither needs locking.
+// drain is the session's single consumer: it owns the writer, so the
+// writer needs no locking. AddRaw appends the validated wire bytes
+// as-is — no decode/re-encode round trip on the hot path (the one
+// validation decode updates the archive's counts).
 func (s *session) drain(m fleetMetrics) {
 	defer close(s.done)
 	for b := range s.ch {
-		rec, err := trace.UnmarshalRecord(b)
-		if err != nil {
+		if err := s.w.AddRaw(b); err != nil {
 			// Can't happen: handleAppend validated the bytes. Skip
 			// defensively rather than corrupt the archive.
 			continue
 		}
-		s.w.Add(rec)
-		s.recs = append(s.recs, rec)
 		s.mu.Lock()
 		s.archived++
 		s.mu.Unlock()
@@ -309,6 +313,38 @@ func (f *Fleet) lookup(id uint64) (*session, error) {
 	return s, nil
 }
 
+// enqueue hands one validated record's wire bytes to the session's
+// drain goroutine, waiting up to EnqueueTimeout for queue space before
+// shedding load with a transient busy error.
+func (f *Fleet) enqueue(s *session, rec []byte) error {
+	s.sendMu.Lock()
+	if s.closed {
+		s.sendMu.Unlock()
+		return fmt.Errorf("fleet: session %d already finalized", s.id)
+	}
+	select {
+	case s.ch <- rec:
+		s.sendMu.Unlock()
+	default:
+		// Queue full: wait bounded, then shed load with a transient
+		// busy error instead of growing memory.
+		timer := time.NewTimer(f.opts.EnqueueTimeout)
+		select {
+		case s.ch <- rec:
+			timer.Stop()
+			s.sendMu.Unlock()
+		case <-timer.C:
+			s.sendMu.Unlock()
+			f.m.busy.Inc()
+			return fmt.Errorf("%w: session %d queue full (%d pending)",
+				rpc.ErrBusy, s.id, f.opts.QueueSize)
+		}
+	}
+	f.m.recIn.Inc()
+	f.m.bytesIn.Add(int64(len(rec)))
+	return nil
+}
+
 // handleAppend body: u64le session id, then record wire bytes.
 func (f *Fleet) handleAppend(body []byte) ([]byte, error) {
 	if len(body) < 8 {
@@ -327,33 +363,59 @@ func (f *Fleet) handleAppend(body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("fleet: reject record: %w", err)
 	}
 	s.touch(f.opts.Now())
+	return nil, f.enqueue(s, rec)
+}
 
-	s.sendMu.Lock()
-	if s.closed {
-		s.sendMu.Unlock()
-		return nil, fmt.Errorf("fleet: session %d already finalized", id)
+// AppendBatchResponse reports how many leading records of a batch the
+// server accepted. A partial count is success, not failure: the client
+// resends only the unaccepted tail, so backpressure never duplicates
+// records.
+type AppendBatchResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// handleAppendBatch body: u64le session id, then a trace framed stream
+// ((uvarint length, record bytes)*). The whole batch is validated up
+// front; acceptance is then per-record in order. Zero accepted on a
+// non-empty batch maps to the transient busy error so retry layers back
+// off exactly as they do for single appends.
+func (f *Fleet) handleAppendBatch(body []byte) ([]byte, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("fleet: short append frame")
 	}
-	select {
-	case s.ch <- rec:
-		s.sendMu.Unlock()
-	default:
-		// Queue full: wait bounded, then shed load with a transient
-		// busy error instead of growing memory.
-		timer := time.NewTimer(f.opts.EnqueueTimeout)
-		select {
-		case s.ch <- rec:
-			timer.Stop()
-			s.sendMu.Unlock()
-		case <-timer.C:
-			s.sendMu.Unlock()
-			f.m.busy.Inc()
-			return nil, fmt.Errorf("%w: session %d queue full (%d pending)",
-				rpc.ErrBusy, id, f.opts.QueueSize)
+	id := binary.LittleEndian.Uint64(body[:8])
+	s, err := f.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	// One copy for the whole batch: the rpc layer reuses its read buffer
+	// per connection, and the frame subslices below alias this copy as
+	// they cross into the drain goroutine.
+	framed := make([]byte, len(body)-8)
+	copy(framed, body[8:])
+	frames, err := trace.SplitFramed(framed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: reject batch: %w", err)
+	}
+	for i, fr := range frames {
+		if _, err := trace.UnmarshalRecord(fr); err != nil {
+			return nil, fmt.Errorf("fleet: reject batch record %d: %w", i, err)
 		}
 	}
-	f.m.recIn.Inc()
-	f.m.bytesIn.Add(int64(len(rec)))
-	return nil, nil
+	s.touch(f.opts.Now())
+
+	accepted := 0
+	var enqErr error
+	for _, fr := range frames {
+		if enqErr = f.enqueue(s, fr); enqErr != nil {
+			break
+		}
+		accepted++
+	}
+	if accepted == 0 && len(frames) > 0 {
+		return nil, enqErr
+	}
+	return json.Marshal(AppendBatchResponse{Accepted: accepted})
 }
 
 // remove detaches a session from the table.
@@ -382,13 +444,19 @@ func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.closeQueue()
-	<-s.done // drain finished: s.recs and s.w are ours now
+	<-s.done // drain finished: s.w is ours now
 
 	var sum *archive.Summary
-	if len(s.recs) > 0 {
-		rep, aerr := analyzer.Analyze(s.meta.Workload, s.recs, f.opts.Algorithm, f.opts.Analyzer)
-		if aerr == nil {
-			sum = archive.SummarizeReport(rep)
+	if s.w.Records() > 0 {
+		// The session kept only wire bytes; decode them back just for
+		// the finalize-time analysis. This is the one transient full
+		// materialization in a session's life.
+		recs, derr := s.w.DecodeRecords()
+		if derr == nil && len(recs) > 0 {
+			rep, aerr := analyzer.Analyze(s.meta.Workload, recs, f.opts.Algorithm, f.opts.Analyzer)
+			if aerr == nil {
+				sum = archive.SummarizeReport(rep)
+			}
 		}
 		// Gap-only streams (no steps) archive without a summary
 		// rather than failing the whole session.
@@ -461,9 +529,15 @@ func (fc *FleetClient) AppendRaw(rec []byte) error {
 	return err
 }
 
-// Append streams one record.
+// Append streams one record. The record is marshalled straight into the
+// request body — one buffer allocation per call; the rpc client frames
+// it into its reused write buffer from there.
 func (fc *FleetClient) Append(rec *trace.ProfileRecord) error {
-	return fc.AppendRaw(trace.MarshalRecord(rec))
+	body := make([]byte, 8, 8+64)
+	binary.LittleEndian.PutUint64(body[:8], fc.id)
+	body = trace.MarshalRecordAppend(body, rec)
+	_, err := fc.c.Call(MethodFleetAppend, body)
+	return err
 }
 
 // Put implements profiler.RecordStore: the record name is the
@@ -475,6 +549,50 @@ func (fc *FleetClient) Put(name string, data []byte) (*storage.Object, error) {
 		return nil, err
 	}
 	return &storage.Object{Name: name, Data: append([]byte(nil), data...)}, nil
+}
+
+// PutBatch implements profiler.BatchStore: one AppendBatch RPC per
+// round trip, resending only the unaccepted tail when the server sheds
+// load mid-batch. Zero-accepted rounds surface the server's transient
+// busy error, so the profiler's retry/backoff path re-sends the exact
+// same tail — records are never duplicated.
+func (fc *FleetClient) PutBatch(name string, framed []byte, count int) (*storage.Object, error) {
+	rest := framed
+	for len(rest) > 0 {
+		body := make([]byte, 8+len(rest))
+		binary.LittleEndian.PutUint64(body[:8], fc.id)
+		copy(body[8:], rest)
+		out, err := fc.c.Call(MethodFleetAppendBatch, body)
+		if err != nil {
+			return nil, err
+		}
+		var resp AppendBatchResponse
+		if err := json.Unmarshal(out, &resp); err != nil {
+			return nil, fmt.Errorf("fleet: bad append-batch response: %w", err)
+		}
+		if resp.Accepted <= 0 {
+			return nil, fmt.Errorf("fleet: append-batch accepted 0 of %d records", count)
+		}
+		rest, err = trace.SkipFrames(rest, resp.Accepted)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &storage.Object{Name: name}, nil
+}
+
+// AppendBatch streams a batch of records through one (or, under
+// backpressure, few) AppendBatch round trips.
+func (fc *FleetClient) AppendBatch(recs []*trace.ProfileRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var framed []byte
+	for _, r := range recs {
+		framed = trace.AppendFramedRecord(framed, r)
+	}
+	_, err := fc.PutBatch("", framed, len(recs))
+	return err
 }
 
 // Finalize closes the session; the server analyzes, archives, and

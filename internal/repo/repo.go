@@ -78,7 +78,8 @@ func (m *manifest) find(runID string) int {
 // Repo is a run repository over one bucket. Safe for concurrent use:
 // all index mutations go through the manifest CAS.
 type Repo struct {
-	bucket *storage.Bucket
+	bucket  *storage.Bucket
+	workers int
 }
 
 // New returns a repository over bucket. An empty bucket is an empty
@@ -86,6 +87,13 @@ type Repo struct {
 func New(bucket *storage.Bucket) *Repo {
 	return &Repo{bucket: bucket}
 }
+
+// SetCodecParallelism bounds the worker fan-out archive opens use for
+// segment checksum verification (0 = GOMAXPROCS, 1 = serial). Results
+// are identical for any value — only wall-clock changes. Applies to
+// Get, Save validation, and everything built on them (Compare, the
+// fleet's finalize path saves through the same bucket).
+func (r *Repo) SetCodecParallelism(n int) { r.workers = n }
 
 func runObject(runID string) string { return "runs/" + runID + "/archive" }
 
@@ -148,7 +156,7 @@ func (r *Repo) NextSeq() (uint64, error) {
 // Save validates blob as an archive, stores it, and indexes the run.
 // The archive's Meta.RunID must be non-empty and unused.
 func (r *Repo) Save(blob []byte) (RunInfo, error) {
-	a, err := archive.Open(blob)
+	a, err := archive.OpenWorkers(blob, r.workers)
 	if err != nil {
 		return RunInfo{}, fmt.Errorf("repo: refusing to save: %w", err)
 	}
@@ -255,7 +263,7 @@ func (r *Repo) Get(runID string) (RunInfo, *archive.Archive, error) {
 	if err != nil {
 		return RunInfo{}, nil, fmt.Errorf("repo: run %q blob: %w", runID, err)
 	}
-	a, err := archive.Open(obj.Data)
+	a, err := archive.OpenWorkers(obj.Data, r.workers)
 	if err != nil {
 		return RunInfo{}, nil, fmt.Errorf("repo: run %q: %w", runID, err)
 	}

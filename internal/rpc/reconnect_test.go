@@ -48,10 +48,11 @@ func TestReconnectSurvivesRepeatedDisconnects(t *testing.T) {
 	defer s.Close()
 
 	// The first three connections die after one request each (an rpc
-	// request is two writes: header + payload); later ones are healthy.
+	// request is one buffered write: the client frames length prefix and
+	// payload into a single conn.Write); later ones are healthy.
 	d := dialerFor(s, func(attempt int) faultnet.Config {
 		if attempt <= 3 {
-			return faultnet.Config{DropAfterWrites: 2}
+			return faultnet.Config{DropAfterWrites: 1}
 		}
 		return faultnet.Config{}
 	})
@@ -90,7 +91,7 @@ func TestReconnectRidesOutPartitionWindow(t *testing.T) {
 	// attempt 5 heals.
 	d := dialerFor(s, func(attempt int) faultnet.Config {
 		if attempt == 1 {
-			return faultnet.Config{DropAfterWrites: 2}
+			return faultnet.Config{DropAfterWrites: 1}
 		}
 		return faultnet.Config{}
 	})
@@ -213,7 +214,7 @@ func TestReconnectObsMetrics(t *testing.T) {
 	// registry must record the calls, the churn, and no breaker trip.
 	d := dialerFor(s, func(attempt int) faultnet.Config {
 		if attempt <= 2 {
-			return faultnet.Config{DropAfterWrites: 2}
+			return faultnet.Config{DropAfterWrites: 1}
 		}
 		return faultnet.Config{}
 	})

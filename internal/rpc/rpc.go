@@ -125,8 +125,14 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
+	// Per-connection buffer reuse: requests are read into readBuf and
+	// responses framed into respBuf, so a connection's steady-state
+	// serving loop allocates nothing for framing. Handler bodies alias
+	// readBuf — handlers that retain bytes past their return (the fleet
+	// append path) copy first.
+	var readBuf, respBuf []byte
 	for {
-		payload, err := readFrame(conn)
+		payload, err := readFrameInto(conn, &readBuf)
 		if err != nil {
 			return
 		}
@@ -139,24 +145,34 @@ func (s *Server) ServeConn(conn net.Conn) {
 		closed := s.closed
 		s.mu.RUnlock()
 
-		var resp []byte
+		var status byte
+		var out []byte
 		switch {
 		case closed:
-			resp = responseFrame(id, statusErr, []byte(ErrShutdownPending.Error()))
+			status, out = statusErr, []byte(ErrShutdownPending.Error())
 		case !ok:
-			resp = responseFrame(id, statusErr, []byte(fmt.Sprintf("%s: %q", ErrUnknownMethod, method)))
+			status, out = statusErr, []byte(fmt.Sprintf("%s: %q", ErrUnknownMethod, method))
 		default:
-			out, herr := safeCall(h, body)
+			res, herr := safeCall(h, body)
 			switch {
 			case herr == nil:
-				resp = responseFrame(id, statusOK, out)
+				status, out = statusOK, res
 			case errors.Is(herr, ErrBusy):
-				resp = responseFrame(id, statusBusy, []byte(herr.Error()))
+				status, out = statusBusy, []byte(herr.Error())
 			default:
-				resp = responseFrame(id, statusErr, []byte(herr.Error()))
+				status, out = statusErr, []byte(herr.Error())
 			}
 		}
-		if err := writeFrame(conn, resp); err != nil {
+		n := 8 + 1 + len(out)
+		if n > MaxFrame {
+			return
+		}
+		respBuf = respBuf[:0]
+		respBuf = binary.LittleEndian.AppendUint32(respBuf, uint32(n))
+		respBuf = binary.LittleEndian.AppendUint64(respBuf, id)
+		respBuf = append(respBuf, status)
+		respBuf = append(respBuf, out...)
+		if _, err := conn.Write(respBuf); err != nil {
 			return
 		}
 	}
@@ -222,9 +238,11 @@ func (s *Server) Close() {
 type Client struct {
 	conn net.Conn
 
-	// writeMu serializes frame writes: a frame is two conn.Write calls
-	// (header, payload) and concurrent callers must not interleave them.
-	writeMu sync.Mutex
+	// writeMu serializes frame writes and guards writeBuf, the reused
+	// buffer every request is framed into: one allocation-free build,
+	// one conn.Write per call at steady state.
+	writeMu  sync.Mutex
+	writeBuf []byte
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -341,7 +359,7 @@ func (c *Client) send(method string, body []byte) (uint64, chan response, error)
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeFrame(c.conn, requestFrame(id, method, body))
+	err := c.writeRequest(id, method, body)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -350,6 +368,25 @@ func (c *Client) send(method string, body []byte) (uint64, chan response, error)
 		return 0, nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	return id, ch, nil
+}
+
+// writeRequest frames one request (length prefix included) into the
+// client's reused write buffer and ships it with a single conn.Write.
+// Callers hold writeMu.
+func (c *Client) writeRequest(id uint64, method string, body []byte) error {
+	n := 8 + 2 + len(method) + len(body)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := c.writeBuf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(method)))
+	buf = append(buf, method...)
+	buf = append(buf, body...)
+	c.writeBuf = buf
+	_, err := c.conn.Write(buf)
+	return err
 }
 
 func (c *Client) finish(resp response, ok bool) ([]byte, error) {
@@ -443,6 +480,28 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, ErrFrameTooLarge
 	}
 	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// readFrameInto is readFrame with caller-owned buffer reuse: the payload
+// lands in *buf (grown as needed) and the returned slice aliases it —
+// valid only until the next call with the same buffer.
+func readFrameInto(r io.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}

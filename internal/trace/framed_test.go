@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestFramedRoundTrip(t *testing.T) {
+	recs := appendTestRecords()
+	var framed []byte
+	for _, r := range recs {
+		framed = AppendFramedRecord(framed, r)
+	}
+
+	frames, err := SplitFramed(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(recs) {
+		t.Fatalf("split %d frames, want %d", len(frames), len(recs))
+	}
+	for i, fr := range frames {
+		if want := MarshalRecord(recs[i]); !bytes.Equal(fr, want) {
+			t.Fatalf("frame %d bytes differ from MarshalRecord", i)
+		}
+	}
+
+	got, err := UnmarshalFramed(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*ProfileRecord, len(recs))
+	for i, r := range recs {
+		rt, err := UnmarshalRecord(MarshalRecord(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rt
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("framed round trip lost data")
+	}
+}
+
+func TestFramedEmpty(t *testing.T) {
+	frames, err := SplitFramed(nil)
+	if err != nil || len(frames) != 0 {
+		t.Fatalf("SplitFramed(nil) = %d frames, %v", len(frames), err)
+	}
+	recs, err := UnmarshalFramed(nil)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("UnmarshalFramed(nil) = %d records, %v", len(recs), err)
+	}
+}
+
+func TestSkipFrames(t *testing.T) {
+	recs := appendTestRecords()
+	var framed []byte
+	for _, r := range recs {
+		framed = AppendFramedRecord(framed, r)
+	}
+	for n := 0; n <= len(recs); n++ {
+		tail, err := SkipFrames(framed, n)
+		if err != nil {
+			t.Fatalf("skip %d: %v", n, err)
+		}
+		rest, err := SplitFramed(tail)
+		if err != nil {
+			t.Fatalf("skip %d tail: %v", n, err)
+		}
+		if len(rest) != len(recs)-n {
+			t.Fatalf("skip %d left %d frames, want %d", n, len(rest), len(recs)-n)
+		}
+	}
+	if _, err := SkipFrames(framed, len(recs)+1); err == nil {
+		t.Fatal("skipping past the end succeeded")
+	}
+}
+
+func TestFramedRejectsTruncation(t *testing.T) {
+	framed := AppendFramedRecord(nil, sampleRecord())
+	for _, bad := range [][]byte{
+		framed[:len(framed)-1],   // frame shorter than its prefix claims
+		{0xff, 0xff, 0xff, 0x7f}, // huge length, no payload
+	} {
+		if _, err := SplitFramed(bad); err == nil {
+			t.Fatalf("malformed stream %v accepted", bad[:4])
+		}
+	}
+}
+
+// TestAppendFramedRecordZeroAlloc pins the batch path's contract: with a
+// reused destination and a warm pool, framing allocates nothing.
+func TestAppendFramedRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	r := sampleRecord()
+	buf := AppendFramedRecord(nil, r)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendFramedRecord(buf[:0], r)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFramedRecord with reused dst: %.1f allocs/op, want 0", allocs)
+	}
+}

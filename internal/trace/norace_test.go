@@ -1,0 +1,7 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// that assert exact allocation counts skip under it.
+const raceEnabled = false

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/protowire"
 	"repro/internal/simclock"
@@ -37,49 +38,80 @@ import (
 //	  uint64 total  = 4;
 //	}
 
+// encState is the pooled scratch an encode borrows: one buffer per
+// message-nesting level (record fields go straight to the caller's dst;
+// steps and ops are staged here so their length prefixes can be written
+// first) plus the sorted-key slice the per-step op ordering needs.
+// Pooling it makes MarshalRecordAppend allocation-free at steady state —
+// the profiler's recording loop and the archive writer marshal every
+// record through here, so per-record garbage would be paid once per
+// profile window for the lifetime of a run.
+type encState struct {
+	step []byte
+	op   []byte
+	keys []OpKey
+}
+
+var encPool = sync.Pool{New: func() any { return new(encState) }}
+
 // MarshalRecord encodes a ProfileRecord to protobuf wire format.
+// It is MarshalRecordAppend into a fresh buffer; the two produce
+// identical bytes by construction.
 func MarshalRecord(r *ProfileRecord) []byte {
-	e := protowire.NewEncoder(nil)
-	e.Uint64(1, uint64(r.Seq))
-	e.Uint64(2, uint64(r.WindowStart))
-	e.Uint64(3, uint64(r.WindowEnd))
-	e.Uint64(4, uint64(r.NumEvents))
-	e.Bool(5, r.Truncated)
-	e.Double(6, r.IdleFrac)
-	e.Double(7, r.MXUUtil)
+	return MarshalRecordAppend(nil, r)
+}
+
+// MarshalRecordAppend appends r's wire encoding to dst and returns the
+// extended slice. Scratch state is pooled, so a caller that reuses dst
+// (dst[:0]) encodes with zero steady-state allocations. Safe for
+// concurrent use.
+func MarshalRecordAppend(dst []byte, r *ProfileRecord) []byte {
+	st := encPool.Get().(*encState)
+	dst = protowire.AppendUint64(dst, 1, uint64(r.Seq))
+	dst = protowire.AppendUint64(dst, 2, uint64(r.WindowStart))
+	dst = protowire.AppendUint64(dst, 3, uint64(r.WindowEnd))
+	dst = protowire.AppendUint64(dst, 4, uint64(r.NumEvents))
+	dst = protowire.AppendBool(dst, 5, r.Truncated)
+	dst = protowire.AppendDouble(dst, 6, r.IdleFrac)
+	dst = protowire.AppendDouble(dst, 7, r.MXUUtil)
 	for _, s := range r.Steps {
-		e.Raw(8, marshalStep(s))
+		st.step = appendStep(st.step[:0], s, st)
+		dst = protowire.AppendBytes(dst, 8, st.step)
 	}
 	// Encoded only when set so pre-gap record bytes are unchanged.
 	if r.Gap {
-		e.Bool(9, true)
+		dst = protowire.AppendBool(dst, 9, true)
 	}
-	return e.Bytes()
+	encPool.Put(st)
+	return dst
 }
 
-func marshalStep(s *StepStat) []byte {
-	e := protowire.NewEncoder(nil)
-	e.Int64(1, s.Step)
-	e.Uint64(2, uint64(s.Start))
-	e.Uint64(3, uint64(s.End))
-	e.Double(4, s.IdleFrac)
-	e.Double(5, s.MXUUtil)
+func appendStep(dst []byte, s *StepStat, st *encState) []byte {
+	dst = protowire.AppendInt64(dst, 1, s.Step)
+	dst = protowire.AppendUint64(dst, 2, uint64(s.Start))
+	dst = protowire.AppendUint64(dst, 3, uint64(s.End))
+	dst = protowire.AppendDouble(dst, 4, s.IdleFrac)
+	dst = protowire.AppendDouble(dst, 5, s.MXUUtil)
 	// Deterministic op order on the wire: sort via TopOps-like ordering is
 	// unnecessary; stable key order is enough for reproducible bytes.
-	for _, k := range sortedOpKeys(s.Ops) {
-		st := s.Ops[k]
-		oe := protowire.NewEncoder(nil)
-		oe.String(1, k.Name)
-		oe.Uint64(2, uint64(k.Device))
-		oe.Uint64(3, uint64(st.Count))
-		oe.Uint64(4, uint64(st.Total))
-		e.Raw(6, oe.Bytes())
+	st.keys = sortedOpKeysInto(st.keys[:0], s.Ops)
+	for _, k := range st.keys {
+		opst := s.Ops[k]
+		st.op = st.op[:0]
+		st.op = protowire.AppendString(st.op, 1, k.Name)
+		st.op = protowire.AppendUint64(st.op, 2, uint64(k.Device))
+		st.op = protowire.AppendUint64(st.op, 3, uint64(opst.Count))
+		st.op = protowire.AppendUint64(st.op, 4, uint64(opst.Total))
+		dst = protowire.AppendBytes(dst, 6, st.op)
 	}
-	return e.Bytes()
+	return dst
 }
 
-func sortedOpKeys(ops map[OpKey]OpStat) []OpKey {
-	keys := make([]OpKey, 0, len(ops))
+// sortedOpKeysInto fills keys (typically a reused scratch slice) with
+// ops' keys in (device, name) order. Reuse matters: the old
+// one-fresh-slice-per-step form was a measurable share of marshal
+// allocations (see BenchmarkMarshalRecordAppend).
+func sortedOpKeysInto(keys []OpKey, ops map[OpKey]OpStat) []OpKey {
 	for k := range ops {
 		keys = append(keys, k)
 	}

@@ -7,12 +7,20 @@
 # MIN_GRID_SPEEDUP.
 #
 # Environment:
-#   BENCH_TOLERANCE    allowed ns/op regression fraction (default 0.25;
-#                      looser than benchdiff's 0.15 default because the
-#                      quick run measures fewer iterations)
-#   MIN_GRID_SPEEDUP   required dbscan grid-vs-brute speedup (default 2)
-#   BENCH_BASELINE     analyzer baseline (default BENCH_analyzer.json)
-#   ARCHIVE_BASELINE   archive baseline (default BENCH_archive.json)
+#   BENCH_TOLERANCE      allowed ns/op regression fraction (default 0.25;
+#                        looser than benchdiff's 0.15 default because the
+#                        quick run measures fewer iterations)
+#   ALLOC_TOLERANCE      allowed allocs/op regression fraction for the
+#                        codec kernels (default 0.10 — allocation counts
+#                        are near-deterministic, so this stays tight)
+#   MIN_GRID_SPEEDUP     required dbscan grid-vs-brute speedup (default 2)
+#   MIN_DECODE_SPEEDUP   required archive parallel-decode speedup at the
+#                        largest n (default 2; benchdiff only enforces it
+#                        when the run had GOMAXPROCS >= 4)
+#   MIN_ALLOC_REDUCTION  required fraction of naive-encoder allocations
+#                        the pooled wire encoder eliminates (default 0.5)
+#   BENCH_BASELINE       analyzer baseline (default BENCH_analyzer.json)
+#   ARCHIVE_BASELINE     archive baseline (default BENCH_archive.json)
 #
 # Run directly or via `BENCH_GATE=1 make check`.
 set -euo pipefail
@@ -22,7 +30,10 @@ cd "$(dirname "$0")/.."
 baseline="${BENCH_BASELINE:-BENCH_analyzer.json}"
 archive_baseline="${ARCHIVE_BASELINE:-BENCH_archive.json}"
 tolerance="${BENCH_TOLERANCE:-0.25}"
+alloc_tolerance="${ALLOC_TOLERANCE:-0.10}"
 min_grid="${MIN_GRID_SPEEDUP:-2}"
+min_decode="${MIN_DECODE_SPEEDUP:-2}"
+min_alloc_reduction="${MIN_ALLOC_REDUCTION:-0.5}"
 
 for b in "$baseline" "$archive_baseline"; do
     if [ ! -f "$b" ]; then
@@ -45,7 +56,12 @@ go run ./cmd/benchdiff -old "$baseline" -new "$fresh" \
 echo "== paperbench -archive-bench (quick)"
 go run ./cmd/paperbench -archive-bench "$fresh_archive" -bench-quick
 
-# No grid/brute pair in the archive report: -min-grid-speedup 0.
-echo "== benchdiff vs $archive_baseline (tolerance ${tolerance})"
+# No grid/brute pair in the archive report (-min-grid-speedup 0); the
+# codec gates take over: parallel decode must clear MIN_DECODE_SPEEDUP
+# (enforced only on >= 4 cores) and the pooled wire encoder must keep
+# eliminating MIN_ALLOC_REDUCTION of the naive encoder's allocations.
+echo "== benchdiff vs $archive_baseline (tolerance ${tolerance}, decode floor ${min_decode}x, alloc floor ${min_alloc_reduction})"
 go run ./cmd/benchdiff -old "$archive_baseline" -new "$fresh_archive" \
-    -tolerance "$tolerance" -min-grid-speedup 0
+    -tolerance "$tolerance" -alloc-tolerance "$alloc_tolerance" \
+    -min-grid-speedup 0 -min-decode-speedup "$min_decode" \
+    -min-alloc-reduction "$min_alloc_reduction"

@@ -34,6 +34,13 @@ go test -race ./...
 echo "== go test -race -count=2 ./internal/obs"
 go test -race -count=2 ./internal/obs
 
+# The parallel codec must stay bit-identical to the serial path and the
+# pooled encoders race-clean: run the archive differential tests and the
+# trace wire/pool tests twice under the race detector so chunk-boundary
+# or pool-reuse regressions can't hide behind one lucky schedule.
+echo "== go test -race -count=2 ./internal/archive ./internal/trace"
+go test -race -count=2 ./internal/archive ./internal/trace
+
 # Profile-repository round trip through the real CLI: archive two runs,
 # list/show them, and cross-run diff them.
 echo "== archive + diff smoke"

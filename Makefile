@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench archive-bench check metrics-smoke archive-smoke
+.PHONY: build test race vet fmt bench archive-bench check metrics-smoke archive-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ archive-smoke:
 metrics-smoke:
 	./scripts/metrics_smoke.sh
 
+# Crash-consistency smoke: power-cut property test and fleet resume
+# tests under -race, recovery counters, and a CLI fsck/salvage round
+# trip over a deliberately torn archive.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
 # The full gate: everything must build, pass gofmt and vet (plus the
 # vet-filter selftest), and pass the test suite with the race detector
 # on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
@@ -50,4 +56,5 @@ check: build fmt vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs
 	./scripts/archive_smoke.sh
+	./scripts/crash_smoke.sh
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

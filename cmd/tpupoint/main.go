@@ -73,11 +73,12 @@ func main() {
 	flag.Parse()
 
 	var reg *obs.Registry
+	health := obs.NewHealth()
 	flush := func() {}
 	if *metrics != "" {
 		reg = obs.NewRegistry(0)
 		var err error
-		if flush, err = metricsSink(*metrics, reg); err != nil {
+		if flush, err = metricsSink(*metrics, reg, health); err != nil {
 			fatal(err)
 		}
 		defer flush()
@@ -91,7 +92,7 @@ func main() {
 	}
 
 	if *collectSrv != "" {
-		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, reg); err != nil {
+		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, reg, health); err != nil {
 			fatal(err)
 		}
 		return
@@ -355,17 +356,17 @@ func serveProfile(workload string, ver tpupoint.Version, steps int, addr string,
 }
 
 // metricsSink interprets the -metrics destination. A parseable host:port
-// serves live JSON snapshots over HTTP (GET any path); anything else is
-// treated as a file path and the returned flush writes the final snapshot
-// there.
-func metricsSink(dest string, reg *obs.Registry) (flush func(), err error) {
+// serves live JSON snapshots over HTTP (metrics at /, liveness at
+// /healthz, readiness at /readyz); anything else is treated as a file
+// path and the returned flush writes the final snapshot there.
+func metricsSink(dest string, reg *obs.Registry, health *obs.Health) (flush func(), err error) {
 	if _, _, splitErr := net.SplitHostPort(dest); splitErr == nil {
 		l, err := net.Listen("tcp", dest)
 		if err != nil {
 			return nil, fmt.Errorf("metrics listener: %w", err)
 		}
-		fmt.Printf("metrics:     serving JSON snapshots at http://%s/\n", l.Addr())
-		go http.Serve(l, reg) //nolint:errcheck // serves until process exit
+		fmt.Printf("metrics:     serving JSON snapshots at http://%s/ (health at /healthz, /readyz)\n", l.Addr())
+		go http.Serve(l, obs.Mux(reg, health)) //nolint:errcheck // serves until process exit
 		return func() {}, nil
 	}
 	return func() {

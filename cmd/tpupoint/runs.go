@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"repro/internal/core/viz"
@@ -24,10 +25,11 @@ import (
 )
 
 // openRepoDir loads a profile repository from a directory (which may
-// not exist yet — that's an empty repository). codecPar sets the
-// archive codec's worker pool for repository reads (-codec-parallelism:
-// 0 = GOMAXPROCS, 1 = serial; decoded runs are bit-identical either
-// way).
+// not exist yet — that's an empty repository) and replays its intent
+// journal, so a repository left behind by a crashed process is
+// reconciled before any verb runs. codecPar sets the archive codec's
+// worker pool for repository reads (-codec-parallelism: 0 = GOMAXPROCS,
+// 1 = serial; decoded runs are bit-identical either way).
 func openRepoDir(dir string, codecPar int) (*repo.Repo, *storage.Bucket, error) {
 	svc := storage.NewService()
 	bucket, err := svc.CreateBucket("profile-repo")
@@ -41,22 +43,38 @@ func openRepoDir(dir string, codecPar int) (*repo.Repo, *storage.Bucket, error) 
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	}
-	r := repo.New(bucket)
+	r, rec, err := repo.Open(bucket)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovering repository %s: %w", dir, err)
+	}
+	if !rec.Clean() {
+		fmt.Printf("recovery: replayed %d interrupted mutations (%d completed, %d rolled back, %d orphans reclaimed)\n",
+			rec.OpenIntents, rec.Completed, rec.RolledBack, len(rec.OrphansReclaimed))
+	}
 	r.SetCodecParallelism(codecPar)
 	return r, bucket, nil
 }
 
-// syncRepoDir writes the repository objects back to dir. The runs/
-// subtree is replaced wholesale so deletions (runs gc) propagate.
+// repoPrefixes are the bucket subtrees that persist to disk: run data,
+// durable fleet session state, and fsck's quarantine area.
+var repoPrefixes = []string{"runs/", "sessions/", "quarantine/"}
+
+// syncRepoDir writes the repository objects back to dir. Each persisted
+// subtree is replaced wholesale so deletions (runs gc, session
+// retirement, quarantine release) propagate.
 func syncRepoDir(bucket *storage.Bucket, dir string) error {
-	if err := os.RemoveAll(filepath.Join(dir, "runs")); err != nil {
-		return err
-	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	_, err := bucket.ExportDir(dir, "runs/")
-	return err
+	for _, prefix := range repoPrefixes {
+		if err := os.RemoveAll(filepath.Join(dir, filepath.FromSlash(strings.TrimSuffix(prefix, "/")))); err != nil {
+			return err
+		}
+		if _, err := bucket.ExportDir(dir, prefix); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runsCmd dispatches the `runs list|show|diff|gc` verbs.
@@ -159,23 +177,91 @@ func runsCmd(args []string, dir string, keep int, csv bool, codecPar int) error 
 		fmt.Printf("removed %s\n", args[0])
 		return syncRepoDir(bucket, dir)
 
+	case "fsck":
+		repair := false
+		for _, a := range args {
+			switch a {
+			case "-repair", "--repair":
+				repair = true
+			default:
+				return fmt.Errorf("usage: runs fsck [-repair] (got %q)", a)
+			}
+		}
+		rep, err := r.Fsck(repair)
+		if err != nil {
+			return err
+		}
+		for _, issue := range rep.Issues {
+			line := fmt.Sprintf("%-14s %-12s %s", issue.Kind, issue.RunID, issue.Detail)
+			if issue.Action != "" {
+				line += " -> " + issue.Action
+			}
+			fmt.Println(line)
+		}
+		if rep.Clean() {
+			fmt.Printf("fsck: %d runs checked, no issues\n", rep.RunsChecked)
+		} else {
+			fmt.Printf("fsck: %d runs checked, %d issues, %d repaired\n",
+				rep.RunsChecked, len(rep.Issues), rep.Repaired)
+		}
+		if repair {
+			if err := syncRepoDir(bucket, dir); err != nil {
+				return err
+			}
+		}
+		if !rep.Clean() && rep.Repaired < len(rep.Issues) {
+			return fmt.Errorf("fsck: %d unrepaired issues", len(rep.Issues)-rep.Repaired)
+		}
+		return nil
+
+	case "salvage":
+		if len(args) != 1 {
+			return errors.New("usage: runs salvage <run-id>")
+		}
+		info, srep, err := r.Salvage(args[0])
+		if err != nil {
+			return err
+		}
+		mode := "footer index"
+		if !srep.FooterIntact {
+			mode = "sequential scan (footer lost)"
+		}
+		fmt.Printf("salvage %s: %d/%d segments via %s, %d records, %d bytes dropped\n",
+			args[0], srep.SegmentsKept, srep.SegmentsTotal, mode,
+			srep.RecordsKept, srep.BytesDropped)
+		printRunInfo(os.Stdout, info, dir)
+		return syncRepoDir(bucket, dir)
+
 	default:
-		return fmt.Errorf("unknown runs verb %q (want list, show, diff, gc, delete)", verb)
+		return fmt.Errorf("unknown runs verb %q (want list, show, diff, gc, delete, fsck, salvage)", verb)
 	}
 }
 
 // collectServe runs the fleet collection server: profilers stream
 // records in over RPC (tpupoint -collect <addr>), every finalized
 // session becomes an indexed archive in the -archive directory.
-func collectServe(addr, dir string, maxSessions, maxConns, codecPar int, reg *obs.Registry) error {
+// Interrupted sessions are durable: their state is parked in the
+// repository and clients reattach with fleet.Resume after a restart.
+func collectServe(addr, dir string, maxSessions, maxConns, codecPar int, reg *obs.Registry, health *obs.Health) error {
 	if dir == "" {
 		return errors.New("-collect-serve needs -archive <dir> for the repository")
 	}
+	health.SetFailing("repository", "opening")
+	health.SetFailing("collector", "starting")
 	r, bucket, err := openRepoDir(dir, codecPar)
 	if err != nil {
 		return err
 	}
+	r.SetObs(reg)
 	fleet := repo.NewFleet(r, repo.FleetOptions{MaxSessions: maxSessions, Obs: reg})
+	parked, err := fleet.RecoverSessions()
+	if err != nil {
+		return err
+	}
+	for _, token := range parked {
+		fmt.Printf("parked session %s awaits fleet.Resume\n", token)
+	}
+	health.SetReady("repository")
 	srv := rpc.NewServer()
 	if maxConns > 0 {
 		srv.SetConnLimit(maxConns)
@@ -189,15 +275,16 @@ func collectServe(addr, dir string, maxSessions, maxConns, codecPar int, reg *ob
 	fmt.Printf("fleet collection server on %s (max %d sessions), repository %s\n",
 		l.Addr(), maxSessions, dir)
 	go srv.Serve(l)
+	health.SetReady("collector")
 
 	// Serve until interrupted, then flush the repository to disk.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	health.SetFailing("collector", "shutting down")
 	srv.Close()
-	if fleet.ActiveSessions() > 0 {
-		fmt.Printf("warning: %d sessions still open; their records are discarded\n",
-			fleet.ActiveSessions())
+	if n := fleet.ActiveSessions(); n > 0 {
+		fmt.Printf("%d sessions still open; their accepted records are parked durably (clients resume by token)\n", n)
 	}
 	if err := syncRepoDir(bucket, dir); err != nil {
 		return err

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// writeRepoWithRun builds an on-disk repository containing one saved
+// run and returns its directory plus the raw blob bytes.
+func writeRepoWithRun(t *testing.T, runID string) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	w := archive.NewWriter(archive.Meta{RunID: runID, Workload: "synthetic", CreatedSeq: 1})
+	if err := w.SetSegmentTarget(256); err != nil {
+		t.Fatal(err)
+	}
+	var ts simclock.Time
+	for i := 0; i < 24; i++ {
+		w.Add(trace.Reduce(int64(i), ts, []trace.Event{
+			{Name: "MatMul", Device: trace.TPU, Start: ts, Dur: 500, Step: int64(i)},
+		}, 0.2, 0.4))
+		ts += 1000
+	}
+	blob := w.Finalize(nil)
+
+	r, bucket, err := openRepoDir(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Save(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := syncRepoDir(bucket, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, blob
+}
+
+func blobPath(dir, runID string) string {
+	return filepath.Join(dir, "runs", runID, "archive")
+}
+
+// TestRunsSalvageRoundTrip drives the CLI path end to end: damage the
+// on-disk blob, `runs salvage` it, and prove the repaired repository
+// reads back cleanly.
+func TestRunsSalvageRoundTrip(t *testing.T) {
+	dir, blob := writeRepoWithRun(t, "run-a")
+	// Tear the tail off the stored blob: footer and final segment gone.
+	if err := os.WriteFile(blobPath(dir, "run-a"), blob[:len(blob)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runsCmd([]string{"salvage", "run-a"}, dir, 0, false, 1); err != nil {
+		t.Fatalf("runs salvage: %v", err)
+	}
+
+	// Reopen from disk: the run must verify and carry records.
+	r, _, err := openRepoDir(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, a, err := r.Get("run-a")
+	if err != nil {
+		t.Fatalf("salvaged run unreadable from disk: %v", err)
+	}
+	if info.Records == 0 || info.Records != a.RecordCount() {
+		t.Fatalf("info = %+v, archive records = %d", info, a.RecordCount())
+	}
+	rep, err := r.Fsck(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("post-salvage fsck: %+v", rep)
+	}
+}
+
+// TestRunsFsckRepair: a phantom manifest entry (blob deleted on disk)
+// is detected and repaired through the CLI verb.
+func TestRunsFsckRepair(t *testing.T) {
+	dir, _ := writeRepoWithRun(t, "run-a")
+	if err := os.Remove(blobPath(dir, "run-a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Check-only finds the issue and exits non-zero.
+	if err := runsCmd([]string{"fsck"}, dir, 0, false, 1); err == nil {
+		t.Fatal("fsck should report unrepaired issues")
+	}
+	if err := runsCmd([]string{"fsck", "-repair"}, dir, 0, false, 1); err != nil {
+		t.Fatalf("fsck -repair: %v", err)
+	}
+	if err := runsCmd([]string{"fsck"}, dir, 0, false, 1); err != nil {
+		t.Fatalf("repository not clean after repair: %v", err)
+	}
+
+	r, _, err := openRepoDir(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Info("run-a"); err == nil {
+		t.Fatal("phantom entry survived on-disk repair")
+	}
+}
+
+// TestSyncRepoDirPersistsQuarantine: fsck's quarantine area must
+// survive the bucket→directory sync.
+func TestSyncRepoDirPersistsQuarantine(t *testing.T) {
+	dir, _ := writeRepoWithRun(t, "run-a")
+	if err := os.WriteFile(blobPath(dir, "run-a"), []byte("XXXXnothing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runsCmd([]string{"fsck", "-repair"}, dir, 0, false, 1); err != nil {
+		t.Fatalf("fsck -repair: %v", err)
+	}
+	q := filepath.Join(dir, "quarantine", "runs", "run-a", "archive")
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("quarantined blob not persisted: %v", err)
+	}
+	if _, err := os.Stat(blobPath(dir, "run-a")); !os.IsNotExist(err) {
+		t.Fatal("corrupt blob left in runs/ after quarantine")
+	}
+}

@@ -46,3 +46,63 @@ func FuzzOpen(f *testing.F) {
 		_ = a.Summary()
 	})
 }
+
+// FuzzSalvage feeds arbitrary bytes to the lenient reader. Its
+// contract is stronger than Open's: it must never panic, be fully
+// deterministic, never hand back a record from a CRC-failing indexed
+// segment, and agree with Open whenever Open succeeds.
+func FuzzSalvage(f *testing.F) {
+	w := NewWriter(Meta{RunID: "fuzz", Workload: "w"})
+	w.SetSegmentTarget(64)
+	for i := 0; i < 6; i++ {
+		w.Add(trace.Reduce(int64(i), 0, []trace.Event{
+			{Name: "MatMul", Device: trace.TPU, Start: 0, Dur: 10, Step: int64(i)},
+		}, 0.2, 0.4))
+	}
+	valid := w.Finalize(nil)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("TPAR\x01"))
+	for _, cut := range []int{1, 4, trailerLen, len(valid) / 2} {
+		if cut < len(valid) {
+			f.Add(valid[:len(valid)-cut])
+		}
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[headerLen+9] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := Salvage(data)
+		res2, err2 := Salvage(data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatal("salvage error nondeterministic")
+		}
+		if err != nil {
+			return
+		}
+		if int64(len(res.Records)) != res.Report.RecordsKept ||
+			len(res.Records) != len(res2.Records) ||
+			renderReport(res.Report) != renderReport(res2.Report) {
+			t.Fatalf("salvage nondeterministic: %+v vs %+v", res.Report, res2.Report)
+		}
+		for i := range res.Records {
+			if string(trace.MarshalRecord(res.Records[i])) != string(trace.MarshalRecord(res2.Records[i])) {
+				t.Fatal("salvaged records nondeterministic")
+			}
+		}
+		// Whatever survives must re-archive into a blob Open verifies.
+		if _, err := Open(Rebuild(res.Meta, res)); err != nil {
+			t.Fatalf("rebuilt salvage does not verify: %v", err)
+		}
+		// Agreement with the strict reader.
+		if a, err := Open(data); err == nil {
+			want, err := a.Records()
+			if err == nil {
+				if !res.Report.Lossless() || len(res.Records) != len(want) {
+					t.Fatalf("Open succeeded but salvage lost data: %+v", res.Report)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newCrashBucket(t *testing.T) (*storage.Bucket, *CrashStore) {
+	t.Helper()
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bucket, NewCrashStore(bucket)
+}
+
+func TestCrashStorePassthroughUnarmed(t *testing.T) {
+	_, cs := newCrashBucket(t)
+	for i := 0; i < 10; i++ {
+		if _, err := cs.Put("obj", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.Writes() != 10 {
+		t.Fatalf("writes = %d", cs.Writes())
+	}
+	if cs.Dead() {
+		t.Fatal("unarmed store died")
+	}
+}
+
+func TestCrashStoreCutIsTotal(t *testing.T) {
+	bucket, cs := newCrashBucket(t)
+	cs.CrashAfterWrites(2, false)
+	if _, err := cs.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// The cut: the third write dies atomically — nothing lands.
+	if _, err := cs.Put("c", []byte("3")); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("cut write err = %v", err)
+	}
+	if bucket.Exists("c") {
+		t.Fatal("atomic write leaked through the cut")
+	}
+	// Dead is dead: reads and writes all fail.
+	if _, err := cs.Get("a"); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("post-cut read err = %v", err)
+	}
+	if err := cs.Delete("a"); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("post-cut delete err = %v", err)
+	}
+	if cs.Exists("a") || cs.List("") != nil {
+		t.Fatal("post-cut probe answered")
+	}
+	// The underlying store survives — that's the "power restored" path.
+	if !bucket.Exists("a") || !bucket.Exists("b") {
+		t.Fatal("pre-cut writes lost from the inner store")
+	}
+}
+
+func TestCrashStoreTornAppend(t *testing.T) {
+	bucket, cs := newCrashBucket(t)
+	if _, err := cs.Append("log", []byte("intact-")); err != nil {
+		t.Fatal(err)
+	}
+	cs.CrashAfterWrites(1, true)
+	if _, err := cs.Append("log", []byte("torn-frame")); !errors.Is(err, ErrPowerLost) {
+		t.Fatalf("cut append err = %v", err)
+	}
+	obj, err := bucket.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("intact-" + "torn-frame"[:len("torn-frame")/2])
+	if !bytes.Equal(obj.Data, want) {
+		t.Fatalf("log = %q, want torn prefix %q", obj.Data, want)
+	}
+}
+
+func TestCrashStoreCleanCutAppend(t *testing.T) {
+	bucket, cs := newCrashBucket(t)
+	cs.CrashAfterWrites(0, false)
+	if _, err := cs.Append("log", []byte("gone")); !errors.Is(err, ErrPowerLost) {
+		t.Fatal("append survived a zero-write budget")
+	}
+	if bucket.Exists("log") {
+		t.Fatal("clean-cut append leaked bytes")
+	}
+}

@@ -100,6 +100,7 @@ type fleetMetrics struct {
 	busy     *obs.Counter
 	bytesIn  *obs.Counter
 	saved    *obs.Counter
+	resumed  *obs.Counter
 }
 
 func newFleetMetrics(r *obs.Registry) fleetMetrics {
@@ -113,6 +114,7 @@ func newFleetMetrics(r *obs.Registry) fleetMetrics {
 		busy:     r.Counter("fleet.appends.busy"),
 		bytesIn:  r.Counter("fleet.bytes.in"),
 		saved:    r.Counter("fleet.runs.saved"),
+		resumed:  r.Counter("fleet.sessions.resumed"),
 	}
 }
 
@@ -147,6 +149,7 @@ func (f *Fleet) Register(s *rpc.Server) {
 	s.Register(MethodFleetAppendBatch, f.handleAppendBatch)
 	s.Register(MethodFleetFinalize, f.handleFinalize)
 	s.Register(MethodFleetAbort, f.handleAbort)
+	s.Register(MethodFleetResume, f.handleResume)
 }
 
 // session is one in-flight collection stream. The session holds no
@@ -155,9 +158,10 @@ func (f *Fleet) Register(s *rpc.Server) {
 // server-side analysis (Writer.DecodeRecords) — a long session's memory
 // is its compacted wire bytes, not N live record structs.
 type session struct {
-	id   uint64
-	meta archive.Meta
-	w    *archive.Writer
+	id    uint64
+	token string // durable identity: names sessions/<token>/{meta,log}
+	meta  archive.Meta
+	w     *archive.Writer
 
 	ch   chan []byte   // bounded pending-record queue
 	done chan struct{} // drain goroutine exit
@@ -220,9 +224,12 @@ type OpenRequest struct {
 	TPUVersion string `json:"tpu_version,omitempty"`
 }
 
-// OpenResponse returns the session handle.
+// OpenResponse returns the session handle plus the durable resume
+// token: if the collector restarts mid-session, the client reattaches
+// with fleet.Resume and the token instead of losing its records.
 type OpenResponse struct {
 	SessionID uint64 `json:"session_id"`
+	Token     string `json:"token"`
 }
 
 type sessionRequest struct {
@@ -278,29 +285,29 @@ func (f *Fleet) handleOpen(body []byte) ([]byte, error) {
 		CreatedSeq: seq,
 	}
 	s := &session{
+		token:      sessionToken(meta.RunID, meta.CreatedSeq),
 		meta:       meta,
 		w:          archive.NewWriter(meta),
 		ch:         make(chan []byte, f.opts.QueueSize),
 		done:       make(chan struct{}),
 		lastActive: f.opts.Now(),
 	}
-
-	f.mu.Lock()
-	if len(f.sessions) >= f.opts.MaxSessions {
-		f.mu.Unlock()
-		f.m.rejected.Inc()
-		return nil, fmt.Errorf("%w: %d collection sessions open (limit %d)",
-			rpc.ErrBusy, f.opts.MaxSessions, f.opts.MaxSessions)
+	if err := f.register(s); err != nil {
+		return nil, err
 	}
-	s.id = f.nextID
-	f.nextID++
-	f.sessions[s.id] = s
-	f.m.active.Set(int64(len(f.sessions)))
-	f.mu.Unlock()
+	// Durable identity must exist before the client learns the token;
+	// if it can't be written, the session never really opened.
+	if err := f.writeSessionMeta(s); err != nil {
+		f.mu.Lock()
+		delete(f.sessions, s.id)
+		f.m.active.Set(int64(len(f.sessions)))
+		f.mu.Unlock()
+		return nil, err
+	}
 
 	go s.drain(f.m)
 	f.m.opened.Inc()
-	return json.Marshal(OpenResponse{SessionID: s.id})
+	return json.Marshal(OpenResponse{SessionID: s.id, Token: s.token})
 }
 
 func (f *Fleet) lookup(id uint64) (*session, error) {
@@ -363,7 +370,11 @@ func (f *Fleet) handleAppend(body []byte) ([]byte, error) {
 		return nil, fmt.Errorf("fleet: reject record: %w", err)
 	}
 	s.touch(f.opts.Now())
-	return nil, f.enqueue(s, rec)
+	if err := f.enqueue(s, rec); err != nil {
+		return nil, err
+	}
+	// Durability point: the record is on disk before the ack goes out.
+	return nil, f.logAccepted(s, frameOne(rec))
 }
 
 // AppendBatchResponse reports how many leading records of a batch the
@@ -415,6 +426,18 @@ func (f *Fleet) handleAppendBatch(body []byte) ([]byte, error) {
 	if accepted == 0 && len(frames) > 0 {
 		return nil, enqErr
 	}
+	// Durability point: the accepted prefix lands as one log frame
+	// before the client learns its count. A partial count is still an
+	// ack for those records.
+	if accepted > 0 {
+		prefix, err := acceptedPrefix(framed, accepted)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.logAccepted(s, prefix); err != nil {
+			return nil, err
+		}
+	}
 	return json.Marshal(AppendBatchResponse{Accepted: accepted})
 }
 
@@ -434,15 +457,18 @@ func (f *Fleet) remove(id uint64) (*session, error) {
 }
 
 func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
-	f.sweepExpired()
 	var req sessionRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, fmt.Errorf("fleet: bad finalize request: %w", err)
 	}
+	// Detach the session before sweeping: a finalize that arrives just
+	// as the lease runs out must still win. Sweeping first would evict
+	// the very session being finalized and drop its records.
 	s, err := f.remove(req.SessionID)
 	if err != nil {
 		return nil, err
 	}
+	f.sweepExpired()
 	s.closeQueue()
 	<-s.done // drain finished: s.w is ours now
 
@@ -465,6 +491,10 @@ func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The run is indexed; the session's durable state has served its
+	// purpose. A crash before retirement is reconciled by
+	// RecoverSessions (run-in-manifest → retire).
+	f.retireSession(s.token)
 	f.m.saved.Inc()
 	f.opts.Obs.Emit("fleet", "run-saved",
 		fmt.Sprintf("run %q: %d records, %d bytes", info.RunID, info.Records, info.Bytes))
@@ -482,6 +512,7 @@ func (f *Fleet) handleAbort(body []byte) ([]byte, error) {
 	}
 	s.closeQueue()
 	<-s.done
+	f.retireSession(s.token)
 	return nil, nil
 }
 
@@ -496,8 +527,9 @@ func (f *Fleet) ActiveSessions() int {
 // It implements profiler.RecordStore, so a profiler can stream into
 // the fleet endpoint by setting it as its Bucket.
 type FleetClient struct {
-	c  rpc.Caller
-	id uint64
+	c     rpc.Caller
+	id    uint64
+	token string
 }
 
 // OpenSession starts a collection session on the endpoint behind c.
@@ -514,11 +546,16 @@ func OpenSession(c rpc.Caller, req OpenRequest) (*FleetClient, error) {
 	if err := json.Unmarshal(out, &resp); err != nil {
 		return nil, fmt.Errorf("fleet: bad open response: %w", err)
 	}
-	return &FleetClient{c: c, id: resp.SessionID}, nil
+	return &FleetClient{c: c, id: resp.SessionID, token: resp.Token}, nil
 }
 
 // SessionID returns the server-issued session handle.
 func (fc *FleetClient) SessionID() uint64 { return fc.id }
+
+// Token returns the durable resume token. A profiler that wants to
+// survive collector restarts persists it alongside its own state and
+// hands it to ResumeSession after reconnecting.
+func (fc *FleetClient) Token() string { return fc.token }
 
 // AppendRaw streams one wire-encoded record.
 func (fc *FleetClient) AppendRaw(rec []byte) error {

@@ -1,0 +1,421 @@
+package repo
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+// newBucket returns a fresh in-memory bucket standing in for the
+// collector's durable store.
+func newBucket(t *testing.T) *storage.Bucket {
+	t.Helper()
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket("fleet-durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bucket
+}
+
+// newFleetOverBucket builds a collector over an existing bucket — the
+// restart tests build two collectors over the same one.
+func newFleetOverBucket(t *testing.T, bucket *storage.Bucket, opts FleetOptions) (*Fleet, *rpc.Server) {
+	t.Helper()
+	r, _, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(r, opts)
+	srv := rpc.NewServer()
+	f.Register(srv)
+	t.Cleanup(srv.Close)
+	return f, srv
+}
+
+// TestFleetFinalizeBeatsLeaseExpiry is the finalize-vs-sweep race
+// regression: a finalize arriving after the lease ran out must still
+// archive the session's records, not find it swept out from under the
+// handler. (The sweep used to run before the session was detached.)
+func TestFleetFinalizeBeatsLeaseExpiry(t *testing.T) {
+	reg := obs.NewRegistry(32)
+	now := time.Unix(1000, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+
+	_, srv, _ := newFleetUnderTest(t, FleetOptions{
+		Lease: time.Nanosecond, // zero-grace: everything is always expired
+		Obs:   reg,
+		Now:   clock,
+	})
+	c := rpc.Pipe(srv)
+	defer c.Close()
+	fc, err := OpenSession(c, OpenRequest{RunID: "race", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for _, rec := range sessionRecords(0, n) {
+		if err := fc.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nowMu.Lock()
+	now = now.Add(time.Hour) // lease long gone
+	nowMu.Unlock()
+
+	info, err := fc.Finalize()
+	if err != nil {
+		t.Fatalf("finalize lost to the lease sweep: %v", err)
+	}
+	if info.Records != n {
+		t.Fatalf("records = %d, want %d", info.Records, n)
+	}
+	if got := reg.Snapshot().Counters["fleet.sessions.expired"]; got != 0 {
+		t.Fatalf("finalizing session was counted expired (%d)", got)
+	}
+}
+
+// TestFleetResumeAfterCollectorRestart is the acceptance-criteria test:
+// the collector dies mid-session, a new collector over the same store
+// recovers the parked session, and the client resumes from the durable
+// count — every record archived exactly once.
+func TestFleetResumeAfterCollectorRestart(t *testing.T) {
+	bucket := newBucket(t)
+	const total = 50
+
+	// First collector: stream half the records, then "crash" (the
+	// fleet and its server are simply abandoned; only the bucket
+	// survives, like a process kill).
+	_, srv1 := newFleetOverBucket(t, bucket, FleetOptions{})
+	c1 := rpc.Pipe(srv1)
+	recs := sessionRecords(1, total)
+	fc1, err := OpenSession(c1, OpenRequest{RunID: "restarted", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := fc1.Token()
+	if token == "" {
+		t.Fatal("open response carried no resume token")
+	}
+	const firstHalf = 23
+	if err := fc1.AppendBatch(recs[:firstHalf]); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	srv1.Close()
+
+	// Second collector over the same store.
+	reg := obs.NewRegistry(64)
+	f2, srv2 := newFleetOverBucket(t, bucket, FleetOptions{Obs: reg})
+	parked, err := f2.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parked) != 1 || parked[0] != token {
+		t.Fatalf("parked = %v, want [%s]", parked, token)
+	}
+
+	c2 := rpc.Pipe(srv2)
+	defer c2.Close()
+	fc2, accepted, err := ResumeSession(c2, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != firstHalf {
+		t.Fatalf("accepted = %d, want %d (every acked record must survive)", accepted, firstHalf)
+	}
+	// The client restreams exactly the unacked tail.
+	if err := fc2.AppendBatch(recs[accepted:]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fc2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != total {
+		t.Fatalf("archived %d records, want %d (no loss, no duplicates)", info.Records, total)
+	}
+
+	// Zero-loss ledger on the new collector: everything that came in
+	// after the restart was archived, plus exactly one resume.
+	snap := reg.Snapshot()
+	if in, arch := snap.Counters["fleet.records.in"], snap.Counters["fleet.records.archived"]; in != arch {
+		t.Fatalf("records.in = %d != records.archived = %d", in, arch)
+	}
+	if got := snap.Counters["fleet.sessions.resumed"]; got != 1 {
+		t.Fatalf("sessions.resumed = %d", got)
+	}
+
+	// The run's record stream has no duplicates: steps are the original
+	// sequence exactly once.
+	r2 := f2.repo
+	_, a, err := r2.Get("restarted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := a.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != total {
+		t.Fatalf("decoded %d records, want %d", len(decoded), total)
+	}
+	for i, rec := range decoded {
+		if rec.Seq != int64(i) {
+			t.Fatalf("record %d has seq %d: stream reordered or duplicated", i, rec.Seq)
+		}
+	}
+
+	// Durable session state was retired with the run.
+	if names := bucket.List("sessions/"); len(names) != 0 {
+		t.Fatalf("session state left behind: %v", names)
+	}
+}
+
+// TestFleetResumeEvictsLiveSession: a client reconnecting to a living
+// collector (network flap, not a crash) takes over its own session;
+// the stale session's memory is discarded in favor of the log.
+func TestFleetResumeEvictsLiveSession(t *testing.T) {
+	f, srv, _ := newFleetUnderTest(t, FleetOptions{})
+	c := rpc.Pipe(srv)
+	defer c.Close()
+	recs := sessionRecords(2, 30)
+	fc, err := OpenSession(c, OpenRequest{RunID: "flap", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.AppendBatch(recs[:10]); err != nil {
+		t.Fatal(err)
+	}
+
+	fc2, accepted, err := ResumeSession(c, fc.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 10 {
+		t.Fatalf("accepted = %d, want 10", accepted)
+	}
+	if f.ActiveSessions() != 1 {
+		t.Fatalf("active = %d, want 1 (stale session must be evicted)", f.ActiveSessions())
+	}
+	// The old handle is dead; the new one carries the session forward.
+	if err := fc.AppendBatch(recs[10:11]); err == nil {
+		t.Fatal("stale session handle still accepted records")
+	}
+	if err := fc2.AppendBatch(recs[10:]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fc2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 30 {
+		t.Fatalf("records = %d, want 30", info.Records)
+	}
+}
+
+// TestFleetResumeTrimsTornLogTail: a power cut mid-append leaves a
+// torn frame at the log's tail; resume trims it and reports only the
+// intact (acked) records, and the trimmed log accepts further appends.
+func TestFleetResumeTrimsTornLogTail(t *testing.T) {
+	bucket := newBucket(t)
+	_, srv1 := newFleetOverBucket(t, bucket, FleetOptions{})
+	c1 := rpc.Pipe(srv1)
+	recs := sessionRecords(3, 24)
+	fc1, err := OpenSession(c1, OpenRequest{RunID: "torn", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc1.AppendBatch(recs[:12]); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	srv1.Close()
+
+	// The crash tore the final durable append: half a frame landed.
+	logObj := sessionLogObject(fc1.Token())
+	if _, err := bucket.Append(logObj, []byte{0x99, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := bucket.Get(logObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv2 := newFleetOverBucket(t, bucket, FleetOptions{})
+	c2 := rpc.Pipe(srv2)
+	defer c2.Close()
+	fc2, accepted, err := ResumeSession(c2, fc1.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 12 {
+		t.Fatalf("accepted = %d, want 12 (torn frame is unacked, intact frames are acked)", accepted)
+	}
+	trimmed, err := bucket.Get(logObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed.Data) >= len(intact.Data) {
+		t.Fatal("torn tail not trimmed from the durable log")
+	}
+	if err := fc2.AppendBatch(recs[12:]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fc2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 24 {
+		t.Fatalf("records = %d, want 24", info.Records)
+	}
+}
+
+// TestFleetRecoverSessionsRetiresFinalized: durable state whose run
+// already reached the manifest (crash between Save and retirement) is
+// cleaned up at collector start, not offered for resume.
+func TestFleetRecoverSessionsRetiresFinalized(t *testing.T) {
+	bucket := newBucket(t)
+	f1, srv1 := newFleetOverBucket(t, bucket, FleetOptions{})
+	c1 := rpc.Pipe(srv1)
+	fc, err := OpenSession(c1, OpenRequest{RunID: "done", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.AppendBatch(sessionRecords(4, 16)); err != nil {
+		t.Fatal(err)
+	}
+	token := fc.Token()
+	if _, err := fc.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// Re-create the crash window: the run is saved but retirement was
+	// lost. (Finalize already retired, so put the meta back.)
+	metaObj := sessionMetaObject(token)
+	if bucket.Exists(metaObj) {
+		t.Fatal("finalize left durable meta behind")
+	}
+	info, err := f1.repo.Info("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrec := sessionMetaRecord{Token: token}
+	mrec.Meta.RunID = "done"
+	mrec.Meta.CreatedSeq = info.CreatedSeq
+	putSessionMeta(t, bucket, mrec)
+
+	f2, _ := newFleetOverBucket(t, bucket, FleetOptions{})
+	parked, err := f2.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parked) != 0 {
+		t.Fatalf("parked = %v, want none", parked)
+	}
+	if names := bucket.List("sessions/"); len(names) != 0 {
+		t.Fatalf("finalized session state not retired: %v", names)
+	}
+}
+
+// TestFleetDurableAppendFailurePoisonsSession: when the durable log
+// can't take an append, the record is NOT acked and the live session
+// is killed — resuming from the log yields exactly the acked records.
+func TestFleetDurableAppendFailurePoisonsSession(t *testing.T) {
+	bucket := newBucket(t)
+	hs := &hookStore{Store: bucket}
+	r, _, err := Open(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFleet(r, FleetOptions{})
+	srv := rpc.NewServer()
+	f.Register(srv)
+	t.Cleanup(srv.Close)
+	c := rpc.Pipe(srv)
+	defer c.Close()
+
+	recs := sessionRecords(5, 3)
+	fc, err := OpenSession(c, OpenRequest{RunID: "poisoned", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Append(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store loses its durable log writes (disk full, say).
+	hs.appendErr = func(name string) error {
+		if strings.HasPrefix(name, "sessions/") {
+			return errors.New("injected: log append failed")
+		}
+		return nil
+	}
+	if err := fc.Append(recs[1]); err == nil {
+		t.Fatal("un-durable append was acked")
+	}
+	if f.ActiveSessions() != 0 {
+		t.Fatal("poisoned session still live")
+	}
+	hs.appendErr = nil
+
+	fc2, accepted, err := ResumeSession(c, fc.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 1 {
+		t.Fatalf("accepted = %d, want 1 (only the acked record is durable)", accepted)
+	}
+	if err := fc2.AppendBatch(recs[1:]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fc2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 3 {
+		t.Fatalf("records = %d, want 3", info.Records)
+	}
+}
+
+// TestSessionTokenUniqueAcrossReuse: the token embeds the durable
+// creation sequence, so reusing a run ID never collides.
+func TestSessionTokenUniqueAcrossReuse(t *testing.T) {
+	a := sessionToken("job/alpha", 7)
+	b := sessionToken("job/alpha", 12)
+	if a == b {
+		t.Fatalf("tokens collide: %s", a)
+	}
+	for _, tok := range []string{a, b} {
+		if strings.Contains(tok, "/") {
+			t.Fatalf("token %q escapes the sessions/ subtree", tok)
+		}
+	}
+	if sessionToken("x.7", 1) == sessionToken("x", 71) {
+		t.Fatal("sanitized tokens collide across id/seq boundary")
+	}
+}
+
+func putSessionMeta(t *testing.T, bucket *storage.Bucket, mrec sessionMetaRecord) {
+	t.Helper()
+	payload, err := json.Marshal(mrec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bucket.Put(sessionMetaObject(mrec.Token), payload); err != nil {
+		t.Fatal(err)
+	}
+}

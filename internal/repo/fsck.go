@@ -1,0 +1,441 @@
+// Repository fsck: cross-checks the manifest against the stored blobs
+// and (optionally) repairs what it finds. Fsck is the offline
+// complement to the intent journal — the journal makes crashes of
+// *this* code reconverge, fsck catches everything else: bit rot,
+// truncated uploads, hand-edited repositories, debris from older
+// versions. Repairs are designed to converge without their own
+// journal entries: every repair either completes or leaves a state a
+// re-run classifies again (a half-moved quarantine copy is re-detected
+// as an orphan; a rebuilt blob whose manifest update was lost shows up
+// as a count mismatch).
+package repo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/storage"
+)
+
+// QuarantinePrefix is where fsck -repair moves objects it cannot
+// classify or salvage: the original object name, prefixed. Quarantined
+// objects are never read back by the repository; they exist so repair
+// is not destruction.
+const QuarantinePrefix = "quarantine/"
+
+// Fsck issue kinds.
+const (
+	// IssueMissingBlob: a manifest entry whose blob object is gone.
+	// Repair drops the phantom entry.
+	IssueMissingBlob = "missing-blob"
+	// IssueCorruptBlob: a referenced blob archive.Open rejects. Repair
+	// salvages what it can and rebuilds the blob in place, or
+	// quarantines it (and drops the entry) when nothing survives.
+	IssueCorruptBlob = "corrupt-blob"
+	// IssueCountMismatch: blob opens cleanly but its counts disagree
+	// with the manifest entry. Repair trusts the blob.
+	IssueCountMismatch = "count-mismatch"
+	// IssueOrphanBlob: a well-formed runs/<id>/archive object no
+	// manifest entry references. Repair re-adopts it (directly, or via
+	// salvage+rebuild) or quarantines it.
+	IssueOrphanBlob = "orphan-blob"
+	// IssueForeignObject: an object under runs/ that is neither the
+	// manifest, the journal, nor a run blob. Repair quarantines it.
+	IssueForeignObject = "foreign-object"
+)
+
+// FsckIssue is one finding, plus what -repair did about it.
+type FsckIssue struct {
+	Kind   string `json:"kind"`
+	RunID  string `json:"run_id,omitempty"`
+	Object string `json:"object,omitempty"`
+	Detail string `json:"detail"`
+	// Action describes the applied repair; empty in check-only mode or
+	// when the repair itself failed (Detail then explains).
+	Action string `json:"action,omitempty"`
+}
+
+// FsckReport is the result of one consistency pass.
+type FsckReport struct {
+	RunsChecked int
+	Issues      []FsckIssue
+	Repaired    int
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (fr *FsckReport) Clean() bool { return len(fr.Issues) == 0 }
+
+// Fsck cross-checks every manifest entry against its blob and every
+// runs/ object against the manifest. With repair=false it only
+// reports; with repair=true it additionally drops phantom entries,
+// rebuilds corrupt blobs from their salvageable segments, repairs
+// stale counts, re-adopts orphaned archives, and quarantines what it
+// cannot save. Run Recover (or construct via Open) first so journal
+// debris is not misreported as corruption.
+func (r *Repo) Fsck(repair bool) (*FsckReport, error) {
+	m, _, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	rep := &FsckReport{RunsChecked: len(m.Runs)}
+
+	referenced := make(map[string]bool, len(m.Runs))
+	for _, e := range m.Runs {
+		referenced[e.Object] = true
+	}
+
+	for _, e := range m.Runs {
+		issue, err := r.fsckEntry(e, repair)
+		if err != nil {
+			return nil, err
+		}
+		if issue != nil {
+			rep.add(*issue)
+		}
+	}
+
+	for _, name := range r.store.List("runs/") {
+		if isRepoInternalObject(name) || referenced[name] {
+			continue
+		}
+		issue, err := r.fsckUnreferenced(name, m, repair)
+		if err != nil {
+			return nil, err
+		}
+		if issue != nil {
+			rep.add(*issue)
+		}
+	}
+
+	r.m.fsckIssues.Add(int64(len(rep.Issues)))
+	r.m.fsckRepairs.Add(int64(rep.Repaired))
+	if !rep.Clean() {
+		r.obs.Emit("repo", "fsck",
+			fmt.Sprintf("fsck: %d issues, %d repaired", len(rep.Issues), rep.Repaired))
+	}
+	return rep, nil
+}
+
+func (fr *FsckReport) add(issue FsckIssue) {
+	fr.Issues = append(fr.Issues, issue)
+	if issue.Action != "" {
+		fr.Repaired++
+	}
+}
+
+// fsckEntry checks one manifest entry against its blob; nil means the
+// entry is healthy.
+func (r *Repo) fsckEntry(e RunInfo, repair bool) (*FsckIssue, error) {
+	obj, err := r.store.Get(e.Object)
+	if errors.Is(err, storage.ErrNotFound) {
+		issue := &FsckIssue{Kind: IssueMissingBlob, RunID: e.RunID, Object: e.Object,
+			Detail: "manifest references a blob that does not exist"}
+		if repair {
+			if err := r.dropEntry(e.RunID); err != nil {
+				return nil, err
+			}
+			issue.Action = "dropped phantom manifest entry"
+		}
+		return issue, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	a, openErr := archive.OpenWorkers(obj.Data, r.workers)
+	if openErr != nil {
+		issue := &FsckIssue{Kind: IssueCorruptBlob, RunID: e.RunID, Object: e.Object,
+			Detail: openErr.Error()}
+		if repair {
+			action, err := r.repairCorrupt(e, obj.Data)
+			if err != nil {
+				return nil, err
+			}
+			issue.Action = action
+		}
+		return issue, nil
+	}
+
+	if good := r.entryFor(a, e); good != e {
+		issue := &FsckIssue{Kind: IssueCountMismatch, RunID: e.RunID, Object: e.Object,
+			Detail: fmt.Sprintf("manifest says %d records / %d bytes, blob holds %d / %d",
+				e.Records, e.Bytes, a.RecordCount(), a.Size())}
+		if repair {
+			if err := r.replaceEntry(good); err != nil {
+				return nil, err
+			}
+			issue.Action = "manifest entry recomputed from blob"
+		}
+		return issue, nil
+	}
+	return nil, nil
+}
+
+// fsckUnreferenced classifies one runs/ object no manifest entry
+// claims.
+func (r *Repo) fsckUnreferenced(name string, m *manifest, repair bool) (*FsckIssue, error) {
+	id := runIDFromObject(name)
+	if id == "" {
+		issue := &FsckIssue{Kind: IssueForeignObject, Object: name,
+			Detail: "object under runs/ is not a run blob"}
+		if repair {
+			if err := r.quarantine(name); err != nil {
+				return nil, err
+			}
+			issue.Action = "quarantined"
+		}
+		return issue, nil
+	}
+
+	issue := &FsckIssue{Kind: IssueOrphanBlob, RunID: id, Object: name,
+		Detail: "run blob has no manifest entry"}
+	if !repair {
+		return issue, nil
+	}
+
+	obj, err := r.store.Get(name)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, nil // raced away; nothing to report
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Adopt directly when the blob verifies and agrees about its own
+	// identity; anything else goes through salvage.
+	if a, err := archive.OpenWorkers(obj.Data, r.workers); err == nil && a.Meta().RunID == id {
+		if m.find(id) >= 0 {
+			// A manifest entry for this run ID exists but points at a
+			// different object — structurally impossible via runObject,
+			// so treat as foreign debris.
+			if err := r.quarantine(name); err != nil {
+				return nil, err
+			}
+			issue.Action = "quarantined (run ID already indexed elsewhere)"
+			return issue, nil
+		}
+		if err := r.adopt(r.entryFor(a, RunInfo{RunID: id, Object: name})); err != nil {
+			return nil, err
+		}
+		issue.Action = "re-adopted into manifest"
+		return issue, nil
+	}
+
+	res, serr := archive.Salvage(obj.Data)
+	if serr != nil || len(res.Records) == 0 {
+		if err := r.quarantine(name); err != nil {
+			return nil, err
+		}
+		issue.Action = "quarantined (nothing salvageable)"
+		return issue, nil
+	}
+	meta := res.Meta
+	if meta.RunID != id {
+		meta.RunID = id
+	}
+	rebuilt := archive.Rebuild(meta, res)
+	a, err := archive.OpenWorkers(rebuilt, r.workers)
+	if err != nil {
+		return nil, fmt.Errorf("repo: fsck rebuilt blob does not verify: %w", err)
+	}
+	if _, err := r.store.Put(name, rebuilt); err != nil {
+		return nil, err
+	}
+	if err := r.adopt(r.entryFor(a, RunInfo{RunID: id, Object: name})); err != nil {
+		return nil, err
+	}
+	r.m.salvagedSegs.Add(int64(res.Report.SegmentsKept))
+	issue.Action = fmt.Sprintf("re-adopted after salvage (%d/%d segments)",
+		res.Report.SegmentsKept, res.Report.SegmentsTotal)
+	return issue, nil
+}
+
+// repairCorrupt rebuilds a referenced-but-corrupt blob from its
+// salvageable segments, or quarantines it when nothing survives.
+func (r *Repo) repairCorrupt(e RunInfo, blob []byte) (string, error) {
+	res, serr := archive.Salvage(blob)
+	if serr != nil || len(res.Records) == 0 {
+		if err := r.quarantine(e.Object); err != nil {
+			return "", err
+		}
+		if err := r.dropEntry(e.RunID); err != nil {
+			return "", err
+		}
+		return "quarantined blob and dropped entry (nothing salvageable)", nil
+	}
+	meta := res.Meta
+	if meta.RunID != e.RunID {
+		// Footer lost: rebuild identity from the manifest entry.
+		meta = archive.Meta{RunID: e.RunID, Workload: e.Workload, Label: e.Label,
+			HostSpec: e.HostSpec, TPUVersion: e.TPUVersion, CreatedSeq: e.CreatedSeq}
+	}
+	rebuilt := archive.Rebuild(meta, res)
+	a, err := archive.OpenWorkers(rebuilt, r.workers)
+	if err != nil {
+		return "", fmt.Errorf("repo: fsck rebuilt blob does not verify: %w", err)
+	}
+	if _, err := r.store.Put(e.Object, rebuilt); err != nil {
+		return "", err
+	}
+	if err := r.replaceEntry(r.entryFor(a, e)); err != nil {
+		return "", err
+	}
+	r.m.salvagedSegs.Add(int64(res.Report.SegmentsKept))
+	return fmt.Sprintf("rebuilt from salvage (%d/%d segments, %d records kept)",
+		res.Report.SegmentsKept, res.Report.SegmentsTotal, res.Report.RecordsKept), nil
+}
+
+// entryFor computes the correct manifest entry for an opened archive,
+// keeping base's identity fields where the archive has none.
+func (r *Repo) entryFor(a *archive.Archive, base RunInfo) RunInfo {
+	meta := a.Meta()
+	first, last := a.TimeRange()
+	info := RunInfo{
+		RunID:      base.RunID,
+		Workload:   meta.Workload,
+		Label:      meta.Label,
+		HostSpec:   meta.HostSpec,
+		TPUVersion: meta.TPUVersion,
+		CreatedSeq: meta.CreatedSeq,
+		Records:    a.RecordCount(),
+		Windows:    a.WindowCount(),
+		Bytes:      a.Size(),
+		TimeFirst:  first,
+		TimeLast:   last,
+		Object:     base.Object,
+	}
+	if info.RunID == "" {
+		info.RunID = meta.RunID
+	}
+	if info.Object == "" {
+		info.Object = runObject(info.RunID)
+	}
+	return info
+}
+
+// dropEntry removes runID's manifest entry (no blob side effects).
+func (r *Repo) dropEntry(runID string) error {
+	return r.update(func(m *manifest) error {
+		if i := m.find(runID); i >= 0 {
+			m.Runs = append(m.Runs[:i], m.Runs[i+1:]...)
+		}
+		return nil
+	})
+}
+
+// replaceEntry swaps runID's manifest entry for info.
+func (r *Repo) replaceEntry(info RunInfo) error {
+	return r.update(func(m *manifest) error {
+		if i := m.find(info.RunID); i >= 0 {
+			m.Runs[i] = info
+		}
+		return nil
+	})
+}
+
+// adopt indexes info, replacing any existing entry for the same run.
+func (r *Repo) adopt(info RunInfo) error {
+	return r.update(func(m *manifest) error {
+		if i := m.find(info.RunID); i >= 0 {
+			m.Runs[i] = info
+		} else {
+			m.Runs = append(m.Runs, info)
+		}
+		if info.CreatedSeq >= m.NextSeq {
+			m.NextSeq = info.CreatedSeq + 1
+		}
+		return nil
+	})
+}
+
+// quarantine moves an object aside under QuarantinePrefix instead of
+// deleting it. A crash between the copy and the delete leaves both;
+// re-running fsck re-quarantines (the copy is overwritten) and
+// finishes the delete.
+func (r *Repo) quarantine(name string) error {
+	obj, err := r.store.Get(name)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := r.store.Put(QuarantinePrefix+name, obj.Data); err != nil {
+		return err
+	}
+	if err := r.store.Delete(name); err != nil && !errors.Is(err, storage.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// Salvage recovers runID's blob in place: every intact segment is
+// re-archived into a fresh, fully valid blob and the manifest entry is
+// recomputed (or created, when the blob was an orphan). The report
+// itemizes what the underlying archive.Salvage kept and lost.
+func (r *Repo) Salvage(runID string) (RunInfo, *archive.SalvageReport, error) {
+	object := runObject(runID)
+	m, _, err := r.load()
+	if err != nil {
+		return RunInfo{}, nil, err
+	}
+	idx := m.find(runID)
+	obj, err := r.store.Get(object)
+	if errors.Is(err, storage.ErrNotFound) {
+		return RunInfo{}, nil, fmt.Errorf("%w: %q has no blob to salvage", ErrRunNotFound, runID)
+	}
+	if err != nil {
+		return RunInfo{}, nil, err
+	}
+	res, err := archive.Salvage(obj.Data)
+	if err != nil {
+		return RunInfo{}, nil, fmt.Errorf("repo: salvage %q: %w", runID, err)
+	}
+	if len(res.Records) == 0 {
+		return RunInfo{}, &res.Report, fmt.Errorf("repo: salvage %q: no records recoverable", runID)
+	}
+	meta := res.Meta
+	if meta.RunID != runID {
+		if idx >= 0 {
+			e := m.Runs[idx]
+			meta = archive.Meta{RunID: runID, Workload: e.Workload, Label: e.Label,
+				HostSpec: e.HostSpec, TPUVersion: e.TPUVersion, CreatedSeq: e.CreatedSeq}
+		} else {
+			meta.RunID = runID
+		}
+	}
+	rebuilt := archive.Rebuild(meta, res)
+	a, err := archive.OpenWorkers(rebuilt, r.workers)
+	if err != nil {
+		return RunInfo{}, &res.Report, fmt.Errorf("repo: rebuilt blob does not verify: %w", err)
+	}
+	info := r.entryFor(a, RunInfo{RunID: runID, Object: object})
+
+	// Journal the rewrite only for indexed runs: an open save intent on
+	// an *unindexed* object would make a crash-time replay reclaim the
+	// blob — for an orphan that means deleting the only copy. Leaving
+	// the orphan adoption unjournaled is safe: a crash mid-way leaves a
+	// valid orphan blob fsck re-adopts.
+	var seq uint64
+	journaled := idx >= 0
+	if journaled {
+		if seq, err = r.logIntent(opSave, runID, object, nil); err != nil {
+			return RunInfo{}, &res.Report, err
+		}
+	}
+	if _, err := r.store.Put(object, rebuilt); err != nil {
+		return RunInfo{}, &res.Report, err
+	}
+	if err := r.adopt(info); err != nil {
+		return RunInfo{}, &res.Report, err
+	}
+	if journaled {
+		r.logDone(seq, opSave)
+	}
+	r.m.salvagedSegs.Add(int64(res.Report.SegmentsKept))
+	r.obs.Emit("repo", "salvage",
+		fmt.Sprintf("salvaged run %q: %d/%d segments, %d records",
+			runID, res.Report.SegmentsKept, res.Report.SegmentsTotal, res.Report.RecordsKept))
+	return info, &res.Report, nil
+}

@@ -1,0 +1,390 @@
+// Write-ahead intent journal: the crash-consistency spine of the
+// repository. Every mutating operation (Save, Delete, GC, and the
+// fleet's finalize, which lands as a Save) appends a CRC-framed intent
+// record to the journal object *before* it touches any blob or the
+// manifest, and a matching done record after the mutation fully
+// commits or fully rolls back. A process that dies mid-mutation leaves
+// an open intent behind; Recover replays the journal on open and
+// drives every open intent to one of the two legal end states, so the
+// manifest and the blob set always reconverge:
+//
+//   - save intent, run in manifest        → mutation committed; nothing to do
+//   - save intent, run absent             → roll back: reclaim the orphan blob
+//   - delete intent, run still in manifest → mutation never took effect; no-op
+//   - delete intent, run absent           → complete: reclaim the leftover blob
+//   - gc intent                           → complete: reclaim every blob whose
+//     run is absent from the manifest and not protected by an open save
+//
+// Journal frame layout (little-endian), chosen so a torn tail — the
+// power cut landing mid-append — is detectable and trimmable:
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload (JSON journalRecord)
+//
+// The journal is an append-only object (storage.Bucket.Append); the
+// only non-append write is the compaction rewrite at the end of a
+// successful Recover, once every intent is settled.
+package repo
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// JournalObject is the bucket object holding the intent journal.
+const JournalObject = "runs/.journal"
+
+// journalFrameOverhead is the per-record framing cost: u32 length +
+// u32 crc32c.
+const journalFrameOverhead = 8
+
+// maxJournalPayload bounds a single journal record on read; anything
+// larger is corruption, not data (records are small JSON documents).
+const maxJournalPayload = 1 << 20
+
+var journalTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal operation and phase names.
+const (
+	opSave   = "save"
+	opDelete = "delete"
+	opGC     = "gc"
+
+	phaseIntent = "intent"
+	phaseDone   = "done"
+)
+
+// journalRecord is one framed journal entry. Seq pairs an intent with
+// its done record; an intent whose seq has no done record is open.
+type journalRecord struct {
+	Seq     uint64   `json:"seq"`
+	Op      string   `json:"op"`
+	Phase   string   `json:"phase"`
+	RunID   string   `json:"run_id,omitempty"`
+	Object  string   `json:"object,omitempty"`
+	Victims []string `json:"victims,omitempty"`
+}
+
+// appendFrame CRC-frames payload and appends it to object. The append
+// is the durability point for both the intent journal and the fleet's
+// per-session logs: a frame either lands whole or its torn prefix is
+// detected and trimmed by readFrames.
+func appendFrame(store Store, object string, payload []byte) error {
+	frame := make([]byte, journalFrameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, journalTable))
+	copy(frame[journalFrameOverhead:], payload)
+	_, err := store.Append(object, frame)
+	return err
+}
+
+// readFrames decodes a CRC-framed object leniently: it stops at the
+// first torn or checksum-failing frame and reports both the intact
+// prefix length and how many tail bytes it discarded. A missing object
+// is an empty history. maxPayload bounds a single frame (anything
+// larger is corruption, not data).
+func readFrames(store Store, object string, maxPayload int) (frames [][]byte, intact, torn int, err error) {
+	obj, err := store.Get(object)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data := obj.Data
+	pos := 0
+	for pos < len(data) {
+		if pos+journalFrameOverhead > len(data) {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		want := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if n > maxPayload || pos+journalFrameOverhead+n > len(data) {
+			break
+		}
+		payload := data[pos+journalFrameOverhead : pos+journalFrameOverhead+n]
+		if crc32.Checksum(payload, journalTable) != want {
+			break
+		}
+		frames = append(frames, payload)
+		pos += journalFrameOverhead + n
+	}
+	return frames, pos, len(data) - pos, nil
+}
+
+// appendJournal frames rec and appends it to the journal object.
+func (r *Repo) appendJournal(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := appendFrame(r.store, JournalObject, payload); err != nil {
+		return fmt.Errorf("repo: journal append: %w", err)
+	}
+	return nil
+}
+
+// logIntent appends an intent record and returns its seq for the
+// matching done record.
+func (r *Repo) logIntent(op, runID, object string, victims []string) (uint64, error) {
+	seq := atomic.AddUint64(&r.journalSeq, 1)
+	err := r.appendJournal(journalRecord{
+		Seq: seq, Op: op, Phase: phaseIntent,
+		RunID: runID, Object: object, Victims: victims,
+	})
+	return seq, err
+}
+
+// logDone appends the done record closing intent seq. A failure here
+// is harmless-by-design: the next Recover replays the intent, finds
+// the mutation already settled, and closes it then.
+func (r *Repo) logDone(seq uint64, op string) {
+	_ = r.appendJournal(journalRecord{Seq: seq, Op: op, Phase: phaseDone})
+}
+
+// readJournal decodes the journal leniently: it stops at the first
+// torn or CRC-failing frame (the bytes a power cut left behind) and
+// reports how many tail bytes it discarded. A missing or empty journal
+// is an empty history.
+func readJournal(store Store) (recs []journalRecord, tornBytes int, err error) {
+	frames, _, torn, err := readFrames(store, JournalObject, maxJournalPayload)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, payload := range frames {
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// A framed-but-undecodable record poisons the tail: the
+			// bytes from this frame on count as torn.
+			for _, rest := range frames[i:] {
+				torn += journalFrameOverhead + len(rest)
+			}
+			return recs, torn, nil
+		}
+		recs = append(recs, rec)
+	}
+	return recs, torn, nil
+}
+
+// RecoveryReport summarizes one journal replay.
+type RecoveryReport struct {
+	// Records is how many intact journal records the replay scanned.
+	Records int
+	// TornBytes is the size of the discarded torn tail, if any.
+	TornBytes int
+	// OpenIntents is how many intents had no done record and were
+	// reconciled.
+	OpenIntents int
+	// Completed counts open intents whose mutation had already fully
+	// committed (only the done record was missing).
+	Completed int
+	// RolledBack counts open intents whose mutation was undone.
+	RolledBack int
+	// OrphansReclaimed lists blob objects deleted during replay —
+	// save rollbacks and unfinished GC victims.
+	OrphansReclaimed []string
+}
+
+// Clean reports whether the replay found nothing to repair.
+func (rr *RecoveryReport) Clean() bool {
+	return rr.OpenIntents == 0 && rr.TornBytes == 0
+}
+
+// Recover replays the intent journal and reconciles every open intent,
+// returning what it did. It must be called before the repository
+// serves mutations when the underlying store may hold the debris of a
+// crashed writer — Open does it automatically. Recover is idempotent:
+// a second replay over the same store finds a clean journal.
+func (r *Repo) Recover() (*RecoveryReport, error) {
+	recs, torn, err := readJournal(r.store)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RecoveryReport{Records: len(recs), TornBytes: torn}
+
+	maxSeq := uint64(0)
+	done := make(map[uint64]bool)
+	for _, rec := range recs {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		if rec.Phase == phaseDone {
+			done[rec.Seq] = true
+		}
+	}
+	// Future intents must not collide with replayed seqs.
+	for {
+		cur := atomic.LoadUint64(&r.journalSeq)
+		if cur >= maxSeq || atomic.CompareAndSwapUint64(&r.journalSeq, cur, maxSeq) {
+			break
+		}
+	}
+
+	var open []journalRecord
+	for _, rec := range recs {
+		if rec.Phase == phaseIntent && !done[rec.Seq] {
+			open = append(open, rec)
+		}
+	}
+	rep.OpenIntents = len(open)
+	if len(open) == 0 && torn == 0 {
+		return rep, nil
+	}
+
+	m, _, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	// Blobs protected from reclamation: everything the manifest
+	// references, plus the target of any open save intent other than
+	// the one being reconciled (it will be judged by its own intent).
+	inManifest := make(map[string]bool, len(m.Runs))
+	for _, info := range m.Runs {
+		inManifest[info.Object] = true
+	}
+
+	reclaim := func(object string) error {
+		if object == "" || inManifest[object] {
+			return nil
+		}
+		if !r.store.Exists(object) {
+			return nil
+		}
+		if err := r.store.Delete(object); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return err
+		}
+		rep.OrphansReclaimed = append(rep.OrphansReclaimed, object)
+		return nil
+	}
+
+	for _, intent := range open {
+		switch intent.Op {
+		case opSave:
+			if m.find(intent.RunID) >= 0 {
+				// The manifest update landed: the save committed and
+				// only the done record is missing.
+				rep.Completed++
+			} else {
+				// Acceptance never became durable: reclaim the blob.
+				if err := reclaim(intent.Object); err != nil {
+					return nil, err
+				}
+				rep.RolledBack++
+			}
+		case opDelete:
+			if m.find(intent.RunID) >= 0 {
+				// Manifest untouched: the delete never took effect and
+				// the caller never got an ack. Leave the run alone.
+				rep.RolledBack++
+			} else {
+				if err := reclaim(intent.Object); err != nil {
+					return nil, err
+				}
+				rep.Completed++
+			}
+		case opGC:
+			// The victim set recorded at intent time may be stale
+			// (the CAS loop can recompute it); reclaim exactly the
+			// recorded victims that did lose their manifest entry.
+			for _, id := range intent.Victims {
+				if m.find(id) >= 0 {
+					continue
+				}
+				if err := reclaim(runObject(id)); err != nil {
+					return nil, err
+				}
+			}
+			rep.Completed++
+		}
+		r.logReplay(intent)
+	}
+
+	// Compact: every intent is settled, so the history (and any torn
+	// tail) can be dropped wholesale.
+	if _, err := r.store.Put(JournalObject, nil); err != nil {
+		return nil, fmt.Errorf("repo: journal compact: %w", err)
+	}
+	r.m.journalReplays.Add(int64(len(open)))
+	return rep, nil
+}
+
+func (r *Repo) logReplay(intent journalRecord) {
+	r.obs.Emit("repo", "journal-replay",
+		fmt.Sprintf("replayed open %s intent seq %d (run %q)", intent.Op, intent.Seq, intent.RunID))
+}
+
+// compactJournalIfSettled opportunistically truncates the journal once
+// it grows past threshold bytes, but only when every recorded intent
+// is closed — an open intent belongs to a mutation still in flight (or
+// to a crashed writer, which Recover owns).
+func (r *Repo) compactJournalIfSettled(threshold int) {
+	obj, err := r.store.Get(JournalObject)
+	if err != nil || len(obj.Data) < threshold {
+		return
+	}
+	recs, torn, err := readJournal(r.store)
+	if err != nil || torn > 0 {
+		return
+	}
+	done := make(map[uint64]bool)
+	for _, rec := range recs {
+		if rec.Phase == phaseDone {
+			done[rec.Seq] = true
+		}
+	}
+	for _, rec := range recs {
+		if rec.Phase == phaseIntent && !done[rec.Seq] {
+			return
+		}
+	}
+	// A concurrent mutation may append between the read and this
+	// rewrite; tolerate losing the race by writing only when the
+	// object is unchanged (generation-checked swap).
+	_, _ = r.store.PutIf(JournalObject, nil, obj.Generation)
+}
+
+// journalCompactThreshold is the journal size past which settled
+// history is opportunistically truncated.
+const journalCompactThreshold = 256 << 10
+
+// sortedUnique returns a sorted copy of ids with duplicates removed —
+// journal victim lists stay deterministic regardless of map order.
+func sortedUnique(ids []string) []string {
+	out := append([]string(nil), ids...)
+	sort.Strings(out)
+	j := 0
+	for i, id := range out {
+		if i == 0 || id != out[j-1] {
+			out[j] = id
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// isRepoInternalObject reports whether name is repository bookkeeping
+// rather than run data — the manifest and the journal live under the
+// runs/ prefix but index it.
+func isRepoInternalObject(name string) bool {
+	return name == ManifestObject || name == JournalObject
+}
+
+// runIDFromObject inverts runObject: runs/<id>/archive → <id>, "" for
+// anything else.
+func runIDFromObject(name string) string {
+	if !strings.HasPrefix(name, "runs/") || !strings.HasSuffix(name, "/archive") {
+		return ""
+	}
+	id := strings.TrimSuffix(strings.TrimPrefix(name, "runs/"), "/archive")
+	if id == "" || strings.Contains(id, "/") {
+		return ""
+	}
+	return id
+}

@@ -15,6 +15,13 @@
 // finalizing several sessions at once) serialize safely: each retry
 // re-reads the latest manifest at its generation and re-applies its
 // mutation.
+//
+// Mutations are crash-consistent: each one is bracketed by a
+// write-ahead intent record in the journal object (journal.go), and
+// Open replays the journal so a process death at any write boundary
+// leaves a repository that reconverges on recovery — see the recovery
+// invariants in DESIGN.md and the power-cut property suite in
+// crash_test.go.
 package repo
 
 import (
@@ -24,9 +31,26 @@ import (
 	"sort"
 
 	"repro/internal/archive"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/storage"
 )
+
+// Store is the mutable object-store surface the repository (and the
+// fleet endpoint's durable session logs) write through. *storage.Bucket
+// implements it directly; fault decorators (faultnet.CrashStore) wrap
+// it to script power cuts at write boundaries.
+type Store interface {
+	Get(name string) (*storage.Object, error)
+	Put(name string, data []byte) (*storage.Object, error)
+	PutIf(name string, data []byte, gen int64) (*storage.Object, error)
+	Append(name string, data []byte) (*storage.Object, error)
+	Delete(name string) error
+	Exists(name string) bool
+	List(prefix string) []string
+}
+
+var _ Store = (*storage.Bucket)(nil)
 
 // ManifestObject is the bucket object holding the run index.
 const ManifestObject = "runs/manifest.json"
@@ -75,17 +99,62 @@ func (m *manifest) find(runID string) int {
 	return -1
 }
 
-// Repo is a run repository over one bucket. Safe for concurrent use:
-// all index mutations go through the manifest CAS.
-type Repo struct {
-	bucket  *storage.Bucket
-	workers int
+// repoMetrics are the repository's recovery/durability instruments.
+type repoMetrics struct {
+	journalReplays *obs.Counter
+	fsckIssues     *obs.Counter
+	fsckRepairs    *obs.Counter
+	salvagedSegs   *obs.Counter
 }
 
-// New returns a repository over bucket. An empty bucket is an empty
-// repository; no initialization is needed.
-func New(bucket *storage.Bucket) *Repo {
-	return &Repo{bucket: bucket}
+func newRepoMetrics(r *obs.Registry) repoMetrics {
+	return repoMetrics{
+		journalReplays: r.Counter("repo.journal.replays"),
+		fsckIssues:     r.Counter("repo.fsck.issues"),
+		fsckRepairs:    r.Counter("repo.fsck.repairs"),
+		salvagedSegs:   r.Counter("repo.salvage.segments.recovered"),
+	}
+}
+
+// Repo is a run repository over one store. Safe for concurrent use:
+// all index mutations go through the manifest CAS, and every mutation
+// is journaled (journal.go) so a crash at any write boundary is
+// recoverable.
+type Repo struct {
+	store      Store
+	workers    int
+	obs        *obs.Registry
+	m          repoMetrics
+	journalSeq uint64 // atomic; intent/done pairing
+}
+
+// New returns a repository over store. An empty store is an empty
+// repository; no initialization is needed. New does NOT replay the
+// intent journal — use Open when the store may hold the debris of a
+// crashed writer, or call Recover explicitly.
+func New(store Store) *Repo {
+	return &Repo{store: store, m: newRepoMetrics(nil)}
+}
+
+// Open returns a repository over store after replaying its intent
+// journal, so interrupted mutations from a previous process are
+// completed or rolled back before any new ones start. This is the
+// constructor every durable deployment (the CLI, the collection
+// server) should use.
+func Open(store Store) (*Repo, *RecoveryReport, error) {
+	r := New(store)
+	rep, err := r.Recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, rep, nil
+}
+
+// SetObs points the repository's durability metrics (journal replays,
+// fsck repairs, salvage counts) and recovery events at reg.
+func (r *Repo) SetObs(reg *obs.Registry) {
+	r.obs = reg
+	r.m = newRepoMetrics(reg)
 }
 
 // SetCodecParallelism bounds the worker fan-out archive opens use for
@@ -99,7 +168,7 @@ func runObject(runID string) string { return "runs/" + runID + "/archive" }
 
 // load reads the manifest and its generation (0 = not created yet).
 func (r *Repo) load() (*manifest, int64, error) {
-	obj, err := r.bucket.Get(ManifestObject)
+	obj, err := r.store.Get(ManifestObject)
 	if errors.Is(err, storage.ErrNotFound) {
 		return &manifest{NextSeq: 1}, 0, nil
 	}
@@ -131,7 +200,7 @@ func (r *Repo) update(mut func(*manifest) error) error {
 		if err != nil {
 			return err
 		}
-		if _, err := r.bucket.PutIf(ManifestObject, data, gen); err == nil {
+		if _, err := r.store.PutIf(ManifestObject, data, gen); err == nil {
 			return nil
 		} else if !errors.Is(err, storage.ErrGenerationMismatch) {
 			return err
@@ -154,7 +223,11 @@ func (r *Repo) NextSeq() (uint64, error) {
 }
 
 // Save validates blob as an archive, stores it, and indexes the run.
-// The archive's Meta.RunID must be non-empty and unused.
+// The archive's Meta.RunID must be non-empty and unused. The mutation
+// is journaled: an intent record lands before the blob write, so a
+// crash between the blob Put and the manifest update (or during the
+// rollback delete) leaves an orphan the next Recover reclaims instead
+// of a blob GC can never see.
 func (r *Repo) Save(blob []byte) (RunInfo, error) {
 	a, err := archive.OpenWorkers(blob, r.workers)
 	if err != nil {
@@ -179,7 +252,19 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 		TimeLast:   last,
 		Object:     runObject(meta.RunID),
 	}
-	if _, err := r.bucket.Put(info.Object, blob); err != nil {
+	// Reject duplicates before any write: a doomed save must not
+	// journal an intent against an object some committed run owns
+	// (replaying such an intent would reclaim the original's blob).
+	if m, _, err := r.load(); err != nil {
+		return RunInfo{}, err
+	} else if m.find(info.RunID) >= 0 {
+		return RunInfo{}, fmt.Errorf("%w: %q", ErrRunExists, info.RunID)
+	}
+	seq, err := r.logIntent(opSave, info.RunID, info.Object, nil)
+	if err != nil {
+		return RunInfo{}, err
+	}
+	if _, err := r.store.Put(info.Object, blob); err != nil {
 		return RunInfo{}, err
 	}
 	err = r.update(func(m *manifest) error {
@@ -190,15 +275,28 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 		return nil
 	})
 	if err != nil {
-		// Roll the blob back so a failed index never leaves an
-		// unlisted orphan. A concurrent duplicate's blob is the same
-		// object name; deleting here only removes our own write.
 		if errors.Is(err, ErrRunExists) {
+			// A concurrent save of the same run ID won the CAS. The
+			// blob object name is shared, so it now belongs to the
+			// winner's manifest entry — leave it, and close our
+			// intent (a replay would find the run in the manifest and
+			// do nothing anyway).
+			r.logDone(seq, opSave)
 			return RunInfo{}, err
 		}
-		_ = r.bucket.Delete(info.Object)
+		// Roll the blob back so a failed index never leaves an
+		// unlisted orphan. If this delete itself fails (flaky or dead
+		// storage), the open save intent remains and the next Recover
+		// reclaims the blob — the orphan leak is closed by the
+		// journal, not by hoping the delete succeeds (see
+		// TestSaveRollbackFailureReclaimedByRecover).
+		if derr := r.store.Delete(info.Object); derr == nil || errors.Is(derr, storage.ErrNotFound) {
+			r.logDone(seq, opSave)
+		}
 		return RunInfo{}, err
 	}
+	r.logDone(seq, opSave)
+	r.compactJournalIfSettled(journalCompactThreshold)
 	return info, nil
 }
 
@@ -259,7 +357,7 @@ func (r *Repo) Get(runID string) (RunInfo, *archive.Archive, error) {
 	if err != nil {
 		return RunInfo{}, nil, err
 	}
-	obj, err := r.bucket.Get(info.Object)
+	obj, err := r.store.Get(info.Object)
 	if err != nil {
 		return RunInfo{}, nil, fmt.Errorf("repo: run %q blob: %w", runID, err)
 	}
@@ -270,9 +368,16 @@ func (r *Repo) Get(runID string) (RunInfo, *archive.Archive, error) {
 	return info, a, nil
 }
 
-// Delete removes a run from the index and deletes its blob.
+// Delete removes a run from the index and deletes its blob. The
+// intent record lands before the manifest update, so a crash between
+// un-indexing the run and deleting its blob leaves a leftover the next
+// Recover reclaims.
 func (r *Repo) Delete(runID string) error {
-	err := r.update(func(m *manifest) error {
+	seq, err := r.logIntent(opDelete, runID, runObject(runID), nil)
+	if err != nil {
+		return err
+	}
+	err = r.update(func(m *manifest) error {
 		i := m.find(runID)
 		if i < 0 {
 			return fmt.Errorf("%w: %q", ErrRunNotFound, runID)
@@ -281,61 +386,111 @@ func (r *Repo) Delete(runID string) error {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, ErrRunNotFound) {
+			// Nothing to undo; the intent is settled.
+			r.logDone(seq, opDelete)
+		}
 		return err
 	}
-	if derr := r.bucket.Delete(runObject(runID)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+	if derr := r.store.Delete(runObject(runID)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+		// Manifest entry is gone but the blob lingers; leave the
+		// intent open so Recover finishes the job.
 		return derr
 	}
+	r.logDone(seq, opDelete)
 	return nil
+}
+
+// gcVictims computes the run IDs GC would drop from m, in manifest
+// order: everything but the newest keep runs per workload (by creation
+// sequence), and removes them from m.
+func gcVictims(m *manifest, keep int) []string {
+	byWorkload := make(map[string][]RunInfo)
+	for _, info := range m.Runs {
+		byWorkload[info.Workload] = append(byWorkload[info.Workload], info)
+	}
+	drop := make(map[string]bool)
+	for _, runs := range byWorkload {
+		if len(runs) <= keep {
+			continue
+		}
+		sort.Slice(runs, func(i, j int) bool {
+			if runs[i].CreatedSeq != runs[j].CreatedSeq {
+				return runs[i].CreatedSeq > runs[j].CreatedSeq
+			}
+			return runs[i].RunID > runs[j].RunID
+		})
+		for _, info := range runs[keep:] {
+			drop[info.RunID] = true
+		}
+	}
+	var victims []string
+	kept := m.Runs[:0]
+	for _, info := range m.Runs {
+		if drop[info.RunID] {
+			victims = append(victims, info.RunID)
+		} else {
+			kept = append(kept, info)
+		}
+	}
+	m.Runs = kept
+	return victims
 }
 
 // GC keeps the newest keep runs per workload (by creation sequence) and
 // deletes the rest, returning the deleted run IDs in deletion order.
+// GC runs its own CAS loop instead of update() because the intent
+// record must carry the victim set computed against the exact manifest
+// generation being swapped — a crash after the swap but before the
+// blob deletes lets Recover reclaim precisely those victims.
 func (r *Repo) GC(keep int) ([]string, error) {
 	if keep < 0 {
 		keep = 0
 	}
 	var victims []string
-	err := r.update(func(m *manifest) error {
-		victims = victims[:0]
-		byWorkload := make(map[string][]RunInfo)
-		for _, info := range m.Runs {
-			byWorkload[info.Workload] = append(byWorkload[info.Workload], info)
+	committed := false
+	var seq uint64
+	for i := 0; i < casRetries && !committed; i++ {
+		m, gen, err := r.load()
+		if err != nil {
+			return nil, err
 		}
-		drop := make(map[string]bool)
-		for _, runs := range byWorkload {
-			if len(runs) <= keep {
-				continue
-			}
-			sort.Slice(runs, func(i, j int) bool {
-				if runs[i].CreatedSeq != runs[j].CreatedSeq {
-					return runs[i].CreatedSeq > runs[j].CreatedSeq
-				}
-				return runs[i].RunID > runs[j].RunID
-			})
-			for _, info := range runs[keep:] {
-				drop[info.RunID] = true
-			}
+		victims = gcVictims(m, keep)
+		if len(victims) == 0 {
+			return nil, nil
 		}
-		kept := m.Runs[:0]
-		for _, info := range m.Runs {
-			if drop[info.RunID] {
-				victims = append(victims, info.RunID)
-			} else {
-				kept = append(kept, info)
-			}
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return nil, err
 		}
-		m.Runs = kept
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		seq, err = r.logIntent(opGC, "", "", sortedUnique(victims))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.store.PutIf(ManifestObject, data, gen); err == nil {
+			committed = true
+		} else if errors.Is(err, storage.ErrGenerationMismatch) {
+			// Lost the race; the recorded victims are still in the
+			// manifest, so this intent is harmless — close it and
+			// recompute against the new generation.
+			r.logDone(seq, opGC)
+		} else {
+			r.logDone(seq, opGC)
+			return nil, err
+		}
+	}
+	if !committed {
+		return nil, ErrManifestContention
 	}
 	for _, id := range victims {
-		if derr := r.bucket.Delete(runObject(id)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+		if derr := r.store.Delete(runObject(id)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+			// Leave the intent open: Recover deletes the remaining
+			// victim blobs.
 			return victims, derr
 		}
 	}
+	r.logDone(seq, opGC)
+	r.compactJournalIfSettled(journalCompactThreshold)
 	return victims, nil
 }
 

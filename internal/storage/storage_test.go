@@ -337,6 +337,94 @@ func TestObjectDataIsDefensiveCopy(t *testing.T) {
 	}
 }
 
+// Regression: the input buffer handed to Append must be copied on both
+// branches (object creation and in-place growth) — the fleet's durable
+// log hands Append a buffer it immediately reuses, so an aliasing
+// Append would let later client writes rewrite acked history.
+func TestAppendInputIsDefensiveCopy(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+
+	buf := []byte("first")
+	if _, err := b.Append("log", buf); err != nil { // create branch
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 'X'
+	}
+	buf2 := []byte("+second")
+	if _, err := b.Append("log", buf2); err != nil { // in-place branch
+		t.Fatal(err)
+	}
+	for i := range buf2 {
+		buf2[i] = 'Y'
+	}
+	got, err := b.Get("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte("first+second")) {
+		t.Fatalf("Append aliased its input: got %q", got.Data)
+	}
+
+	// Put's input too, for the same reason (journal compaction rewrites).
+	pbuf := []byte("stored")
+	if _, err := b.Put("obj", pbuf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pbuf {
+		pbuf[i] = 'Z'
+	}
+	if got, _ := b.Get("obj"); !bytes.Equal(got.Data, []byte("stored")) {
+		t.Fatalf("Put aliased its input: got %q", got.Data)
+	}
+}
+
+// Append participates in the bucket's single generation sequence: every
+// append invalidates outstanding PutIf generations, and the generation
+// an Append returns is swappable — the property the journal's
+// generation-checked compaction (append-vs-truncate race) relies on.
+func TestAppendParticipatesInGenerations(t *testing.T) {
+	s := NewService()
+	b, _ := s.CreateBucket("b")
+
+	created, err := b.Append("log", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := b.Append("log", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Generation <= created.Generation {
+		t.Fatalf("append did not advance the generation: %d -> %d",
+			created.Generation, grown.Generation)
+	}
+
+	// A PutIf against the pre-append generation must lose…
+	if _, err := b.PutIf("log", nil, created.Generation); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("stale truncate raced past an append: err = %v", err)
+	}
+	// …and one against the post-append generation must win.
+	swapped, err := b.PutIf("log", nil, grown.Generation)
+	if err != nil {
+		t.Fatalf("current-generation truncate: %v", err)
+	}
+	// The swap advances the sequence again, so a third append's result
+	// supersedes it.
+	after, err := b.Append("log", []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation <= swapped.Generation {
+		t.Fatalf("append after swap did not advance the generation: %d -> %d",
+			swapped.Generation, after.Generation)
+	}
+	if got, _ := b.Get("log"); !bytes.Equal(got.Data, []byte("c")) {
+		t.Fatalf("log = %q, want %q", got.Data, "c")
+	}
+}
+
 func TestPutIf(t *testing.T) {
 	s := NewService()
 	b, _ := s.CreateBucket("b")

@@ -46,6 +46,12 @@ go test -race -count=2 ./internal/archive ./internal/trace
 echo "== archive + diff smoke"
 ./scripts/archive_smoke.sh
 
+# Crash-consistency gate: the power-cut property test and fleet resume
+# tests under -race, the recovery-counter wiring smoke, and a CLI
+# corrupt/fsck/salvage round trip.
+echo "== crash smoke"
+./scripts/crash_smoke.sh
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench archive-bench check metrics-smoke archive-smoke crash-smoke
+.PHONY: build test race vet fmt bench archive-bench stream-bench check metrics-smoke archive-smoke crash-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,11 @@ bench:
 archive-bench:
 	$(GO) run ./cmd/paperbench -archive-bench $(or $(BENCH_OUT),BENCH_archive.json) $(BENCH_ARGS)
 
+# Regenerate the streaming-analyzer fidelity benchmarks (BENCH_stream.json):
+# boundary F1 and time-share MAPE vs batch OLS, plus resident state bytes.
+stream-bench:
+	$(GO) run ./cmd/paperbench -stream-bench $(or $(BENCH_OUT),BENCH_stream.json) $(BENCH_ARGS)
+
 # End-to-end profile-repository smoke: archive two runs through the CLI
 # and diff them.
 archive-smoke:
@@ -47,6 +52,11 @@ metrics-smoke:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
+# Streaming-analyzer smoke: archive a real run and tail it through the
+# `tpupoint watch` verb at full rate and at duty cycle 1/10.
+stream-smoke:
+	./scripts/stream_smoke.sh
+
 # The full gate: everything must build, pass gofmt and vet (plus the
 # vet-filter selftest), and pass the test suite with the race detector
 # on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
@@ -55,6 +65,8 @@ check: build fmt vet
 	./scripts/check_selftest.sh
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs
+	$(GO) test -race -count=2 ./internal/core/analyzer ./internal/core/cluster
 	./scripts/archive_smoke.sh
 	./scripts/crash_smoke.sh
+	./scripts/stream_smoke.sh
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

@@ -20,12 +20,19 @@
 //   - -min-alloc-reduction: the largest-n "wire_marshal_alloc_reduction"
 //     fraction (archive reports) — how much of the naive encoder's
 //     allocations the pooled wire encoder eliminates. CPU-independent.
+//   - -min-stream-f1 / -max-share-mape: the largest-n
+//     "stream_boundary_f1_duty10" / "stream_share_mape_duty10" fidelity
+//     scores (stream reports) — how faithfully the duty-cycled
+//     streaming analyzer reproduces the batch analyzer's phase report.
+//     Deterministic, so any drift is a real code change.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_analyzer.json -new /tmp/bench.json
 //	benchdiff -old BENCH_archive.json -new head.json -min-grid-speedup 0 \
 //	    -min-decode-speedup 2 -min-alloc-reduction 0.5
+//	benchdiff -old BENCH_stream.json -new head.json -min-grid-speedup 0 \
+//	    -min-stream-f1 0.9 -max-share-mape 0.10
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		minGrid   = flag.Float64("min-grid-speedup", 2.0, "required dbscan grid-vs-brute speedup at the largest measured n (0 disables)")
 		minDecode = flag.Float64("min-decode-speedup", 0, "required archive parallel-decode speedup at the largest measured n; only enforced when the candidate ran with GOMAXPROCS >= 4 (0 disables)")
 		minAlloc  = flag.Float64("min-alloc-reduction", 0, "required wire_marshal allocation-reduction fraction at the largest measured n (0 disables)")
+		minF1     = flag.Float64("min-stream-f1", 0, "required streaming phase-boundary F1 vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
+		maxMAPE   = flag.Float64("max-share-mape", 0, "allowed streaming per-phase time-share MAPE vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -68,6 +77,7 @@ func main() {
 	failures = append(failures, checkGridSpeedup(newRep, *minGrid)...)
 	failures = append(failures, checkDecodeSpeedup(newRep, *minDecode)...)
 	failures = append(failures, checkAllocReduction(newRep, *minAlloc)...)
+	failures = append(failures, checkStreamFidelity(newRep, *minF1, *maxMAPE)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
@@ -240,6 +250,44 @@ func checkAllocReduction(rep *experiments.AnalyzerBenchReport, minReduction floa
 			bestN, 100*reduction, 100*minReduction)}
 	}
 	return nil
+}
+
+// checkStreamFidelity asserts the streaming analyzer's fidelity floors
+// at the hard setting — duty cycle 1/10 — and the largest measured n:
+// phase-boundary F1 must stay at or above minF1 and the per-phase
+// time-share MAPE at or below maxMAPE. Both scores are deterministic
+// functions of the record stream, so unlike the timing gates there is
+// no noise allowance; drift means the analyzer changed behavior.
+func checkStreamFidelity(rep *experiments.AnalyzerBenchReport, minF1, maxMAPE float64) []string {
+	var failures []string
+	if minF1 > 0 {
+		bestN, f1 := largestN(rep, "stream_boundary_f1_duty10_n")
+		if bestN < 0 {
+			failures = append(failures, "candidate report has no stream_boundary_f1_duty10 score")
+		} else {
+			fmt.Printf("stream boundary F1 at duty 1/10, n=%d: %.3f (floor %.3f)\n", bestN, f1, minF1)
+			if f1 < minF1 {
+				failures = append(failures, fmt.Sprintf(
+					"streaming boundary F1 at duty 1/10, n=%d is %.3f, below the %.3f floor",
+					bestN, f1, minF1))
+			}
+		}
+	}
+	if maxMAPE > 0 {
+		bestN, mape := largestN(rep, "stream_share_mape_duty10_n")
+		if bestN < 0 {
+			failures = append(failures, "candidate report has no stream_share_mape_duty10 score")
+		} else {
+			fmt.Printf("stream time-share MAPE at duty 1/10, n=%d: %.2f%% (ceiling %.2f%%)\n",
+				bestN, 100*mape, 100*maxMAPE)
+			if mape > maxMAPE {
+				failures = append(failures, fmt.Sprintf(
+					"streaming time-share MAPE at duty 1/10, n=%d is %.2f%%, above the %.2f%% ceiling",
+					bestN, 100*mape, 100*maxMAPE))
+			}
+		}
+	}
+	return failures
 }
 
 // largestN returns the value of the prefix-keyed speedup with the

@@ -36,6 +36,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write all regenerated data as JSON to this file")
 	benchOut := flag.String("analyzer-bench", "", "run the analyzer clustering benchmark and write BENCH_analyzer.json here, then exit")
 	archiveBenchOut := flag.String("archive-bench", "", "run the profile archive/diff benchmark and write BENCH_archive.json here, then exit")
+	streamBenchOut := flag.String("stream-bench", "", "run the streaming-analyzer fidelity benchmark and write BENCH_stream.json here, then exit")
 	benchQuick := flag.Bool("bench-quick", false, "shorten the benchmarks and skip the O(n²) DBSCAN reference above 10k rows (CI smoke mode)")
 	par := flag.Int("parallelism", 0, "worker pool size for the parallel benchmark runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -50,6 +51,13 @@ func main() {
 	if *archiveBenchOut != "" {
 		if err := archiveBench(*archiveBenchOut, *par, *benchQuick); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: archive-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamBenchOut != "" {
+		if err := streamBench(*streamBenchOut, *benchQuick); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: stream-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -123,6 +131,17 @@ func archiveBench(path string, workers int, quick bool) error {
 		return err
 	}
 	return writeBenchReport("archive", path, rep)
+}
+
+// streamBench runs the streaming-analyzer fidelity benchmark (boundary
+// F1 and time-share MAPE vs the batch analyzer, resident state bytes vs
+// run length) and writes the BENCH_stream.json document.
+func streamBench(path string, quick bool) error {
+	rep, err := experiments.RunStreamBench(nil, quick)
+	if err != nil {
+		return err
+	}
+	return writeBenchReport("stream", path, rep)
 }
 
 func writeBenchReport(name, path string, rep *experiments.AnalyzerBenchReport) error {

@@ -91,6 +91,13 @@ func main() {
 		return
 	}
 
+	if args := flag.Args(); len(args) > 0 && args[0] == "watch" {
+		if err := watchCmd(args[1:], *archiveDir, *codecPar); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *collectSrv != "" {
 		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, reg, health); err != nil {
 			fatal(err)

@@ -20,6 +20,7 @@ package analyzer
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -128,12 +129,16 @@ func (p *Phase) TopOps(dev trace.Device, n int) []trace.OpTotal {
 }
 
 // StepSimilarity computes Equation 1: the ratio of the intersection of
-// the two steps' event sets to the size of the smaller set.
+// the two steps' event sets to the size of the smaller set. The ratio
+// is undefined when both steps are empty — there is no evidence either
+// way — so that case returns NaN; callers must compare through
+// meetsThreshold (OLS does), which treats NaN as "not similar". A step
+// with ops compared against an empty step is 0: no shared behaviour.
 func StepSimilarity(a, b *trace.StepStat) float64 {
 	sa, sb := a.OpSet(), b.OpSet()
 	if len(sa) == 0 || len(sb) == 0 {
 		if len(sa) == len(sb) {
-			return 1
+			return math.NaN()
 		}
 		return 0
 	}
@@ -150,9 +155,24 @@ func StepSimilarity(a, b *trace.StepStat) float64 {
 	return float64(inter) / float64(len(small))
 }
 
+// meetsThreshold is the one place a StepSimilarity value is compared
+// against the OLS threshold. The comparison is explicit about the edge
+// cases: a NaN similarity (two empty steps — Equation 1 undefined) or a
+// NaN threshold never merges. Before this rule an empty step always
+// merged into a preceding empty step because the undefined ratio was
+// reported as 1.
+func meetsThreshold(sim, threshold float64) bool {
+	if math.IsNaN(sim) || math.IsNaN(threshold) {
+		return false
+	}
+	return sim >= threshold
+}
+
 // OLS runs the online linear scan: walk the steps in order and merge each
 // step into the current phase when its similarity to the previous step
-// meets the threshold, otherwise start a new phase.
+// meets the threshold, otherwise start a new phase. Undefined
+// similarities (both steps empty) and NaN thresholds never merge — see
+// meetsThreshold.
 func OLS(steps []*trace.StepStat, threshold float64) []*Phase {
 	if len(steps) == 0 {
 		return nil
@@ -160,7 +180,7 @@ func OLS(steps []*trace.StepStat, threshold float64) []*Phase {
 	var phases []*Phase
 	cur := newPhase(0, steps[0])
 	for i := 1; i < len(steps); i++ {
-		if StepSimilarity(steps[i-1], steps[i]) >= threshold {
+		if meetsThreshold(StepSimilarity(steps[i-1], steps[i]), threshold) {
 			cur.addStep(steps[i])
 			continue
 		}

@@ -2,6 +2,7 @@ package analyzer
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/core/cluster"
@@ -46,12 +47,67 @@ func TestStepSimilarityEquation1(t *testing.T) {
 
 func TestStepSimilarityEmptySets(t *testing.T) {
 	e1, e2 := trace.NewStepStat(1), trace.NewStepStat(2)
-	if StepSimilarity(e1, e2) != 1 {
-		t.Fatal("two empty steps should be identical")
+	// Two empty op sets have no evidence of similarity: Equation 1's
+	// |A∩B|/min(|A|,|B|) is 0/0, reported as NaN so thresholding can
+	// treat it as "undefined, do not merge" rather than silently 1.
+	if sim := StepSimilarity(e1, e2); !math.IsNaN(sim) {
+		t.Fatalf("empty-vs-empty similarity = %g, want NaN", sim)
 	}
 	full := step(3, 0, "x")
 	if StepSimilarity(e1, full) != 0 {
 		t.Fatal("empty vs non-empty should be dissimilar")
+	}
+}
+
+func TestMeetsThreshold(t *testing.T) {
+	cases := []struct {
+		sim, thr float64
+		want     bool
+	}{
+		{0.7, 0.7, true},
+		{0.69, 0.7, false},
+		{1, 0.7, true},
+		{math.NaN(), 0.7, false},
+		{0.9, math.NaN(), false},
+		{math.NaN(), math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := meetsThreshold(c.sim, c.thr); got != c.want {
+			t.Errorf("meetsThreshold(%g, %g) = %v, want %v", c.sim, c.thr, got, c.want)
+		}
+	}
+}
+
+func TestOLSZeroOpStepsDoNotMerge(t *testing.T) {
+	// Regression: a step with zero ops used to score similarity 1
+	// against anything, gluing unrelated phases together across idle
+	// steps. With the NaN contract each empty step breaks the chain.
+	steps := []*trace.StepStat{
+		step(0, 0, "fusion", "MatMul"),
+		step(1, 100, "fusion", "MatMul"),
+		trace.NewStepStat(2), // empty (e.g. fully idle window)
+		step(3, 300, "ArgMax", "Mean"),
+		step(4, 400, "ArgMax", "Mean"),
+	}
+	phases := OLS(steps, 0.7)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (train / idle / eval)", len(phases))
+	}
+	if got := phases[1].Steps[0].Step; got != 2 {
+		t.Fatalf("middle phase starts at step %d, want the empty step 2", got)
+	}
+}
+
+func TestOLSConsecutiveEmptyStepsEachStandAlone(t *testing.T) {
+	// Two empty steps in a row: NaN vs NaN must not merge either.
+	steps := []*trace.StepStat{
+		trace.NewStepStat(0),
+		trace.NewStepStat(1),
+		step(2, 200, "x"),
+	}
+	phases := OLS(steps, 0.7)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (each empty step stands alone)", len(phases))
 	}
 }
 

@@ -1,0 +1,626 @@
+// Streaming phase analysis: the incremental counterpart of the batch
+// analyzer. A StreamAnalyzer consumes ProfileRecords one at a time —
+// from a live profiler session, a fleet session log, or archive.Iter —
+// and maintains phase structure as the run unfolds:
+//
+//   - streaming step aggregation: per-window step fragments merge in a
+//     bounded seal window (steps straddle profile-window boundaries,
+//     exactly the case trace.AggregateSteps handles post hoc);
+//   - the paper's online OLS linear scan promoted to first class:
+//     sealed steps feed the Equation-1 similarity chain and phase
+//     boundaries emit PhaseOpen/PhaseClose events the moment they are
+//     known, each close carrying the phase's op-mix time-share
+//     signature;
+//   - incremental mini-batch k-means (cluster.StreamKMeans) refining a
+//     recurring-phase label per closed phase as data arrives;
+//   - a profile duty-cycle knob: analyze only 1/N of the steps and
+//     still report the whole run's phase structure (SeqPoint's
+//     representative-sampling payoff — the fidelity benchmark scores
+//     the sampled report against the batch analyzer).
+//
+// Memory contract: resident state is O(seal window + k-means state +
+// closed-phase summaries). No record and no per-step statistic is
+// retained past its seal + similarity comparison; a closed phase keeps
+// only its capped signature. See DESIGN.md ("Streaming analyzer
+// contract") and StateBytes.
+//
+// Determinism contract: the final StreamReport is a pure function of
+// the record sequence and StreamOptions. Feeding the same records in
+// any chunking — one at a time, batches of 7, or the whole run — yields
+// a bit-identical report (stream_diff_test.go enforces this, chunk
+// sizes {1, 7, 1000} × duty cycles {1, 10}).
+package analyzer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core/cluster"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Streaming defaults.
+const (
+	// DefaultSealWindow is how many steps stay open awaiting
+	// cross-window fragments before the oldest is sealed and analyzed.
+	DefaultSealWindow = 8
+	// DefaultStreamK is the streaming k-means centroid count: the
+	// recurring-phase vocabulary size.
+	DefaultStreamK = 4
+	// DefaultDegradeFactor flags a sealed step whose span exceeds this
+	// multiple of its phase's mean step span.
+	DefaultDegradeFactor = 2.0
+	// SignatureOps caps a closed phase's op-mix signature.
+	SignatureOps = 12
+	// degradeMinSteps is how many steps a phase needs before its mean
+	// span is trusted for degradation detection.
+	degradeMinSteps = 8
+	// streamFeatureDims is the fixed per-step feature dimensionality
+	// the streaming k-means clusters (see stepFeatures).
+	streamFeatureDims = 8
+)
+
+// StreamEventKind labels a streaming analysis event.
+type StreamEventKind uint8
+
+// The streaming event kinds.
+const (
+	// PhaseOpen fires when a boundary starts a new phase (including the
+	// first step of the run).
+	PhaseOpen StreamEventKind = iota
+	// PhaseClose fires when a phase's last step is known — at the next
+	// boundary, or at Finish for the final phase. The event carries the
+	// completed phase summary.
+	PhaseClose
+	// StepDegraded fires when a sealed step's span exceeds
+	// DegradeFactor × the phase's mean step span (at most once per
+	// phase; the phase's Degraded count keeps the total).
+	StepDegraded
+)
+
+func (k StreamEventKind) String() string {
+	switch k {
+	case PhaseOpen:
+		return "phase-open"
+	case PhaseClose:
+		return "phase-close"
+	case StepDegraded:
+		return "step-degraded"
+	default:
+		return fmt.Sprintf("stream-event(%d)", uint8(k))
+	}
+}
+
+// StreamEvent is one boundary or degradation notification. Phase points
+// at the analyzer's live summary: PhaseClose events hand over the final,
+// immutable summary; PhaseOpen and StepDegraded events hand the open
+// phase, whose step/time fields are still growing.
+type StreamEvent struct {
+	Kind  StreamEventKind
+	Phase *StreamPhase
+	Step  int64 // step that triggered the event
+}
+
+// OpShare is one operator's share of a phase's total op time.
+type OpShare struct {
+	Key   trace.OpKey
+	Share float64
+}
+
+// StreamPhase is a phase summary maintained incrementally — the
+// streaming analogue of Phase, holding aggregates instead of member
+// steps.
+type StreamPhase struct {
+	ID        int
+	FirstStep int64
+	LastStep  int64
+	Steps     int64 // sampled steps folded in
+
+	Start simclock.Time
+	End   simclock.Time
+	Total simclock.Duration // summed sampled-step spans
+
+	IdleFrac float64 // span-weighted
+	MXUUtil  float64 // span-weighted
+
+	// Signature is the op-mix time-share signature (top SignatureOps
+	// operators by share, descending), filled at close.
+	Signature []OpShare
+
+	// Cluster is the streaming k-means label refined as data arrives
+	// (-1 before the model has seen enough points to seed).
+	Cluster int
+
+	// Degraded counts sealed steps that exceeded the degradation
+	// factor against the phase mean.
+	Degraded int64
+
+	// ops aggregates op time while the phase is open; compacted into
+	// Signature and released at close.
+	ops map[trace.OpKey]simclock.Duration
+	// feat accumulates the per-step feature sum for the k-means label.
+	feat [streamFeatureDims]float64
+}
+
+// TimeShare returns the phase's share of total across phases.
+func (p *StreamPhase) TimeShare(total simclock.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(p.Total) / float64(total)
+}
+
+// StreamOptions tune a streaming analysis.
+type StreamOptions struct {
+	// Threshold is the OLS StepSimilarity threshold (default 0.70).
+	Threshold float64
+	// DutyCycle analyzes only steps whose number is ≡ 0 mod N (<= 1
+	// analyzes every step). The report then estimates time shares from
+	// the sampled steps alone.
+	DutyCycle int
+	// SealWindow is how many steps stay open for cross-window merging
+	// (default DefaultSealWindow). Steps arriving after their number
+	// was sealed are dropped and counted in the report's LateSteps.
+	SealWindow int
+	// K is the streaming k-means centroid count (default
+	// DefaultStreamK). Negative disables the clustering refinement.
+	K int
+	// Batch is the k-means mini-batch size (default
+	// cluster.DefaultStreamBatch).
+	Batch int
+	// Seed feeds the k-means seeding PRNG.
+	Seed uint64
+	// DegradeFactor flags steps slower than this multiple of the phase
+	// mean (default DefaultDegradeFactor; negative disables).
+	DegradeFactor float64
+	// OnEvent, when set, receives PhaseOpen/PhaseClose/StepDegraded
+	// synchronously from Feed/Finish.
+	OnEvent func(StreamEvent)
+	// Obs, when set, counts records/steps/phases/degradations.
+	Obs *obs.Registry
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Threshold == 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.DutyCycle <= 1 {
+		o.DutyCycle = 1
+	}
+	if o.SealWindow <= 0 {
+		o.SealWindow = DefaultSealWindow
+	}
+	if o.K == 0 {
+		o.K = DefaultStreamK
+	}
+	if o.DegradeFactor == 0 {
+		o.DegradeFactor = DefaultDegradeFactor
+	}
+	return o
+}
+
+// StreamReport is the final output of a streaming analysis.
+type StreamReport struct {
+	Workload  string
+	DutyCycle int
+
+	Records   int64 // records fed
+	Gaps      int64 // gap records skipped
+	StepsSeen int64 // distinct steps observed before duty sampling
+	Steps     int64 // sampled steps analyzed
+	LateSteps int64 // step fragments dropped for arriving after seal
+
+	Phases []*StreamPhase
+
+	TotalTime simclock.Duration // summed sampled-step spans
+	IdleFrac  float64           // span-weighted over sampled steps
+	MXUUtil   float64
+
+	// K is the streaming k-means centroid count (0 when disabled).
+	K int
+}
+
+// Boundaries returns the first step of every phase after the first —
+// the phase-boundary set the fidelity benchmark scores.
+func (r *StreamReport) Boundaries() []int64 {
+	if len(r.Phases) <= 1 {
+		return nil
+	}
+	out := make([]int64, 0, len(r.Phases)-1)
+	for _, p := range r.Phases[1:] {
+		out = append(out, p.FirstStep)
+	}
+	return out
+}
+
+// streamMetrics are the analyzer's obs instruments.
+type streamMetrics struct {
+	records  *obs.Counter
+	steps    *obs.Counter
+	phases   *obs.Counter
+	degraded *obs.Counter
+	late     *obs.Counter
+}
+
+// StreamAnalyzer is the incremental analyzer. Not safe for concurrent
+// use; callers feeding from multiple goroutines must serialize.
+type StreamAnalyzer struct {
+	workload string
+	opts     StreamOptions
+	m        streamMetrics
+
+	// pending holds open steps awaiting cross-window fragments.
+	pending map[int64]*trace.StepStat
+	sealed  int64 // highest sealed step number (-1 until the first)
+	hasSeal bool
+
+	// prev is the last sampled sealed step — the OLS comparison
+	// anchor. Exactly one full StepStat is retained at any time.
+	prev *trace.StepStat
+
+	cur    *StreamPhase
+	closed []*StreamPhase
+
+	km   *cluster.StreamKMeans
+	feat [streamFeatureDims]float64 // scratch
+
+	rep      StreamReport
+	finished bool
+}
+
+// NewStream builds a streaming analyzer for one run.
+func NewStream(workload string, opts StreamOptions) *StreamAnalyzer {
+	opts = opts.withDefaults()
+	s := &StreamAnalyzer{
+		workload: workload,
+		opts:     opts,
+		pending:  make(map[int64]*trace.StepStat, opts.SealWindow+1),
+		m: streamMetrics{
+			records:  opts.Obs.Counter("stream.records"),
+			steps:    opts.Obs.Counter("stream.steps"),
+			phases:   opts.Obs.Counter("stream.phases"),
+			degraded: opts.Obs.Counter("stream.degraded"),
+			late:     opts.Obs.Counter("stream.steps.late"),
+		},
+	}
+	if opts.K > 0 {
+		s.km = cluster.NewStreamKMeans(opts.K, streamFeatureDims, opts.Batch, opts.Seed)
+	}
+	return s
+}
+
+// Feed folds one record into the analysis. Gap records advance the
+// record count only. Feeding after Finish is an error.
+func (s *StreamAnalyzer) Feed(rec *trace.ProfileRecord) error {
+	if s.finished {
+		return fmt.Errorf("analyzer: stream already finished")
+	}
+	if rec == nil {
+		return fmt.Errorf("analyzer: nil record")
+	}
+	s.rep.Records++
+	s.m.records.Inc()
+	if rec.Gap {
+		s.rep.Gaps++
+		return nil
+	}
+	for _, st := range rec.Steps {
+		s.observeStep(st)
+	}
+	// Seal oldest steps beyond the window, smallest step number first,
+	// so OLS sees the step series in order.
+	for len(s.pending) > s.opts.SealWindow {
+		s.sealStep(s.minPending())
+	}
+	return nil
+}
+
+// FeedBatch folds a batch of records in order. Equivalent to calling
+// Feed on each — the determinism contract makes the chunking
+// unobservable.
+func (s *StreamAnalyzer) FeedBatch(recs []*trace.ProfileRecord) error {
+	for _, r := range recs {
+		if err := s.Feed(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeStep merges one per-window step fragment into the open window.
+func (s *StreamAnalyzer) observeStep(st *trace.StepStat) {
+	if s.hasSeal && st.Step <= s.sealed {
+		// The step was already sealed and analyzed; merging now would
+		// rewrite history. Count it instead of retaining it.
+		s.rep.LateSteps++
+		s.m.late.Inc()
+		return
+	}
+	if cur, ok := s.pending[st.Step]; ok {
+		cur.Merge(st)
+		return
+	}
+	s.pending[st.Step] = st.Clone()
+}
+
+// minPending returns the smallest open step number.
+func (s *StreamAnalyzer) minPending() int64 {
+	first := true
+	var min int64
+	for step := range s.pending {
+		if first || step < min {
+			min, first = step, false
+		}
+	}
+	return min
+}
+
+// sealStep closes the window for one step: it can no longer grow, so it
+// enters duty sampling, the OLS boundary chain, the open phase's
+// aggregates, and the k-means model.
+func (s *StreamAnalyzer) sealStep(step int64) {
+	st := s.pending[step]
+	delete(s.pending, step)
+	s.sealed, s.hasSeal = step, true
+	s.rep.StepsSeen++
+
+	if s.opts.DutyCycle > 1 && step%int64(s.opts.DutyCycle) != 0 {
+		return // off-duty: the sampled report speaks for this step
+	}
+	s.rep.Steps++
+	s.m.steps.Inc()
+
+	if s.cur == nil {
+		s.openPhase(st)
+	} else if meetsThreshold(StepSimilarity(s.prev, st), s.opts.Threshold) {
+		s.extendPhase(st)
+	} else {
+		s.closePhase(st.Step)
+		s.openPhase(st)
+	}
+	s.prev = st
+
+	if s.km != nil {
+		s.km.Observe(stepFeatures(s.feat[:0], st))
+	}
+}
+
+// openPhase starts a new phase at st and emits PhaseOpen.
+func (s *StreamAnalyzer) openPhase(st *trace.StepStat) {
+	p := &StreamPhase{
+		ID:        len(s.closed),
+		FirstStep: st.Step,
+		Cluster:   -1,
+		ops:       make(map[trace.OpKey]simclock.Duration, len(st.Ops)),
+	}
+	s.cur = p
+	s.foldStep(p, st)
+	s.m.phases.Inc()
+	s.emit(StreamEvent{Kind: PhaseOpen, Phase: p, Step: st.Step})
+}
+
+// extendPhase folds st into the open phase, checking degradation first
+// (against the mean excluding st, so a slow step cannot hide in its own
+// average).
+func (s *StreamAnalyzer) extendPhase(st *trace.StepStat) {
+	p := s.cur
+	span := st.End.Sub(st.Start)
+	if s.opts.DegradeFactor > 0 && p.Steps >= degradeMinSteps {
+		mean := float64(p.Total) / float64(p.Steps)
+		if float64(span) > s.opts.DegradeFactor*mean {
+			p.Degraded++
+			s.m.degraded.Inc()
+			if p.Degraded == 1 {
+				s.emit(StreamEvent{Kind: StepDegraded, Phase: p, Step: st.Step})
+			}
+		}
+	}
+	s.foldStep(p, st)
+}
+
+// foldStep accumulates one sampled step into a phase summary.
+func (s *StreamAnalyzer) foldStep(p *StreamPhase, st *trace.StepStat) {
+	span := st.End.Sub(st.Start)
+	if p.Steps == 0 || st.Start < p.Start {
+		p.Start = st.Start
+	}
+	if st.End > p.End {
+		p.End = st.End
+	}
+	p.LastStep = st.Step
+	p.Steps++
+	p.Total += span
+	p.IdleFrac += st.IdleFrac * float64(span)
+	p.MXUUtil += st.MXUUtil * float64(span)
+	for k, op := range st.Ops {
+		p.ops[k] += op.Total
+	}
+	stepFeatures(s.feat[:0], st)
+	for i, v := range s.feat {
+		p.feat[i] += v
+	}
+
+	s.rep.TotalTime += span
+	s.rep.IdleFrac += st.IdleFrac * float64(span)
+	s.rep.MXUUtil += st.MXUUtil * float64(span)
+}
+
+// closePhase finalizes the open phase — normalizes the weighted
+// metadata, compacts the op aggregate into the capped signature,
+// assigns the k-means label — and emits PhaseClose. boundaryStep is the
+// first step of the successor (the boundary that closed it); the final
+// Finish-time close passes the phase's own last step.
+func (s *StreamAnalyzer) closePhase(boundaryStep int64) {
+	p := s.cur
+	s.cur = nil
+	if p == nil {
+		return
+	}
+	if p.Total > 0 {
+		p.IdleFrac /= float64(p.Total)
+		p.MXUUtil /= float64(p.Total)
+	}
+	p.Signature = compactSignature(p.ops)
+	p.ops = nil // released: the capped signature is all that survives
+	if s.km != nil && p.Steps > 0 {
+		mean := make([]float64, streamFeatureDims)
+		for i := range mean {
+			mean[i] = p.feat[i] / float64(p.Steps)
+		}
+		p.Cluster = s.km.Assign(mean)
+	}
+	s.closed = append(s.closed, p)
+	s.emit(StreamEvent{Kind: PhaseClose, Phase: p, Step: boundaryStep})
+}
+
+// Finish seals every open step, closes the final phase, and returns the
+// report. The analyzer rejects further feeding afterwards.
+func (s *StreamAnalyzer) Finish() *StreamReport {
+	if s.finished {
+		return &s.rep
+	}
+	for len(s.pending) > 0 {
+		s.sealStep(s.minPending())
+	}
+	if s.km != nil {
+		s.km.Flush()
+	}
+	if s.cur != nil {
+		s.closePhase(s.cur.LastStep)
+	}
+	s.finished = true
+	s.prev = nil
+
+	s.rep.Workload = s.workload
+	s.rep.DutyCycle = s.opts.DutyCycle
+	s.rep.Phases = s.closed
+	if s.km != nil {
+		s.rep.K = s.km.K()
+	}
+	if s.rep.TotalTime > 0 {
+		s.rep.IdleFrac /= float64(s.rep.TotalTime)
+		s.rep.MXUUtil /= float64(s.rep.TotalTime)
+	}
+	return &s.rep
+}
+
+// Phases returns the phases closed so far (excluding the open one).
+func (s *StreamAnalyzer) Phases() []*StreamPhase { return s.closed }
+
+func (s *StreamAnalyzer) emit(ev StreamEvent) {
+	if s.opts.OnEvent != nil {
+		s.opts.OnEvent(ev)
+	}
+}
+
+// StateBytes estimates the analyzer's resident memory: the seal window,
+// the one retained comparison step, the open phase's op aggregate, the
+// k-means model, and the closed-phase signatures. Everything except the
+// closed-phase list is bounded independent of run length, and each
+// closed phase costs O(SignatureOps).
+func (s *StreamAnalyzer) StateBytes() int64 {
+	var b int64 = 256
+	for _, st := range s.pending {
+		b += stepStatBytes(st)
+	}
+	if s.prev != nil {
+		b += stepStatBytes(s.prev)
+	}
+	if s.cur != nil {
+		b += 160 + int64(len(s.cur.ops))*48
+	}
+	for _, p := range s.closed {
+		b += 160 + int64(len(p.Signature))*40
+	}
+	if s.km != nil {
+		b += s.km.StateBytes()
+	}
+	return b
+}
+
+func stepStatBytes(st *trace.StepStat) int64 {
+	return 64 + int64(len(st.Ops))*48
+}
+
+// compactSignature reduces a phase's op aggregate to its top
+// SignatureOps operators by time share, descending (ties broken by
+// device then name for determinism).
+func compactSignature(ops map[trace.OpKey]simclock.Duration) []OpShare {
+	if len(ops) == 0 {
+		return nil
+	}
+	var total simclock.Duration
+	for _, d := range ops {
+		total += d
+	}
+	out := make([]OpShare, 0, len(ops))
+	for k, d := range ops {
+		share := 0.0
+		if total > 0 {
+			share = float64(d) / float64(total)
+		}
+		out = append(out, OpShare{Key: k, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		if out[i].Key.Device != out[j].Key.Device {
+			return out[i].Key.Device < out[j].Key.Device
+		}
+		return out[i].Key.Name < out[j].Key.Name
+	})
+	if len(out) > SignatureOps {
+		out = out[:SignatureOps]
+	}
+	return out
+}
+
+// stepFeatures renders one sealed step as the fixed-dimension vector
+// the streaming k-means clusters: span and device-time magnitudes (log
+// compressed so the model tolerates the microsecond..minute range),
+// op-mix shape, and the window metadata. A pure function of the step,
+// so the feature stream — and the model — is chunk-invariant.
+func stepFeatures(dst []float64, st *trace.StepStat) []float64 {
+	var host, tpu simclock.Duration
+	var count int64
+	var maxOp simclock.Duration
+	for k, op := range st.Ops {
+		if k.Device == trace.Host {
+			host += op.Total
+		} else {
+			tpu += op.Total
+		}
+		count += op.Count
+		if op.Total > maxOp {
+			maxOp = op.Total
+		}
+	}
+	totalOp := host + tpu
+	maxShare := 0.0
+	if totalOp > 0 {
+		maxShare = float64(maxOp) / float64(totalOp)
+	}
+	return append(dst,
+		logScale(float64(st.End.Sub(st.Start))),
+		logScale(float64(host)),
+		logScale(float64(tpu)),
+		logScale(float64(count)),
+		float64(len(st.Ops)),
+		st.IdleFrac,
+		st.MXUUtil,
+		maxShare,
+	)
+}
+
+// logScale is ln(1+x) clamped at zero — time-like magnitudes compressed
+// so no single huge step dominates every distance.
+func logScale(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log1p(x)
+}

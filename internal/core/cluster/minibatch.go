@@ -1,0 +1,188 @@
+package cluster
+
+// Streaming (mini-batch) k-means for the online analyzer: Sculley-style
+// incremental centroid refinement over a record stream. Unlike KMeansP,
+// which needs the whole feature matrix resident, StreamKMeans holds
+// O(k·dims + batch·dims) state regardless of how many points it has
+// seen — the property the streaming phase analyzer's bounded-memory
+// contract depends on.
+//
+// Determinism contract: the model state after n observations is a pure
+// function of the observation sequence (and the seed). Seeding runs
+// k-means++ over the first full buffer with the package PRNG, updates
+// apply per point in buffer order with 1/count learning rates, and no
+// wall clock or global randomness is consulted anywhere — so feeding
+// the same points in any chunking yields bit-identical centroids.
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// DefaultStreamBatch is the mini-batch size: how many points buffer up
+// before one centroid update pass.
+const DefaultStreamBatch = 32
+
+// StreamKMeans is an incremental mini-batch k-means model.
+type StreamKMeans struct {
+	k, dims int
+	batch   int
+
+	buf  []float64 // batch×dims staging buffer
+	bufN int       // points currently staged
+
+	centroids []float64 // k×dims, valid once seeded
+	counts    []int64   // per-centroid assignment counts (learning rate)
+	seeded    bool
+	seen      int64
+
+	rng *prng.Source
+}
+
+// NewStreamKMeans builds a model with k centroids over dims-dimensional
+// points. batch <= 0 takes DefaultStreamBatch.
+func NewStreamKMeans(k, dims, batch int, seed uint64) *StreamKMeans {
+	if k < 1 {
+		panic(fmt.Sprintf("cluster: stream k-means k must be >= 1, got %d", k))
+	}
+	if dims < 1 {
+		panic(fmt.Sprintf("cluster: stream k-means dims must be >= 1, got %d", dims))
+	}
+	if batch <= 0 {
+		batch = DefaultStreamBatch
+	}
+	if batch < k {
+		batch = k
+	}
+	return &StreamKMeans{
+		k: k, dims: dims, batch: batch,
+		buf:       make([]float64, batch*dims),
+		centroids: make([]float64, k*dims),
+		counts:    make([]int64, k),
+		rng:       prng.New(seed),
+	}
+}
+
+// K returns the centroid count.
+func (s *StreamKMeans) K() int { return s.k }
+
+// Seen returns how many points have been observed.
+func (s *StreamKMeans) Seen() int64 { return s.seen }
+
+// Seeded reports whether the centroids are initialized (first full
+// buffer processed, or Flush called on a partial one).
+func (s *StreamKMeans) Seeded() bool { return s.seeded }
+
+// Observe folds one point into the model, triggering a mini-batch
+// update when the staging buffer fills. The point is copied; the caller
+// may reuse the slice.
+func (s *StreamKMeans) Observe(x []float64) {
+	if len(x) != s.dims {
+		panic(fmt.Sprintf("cluster: stream k-means point has %d dims, want %d", len(x), s.dims))
+	}
+	copy(s.buf[s.bufN*s.dims:], x)
+	s.bufN++
+	s.seen++
+	if s.bufN == s.batch {
+		s.Flush()
+	}
+}
+
+// Flush applies any staged points now: the first flush seeds the
+// centroids with k-means++ over the buffer, later flushes run one
+// mini-batch gradient pass. A no-op on an empty buffer.
+func (s *StreamKMeans) Flush() {
+	if s.bufN == 0 {
+		return
+	}
+	if !s.seeded {
+		s.seedFromBuffer()
+		s.seeded = true
+	}
+	for i := 0; i < s.bufN; i++ {
+		x := s.buf[i*s.dims : (i+1)*s.dims]
+		c := s.nearest(x)
+		s.counts[c]++
+		eta := 1 / float64(s.counts[c])
+		crow := s.centroids[c*s.dims : (c+1)*s.dims]
+		for j := range crow {
+			crow[j] += eta * (x[j] - crow[j])
+		}
+	}
+	s.bufN = 0
+}
+
+// seedFromBuffer runs k-means++ over the staged points. A buffer
+// smaller than k re-picks points (duplicate centroids then separate
+// under later updates).
+func (s *StreamKMeans) seedFromBuffer() {
+	n := s.bufN
+	row := func(i int) []float64 { return s.buf[i*s.dims : (i+1)*s.dims] }
+	copy(s.centroids[:s.dims], row(s.rng.Intn(n)))
+	d2 := make([]float64, n)
+	for c := 1; c < s.k; c++ {
+		newest := s.centroids[(c-1)*s.dims : c*s.dims]
+		var total float64
+		for i := 0; i < n; i++ {
+			d := sqDist(row(i), newest)
+			if c == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			copy(s.centroids[c*s.dims:(c+1)*s.dims], row(s.rng.Intn(n)))
+			continue
+		}
+		target := s.rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i := 0; i < n; i++ {
+			acc += d2[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		copy(s.centroids[c*s.dims:(c+1)*s.dims], row(pick))
+	}
+}
+
+// nearest returns the index of the closest centroid to x.
+func (s *StreamKMeans) nearest(x []float64) int {
+	best, bestD := 0, sqDist(x, s.centroids[:s.dims])
+	for c := 1; c < s.k; c++ {
+		if d := sqDist(x, s.centroids[c*s.dims:(c+1)*s.dims]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Assign labels x with its nearest centroid, or -1 before seeding.
+// Staged-but-unflushed points do not influence the answer, so Assign is
+// read-only and chunk-invariant.
+func (s *StreamKMeans) Assign(x []float64) int {
+	if !s.seeded {
+		return -1
+	}
+	if len(x) != s.dims {
+		panic(fmt.Sprintf("cluster: stream k-means point has %d dims, want %d", len(x), s.dims))
+	}
+	return s.nearest(x)
+}
+
+// Centroid returns a copy of centroid c (nil before seeding).
+func (s *StreamKMeans) Centroid(c int) []float64 {
+	if !s.seeded || c < 0 || c >= s.k {
+		return nil
+	}
+	return append([]float64(nil), s.centroids[c*s.dims:(c+1)*s.dims]...)
+}
+
+// StateBytes estimates the model's resident memory — constant in the
+// number of observed points.
+func (s *StreamKMeans) StateBytes() int64 {
+	return int64(len(s.buf)+len(s.centroids))*8 + int64(len(s.counts))*8 + 64
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// blob returns a point near one of four well-separated centers.
+func blob(center int, wobble float64) []float64 {
+	base := [][]float64{
+		{0, 0, 0},
+		{10, 0, 0},
+		{0, 10, 0},
+		{0, 0, 10},
+	}[center]
+	out := make([]float64, len(base))
+	for i, v := range base {
+		out[i] = v + wobble
+	}
+	return out
+}
+
+func TestStreamKMeansSeparatesBlobs(t *testing.T) {
+	m := NewStreamKMeans(4, 3, 16, 1)
+	for i := 0; i < 400; i++ {
+		m.Observe(blob(i%4, float64(i%5)*0.1))
+	}
+	m.Flush()
+	if !m.Seeded() {
+		t.Fatal("model never seeded")
+	}
+	if m.Seen() != 400 {
+		t.Fatalf("Seen = %d, want 400", m.Seen())
+	}
+	// Every blob center should land in its own cluster.
+	labels := make(map[int]bool)
+	for c := 0; c < 4; c++ {
+		labels[m.Assign(blob(c, 0))] = true
+	}
+	if len(labels) != 4 {
+		t.Fatalf("4 separated blobs mapped to %d distinct clusters", len(labels))
+	}
+}
+
+func TestStreamKMeansDeterministic(t *testing.T) {
+	run := func() []float64 {
+		m := NewStreamKMeans(3, 3, 8, 99)
+		for i := 0; i < 200; i++ {
+			m.Observe(blob(i%3, float64(i%7)*0.05))
+		}
+		m.Flush()
+		var flat []float64
+		for c := 0; c < m.K(); c++ {
+			flat = append(flat, m.Centroid(c)...)
+		}
+		return flat
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("centroid coordinate %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamKMeansAssignReadOnly(t *testing.T) {
+	m := NewStreamKMeans(2, 2, 4, 5)
+	for i := 0; i < 8; i++ {
+		m.Observe([]float64{float64(i % 2 * 10), 0})
+	}
+	before := append(m.Centroid(0), m.Centroid(1)...)
+	for i := 0; i < 100; i++ {
+		m.Assign([]float64{5, 5})
+	}
+	after := append(m.Centroid(0), m.Centroid(1)...)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Assign mutated the model")
+		}
+	}
+}
+
+func TestStreamKMeansUnseeded(t *testing.T) {
+	m := NewStreamKMeans(2, 2, 8, 0)
+	if m.Assign([]float64{1, 2}) != -1 {
+		t.Fatal("Assign before seeding should return -1")
+	}
+	if m.Centroid(0) != nil {
+		t.Fatal("Centroid before seeding should be nil")
+	}
+	m.Observe([]float64{1, 1})
+	if m.Seeded() {
+		t.Fatal("one staged point should not seed the model")
+	}
+	m.Flush() // partial-buffer flush seeds
+	if !m.Seeded() {
+		t.Fatal("Flush on a partial buffer should seed")
+	}
+}
+
+func TestStreamKMeansBoundedState(t *testing.T) {
+	m := NewStreamKMeans(4, 8, 32, 3)
+	x := make([]float64, 8)
+	base := m.StateBytes()
+	for i := 0; i < 10000; i++ {
+		x[0] = float64(i)
+		m.Observe(x)
+	}
+	if got := m.StateBytes(); got != base {
+		t.Fatalf("state grew %d -> %d bytes after 10k observations; must be constant", base, got)
+	}
+}
+
+func TestStreamKMeansDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dims Observe should panic")
+		}
+	}()
+	NewStreamKMeans(2, 3, 8, 0).Observe([]float64{1})
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/trace"
+)
+
+func TestRunStreamBenchReportShape(t *testing.T) {
+	const n = 400
+	rep, err := RunStreamBench([]int{n}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct{ kernel, mode string }{
+		{"batch_ols", "serial"},
+		{"stream_analyze", "duty1"},
+		{"stream_analyze", "duty10"},
+	} {
+		if rep.find(want.kernel, want.mode, n) == nil {
+			t.Fatalf("report is missing %s/%s n=%d", want.kernel, want.mode, n)
+		}
+	}
+	for _, key := range []string{
+		fmt.Sprintf("stream_boundary_f1_duty1_n%d", n),
+		fmt.Sprintf("stream_boundary_f1_duty10_n%d", n),
+		fmt.Sprintf("stream_share_mape_duty1_n%d", n),
+		fmt.Sprintf("stream_share_mape_duty10_n%d", n),
+		fmt.Sprintf("stream_state_bytes_n%d", n),
+	} {
+		if _, ok := rep.Speedups[key]; !ok {
+			t.Fatalf("report is missing score %q (have %v)", key, rep.Speedups)
+		}
+	}
+	// The generator is clean (disjoint regime op sets), so streaming at
+	// full rate must reproduce the batch report exactly and sampling at
+	// 1/10 must stay inside the CI floors with margin.
+	if f1 := rep.Speedups[fmt.Sprintf("stream_boundary_f1_duty1_n%d", n)]; f1 != 1 {
+		t.Fatalf("full-rate boundary F1 = %g, want 1", f1)
+	}
+	if f1 := rep.Speedups[fmt.Sprintf("stream_boundary_f1_duty10_n%d", n)]; f1 < 0.9 {
+		t.Fatalf("duty-1/10 boundary F1 = %g, below the CI floor", f1)
+	}
+	if mape := rep.Speedups[fmt.Sprintf("stream_share_mape_duty10_n%d", n)]; mape > 0.10 {
+		t.Fatalf("duty-1/10 share MAPE = %g, above the CI ceiling", mape)
+	}
+}
+
+func TestStreamBenchStateBounded(t *testing.T) {
+	rep, err := RunStreamBench([]int{500, 5_000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth, ok := rep.Speedups["stream_state_growth"]
+	if !ok {
+		t.Fatal("report is missing stream_state_growth")
+	}
+	if growth > streamStateGrowthLimit {
+		t.Fatalf("state growth %.2fx exceeds the %gx limit", growth, streamStateGrowthLimit)
+	}
+}
+
+func TestBoundaryF1(t *testing.T) {
+	cases := []struct {
+		pred, ref []int64
+		tol       int64
+		want      float64
+	}{
+		{[]int64{100, 200}, []int64{100, 200}, 0, 1},
+		{[]int64{105, 205}, []int64{100, 200}, 10, 1},
+		{[]int64{105, 205}, []int64{100, 200}, 1, 0},
+		{nil, nil, 0, 1},
+		{[]int64{100}, nil, 0, 0},
+		{nil, []int64{100}, 0, 0},
+		// One of two matched: precision 1/2, recall 1/2 -> F1 1/2.
+		{[]int64{100, 500}, []int64{100, 200}, 5, 0.5},
+	}
+	for i, c := range cases {
+		if got := boundaryF1(c.pred, c.ref, c.tol); got != c.want {
+			t.Errorf("case %d: F1 = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+func TestShareMAPEIdentical(t *testing.T) {
+	// Streaming a run at duty 1 against its own batch phases must give
+	// MAPE 0.
+	recs := streamBenchRecords(400)
+	s := analyzer.NewStream("t", analyzer.StreamOptions{})
+	for _, r := range recs {
+		if err := s.Feed(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := s.Finish()
+	batch := analyzer.OLS(trace.AggregateSteps(recs), analyzer.DefaultThreshold)
+	if mape := shareMAPE(rep, batch); mape != 0 {
+		t.Fatalf("self-MAPE = %g, want 0", mape)
+	}
+}

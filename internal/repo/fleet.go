@@ -62,6 +62,12 @@ type FleetOptions struct {
 	// session's records get at finalize (default OLS).
 	Algorithm analyzer.Algorithm
 	Analyzer  analyzer.Options
+	// Stream configures the per-session streaming analyzer that emits
+	// phase/degradation events while a run is in flight (see
+	// fleet_stream.go). Its DutyCycle is the collector-side sampling
+	// knob. DisableStream turns the in-flight analysis off entirely.
+	Stream        analyzer.StreamOptions
+	DisableStream bool
 	// Obs receives the endpoint's metrics.
 	Obs *obs.Registry
 	// Now is the lease clock (testing knob; default time.Now).
@@ -124,6 +130,7 @@ type Fleet struct {
 	repo *Repo
 	opts FleetOptions
 	m    fleetMetrics
+	sm   streamMetrics
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -137,6 +144,7 @@ func NewFleet(r *Repo, opts FleetOptions) *Fleet {
 		repo:     r,
 		opts:     opts,
 		m:        newFleetMetrics(opts.Obs),
+		sm:       newStreamMetrics(opts.Obs),
 		nextID:   1,
 		sessions: make(map[uint64]*session),
 	}
@@ -163,7 +171,11 @@ type session struct {
 	meta  archive.Meta
 	w     *archive.Writer
 
-	ch   chan []byte   // bounded pending-record queue
+	// stream is the in-flight analyzer (nil when disabled). Owned by
+	// the drain goroutine until done closes; finalize takes it after.
+	stream *analyzer.StreamAnalyzer
+
+	ch   chan queued   // bounded pending-record queue
 	done chan struct{} // drain goroutine exit
 
 	// sendMu guards enqueue-vs-close: Append holds it across the
@@ -177,17 +189,32 @@ type session struct {
 	archived   int64
 }
 
-// drain is the session's single consumer: it owns the writer, so the
-// writer needs no locking. AddRaw appends the validated wire bytes
-// as-is — no decode/re-encode round trip on the hot path (the one
-// validation decode updates the archive's counts).
+// queued is one accepted record crossing into the drain goroutine: the
+// validated wire bytes for the archive writer, plus the decoded form
+// the append handler already produced while validating — reused here so
+// the streaming analyzer costs no second decode on the hot path.
+type queued struct {
+	raw []byte
+	rec *trace.ProfileRecord
+}
+
+// drain is the session's single consumer: it owns the writer and the
+// streaming analyzer, so neither needs locking. AddRaw appends the
+// validated wire bytes as-is — no decode/re-encode round trip on the
+// hot path (the one validation decode updates the archive's counts and
+// feeds the stream).
 func (s *session) drain(m fleetMetrics) {
 	defer close(s.done)
-	for b := range s.ch {
-		if err := s.w.AddRaw(b); err != nil {
+	for q := range s.ch {
+		if err := s.w.AddRaw(q.raw); err != nil {
 			// Can't happen: handleAppend validated the bytes. Skip
 			// defensively rather than corrupt the archive.
 			continue
+		}
+		if s.stream != nil && q.rec != nil {
+			// Feed errors only after Finish, which finalize defers
+			// until this goroutine exits.
+			_ = s.stream.Feed(q.rec)
 		}
 		s.mu.Lock()
 		s.archived++
@@ -288,7 +315,8 @@ func (f *Fleet) handleOpen(body []byte) ([]byte, error) {
 		token:      sessionToken(meta.RunID, meta.CreatedSeq),
 		meta:       meta,
 		w:          archive.NewWriter(meta),
-		ch:         make(chan []byte, f.opts.QueueSize),
+		stream:     f.newSessionStream(meta),
+		ch:         make(chan queued, f.opts.QueueSize),
 		done:       make(chan struct{}),
 		lastActive: f.opts.Now(),
 	}
@@ -323,21 +351,21 @@ func (f *Fleet) lookup(id uint64) (*session, error) {
 // enqueue hands one validated record's wire bytes to the session's
 // drain goroutine, waiting up to EnqueueTimeout for queue space before
 // shedding load with a transient busy error.
-func (f *Fleet) enqueue(s *session, rec []byte) error {
+func (f *Fleet) enqueue(s *session, q queued) error {
 	s.sendMu.Lock()
 	if s.closed {
 		s.sendMu.Unlock()
 		return fmt.Errorf("fleet: session %d already finalized", s.id)
 	}
 	select {
-	case s.ch <- rec:
+	case s.ch <- q:
 		s.sendMu.Unlock()
 	default:
 		// Queue full: wait bounded, then shed load with a transient
 		// busy error instead of growing memory.
 		timer := time.NewTimer(f.opts.EnqueueTimeout)
 		select {
-		case s.ch <- rec:
+		case s.ch <- q:
 			timer.Stop()
 			s.sendMu.Unlock()
 		case <-timer.C:
@@ -348,7 +376,7 @@ func (f *Fleet) enqueue(s *session, rec []byte) error {
 		}
 	}
 	f.m.recIn.Inc()
-	f.m.bytesIn.Add(int64(len(rec)))
+	f.m.bytesIn.Add(int64(len(q.raw)))
 	return nil
 }
 
@@ -366,11 +394,12 @@ func (f *Fleet) handleAppend(body []byte) ([]byte, error) {
 	// the bytes cross into the drain goroutine.
 	rec := make([]byte, len(body)-8)
 	copy(rec, body[8:])
-	if _, err := trace.UnmarshalRecord(rec); err != nil {
+	dec, err := trace.UnmarshalRecord(rec)
+	if err != nil {
 		return nil, fmt.Errorf("fleet: reject record: %w", err)
 	}
 	s.touch(f.opts.Now())
-	if err := f.enqueue(s, rec); err != nil {
+	if err := f.enqueue(s, queued{raw: rec, rec: dec}); err != nil {
 		return nil, err
 	}
 	// Durability point: the record is on disk before the ack goes out.
@@ -408,17 +437,20 @@ func (f *Fleet) handleAppendBatch(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: reject batch: %w", err)
 	}
+	decoded := make([]*trace.ProfileRecord, len(frames))
 	for i, fr := range frames {
-		if _, err := trace.UnmarshalRecord(fr); err != nil {
+		dec, err := trace.UnmarshalRecord(fr)
+		if err != nil {
 			return nil, fmt.Errorf("fleet: reject batch record %d: %w", i, err)
 		}
+		decoded[i] = dec
 	}
 	s.touch(f.opts.Now())
 
 	accepted := 0
 	var enqErr error
-	for _, fr := range frames {
-		if enqErr = f.enqueue(s, fr); enqErr != nil {
+	for i, fr := range frames {
+		if enqErr = f.enqueue(s, queued{raw: fr, rec: decoded[i]}); enqErr != nil {
 			break
 		}
 		accepted++
@@ -470,7 +502,8 @@ func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
 	}
 	f.sweepExpired()
 	s.closeQueue()
-	<-s.done // drain finished: s.w is ours now
+	<-s.done // drain finished: s.w and s.stream are ours now
+	f.finishSessionStream(s)
 
 	var sum *archive.Summary
 	if s.w.Records() > 0 {

@@ -82,7 +82,7 @@ func TestFleetAppendBatchPartialAcceptance(t *testing.T) {
 	meta := archive.Meta{RunID: "partial", Workload: "synthetic", CreatedSeq: seq}
 	s := &session{
 		id: 77, meta: meta, w: archive.NewWriter(meta),
-		ch: make(chan []byte, f.opts.QueueSize), done: make(chan struct{}),
+		ch: make(chan queued, f.opts.QueueSize), done: make(chan struct{}),
 		lastActive: f.opts.Now(),
 	}
 	f.mu.Lock()

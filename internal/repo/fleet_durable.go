@@ -211,9 +211,18 @@ func (f *Fleet) handleResume(body []byte) ([]byte, error) {
 	}
 
 	w := archive.NewWriter(mrec.Meta)
+	stream := f.newSessionStream(mrec.Meta)
 	for _, rec := range recs {
 		if err := w.AddRaw(rec); err != nil {
 			return nil, fmt.Errorf("fleet: session %q log replay: %w", req.Token, err)
+		}
+		if stream != nil {
+			// Replay rebuilds the analyzer to the exact pre-crash state:
+			// the log holds the accepted order the old drain fed it in,
+			// and the stream is a pure function of that sequence.
+			if dec, derr := trace.UnmarshalRecord(rec); derr == nil {
+				_ = stream.Feed(dec)
+			}
 		}
 	}
 
@@ -221,7 +230,8 @@ func (f *Fleet) handleResume(body []byte) ([]byte, error) {
 		token:      req.Token,
 		meta:       mrec.Meta,
 		w:          w,
-		ch:         make(chan []byte, f.opts.QueueSize),
+		stream:     stream,
+		ch:         make(chan queued, f.opts.QueueSize),
 		done:       make(chan struct{}),
 		lastActive: f.opts.Now(),
 		archived:   int64(len(recs)),
@@ -268,6 +278,39 @@ func (f *Fleet) RecoverSessions() ([]string, error) {
 	}
 	sort.Strings(parked)
 	return parked, nil
+}
+
+// SessionTokens lists the durable session tokens present in the store,
+// sorted — parked sessions awaiting resume plus currently-live ones.
+func SessionTokens(store Store) []string {
+	var tokens []string
+	for _, name := range store.List("sessions/") {
+		if !strings.HasSuffix(name, "/meta") {
+			continue
+		}
+		obj, err := store.Get(name)
+		if err != nil {
+			continue
+		}
+		var mrec sessionMetaRecord
+		if err := json.Unmarshal(obj.Data, &mrec); err != nil || mrec.Token == "" {
+			continue
+		}
+		tokens = append(tokens, mrec.Token)
+	}
+	sort.Strings(tokens)
+	return tokens
+}
+
+// SessionRecords returns the wire records durably accepted into a
+// session's log — the intact prefix, in accepted order; a torn tail is
+// ignored. This is the read side `tpupoint watch -session` tails.
+func SessionRecords(store Store, token string) ([][]byte, error) {
+	if _, err := store.Get(sessionMetaObject(token)); err != nil {
+		return nil, fmt.Errorf("fleet: unknown session token %q", token)
+	}
+	recs, _, _, err := readSessionLog(store, token)
+	return recs, err
 }
 
 // acceptedPrefix returns the leading bytes of a uvarint-framed stream

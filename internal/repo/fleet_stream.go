@@ -1,0 +1,95 @@
+// Per-session streaming analysis for the fleet collector: each open
+// session owns a StreamAnalyzer fed by its drain goroutine, so phase
+// boundaries and degradation alerts surface on internal/obs *while the
+// run is in flight* — not at finalize, which may be hours away for a
+// long training job. The analyzer's bounded-memory contract keeps this
+// affordable at MaxSessions concurrency: a session's analysis state is
+// O(seal window + k), regardless of how many records it has streamed.
+//
+// Determinism note: the drain goroutine is the session's single
+// consumer, so the stream sees records in exactly the accepted order —
+// the same order the durable log replays on resume, which is why a
+// resumed session's analyzer picks up mid-run with identical state.
+package repo
+
+import (
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/core/analyzer"
+	"repro/internal/obs"
+)
+
+// streamMetrics are the collector's streaming-analysis instruments.
+type streamMetrics struct {
+	opened   *obs.Counter
+	closed   *obs.Counter
+	degraded *obs.Counter
+}
+
+func newStreamMetrics(r *obs.Registry) streamMetrics {
+	return streamMetrics{
+		opened:   r.Counter("fleet.stream.phases.opened"),
+		closed:   r.Counter("fleet.stream.phases.closed"),
+		degraded: r.Counter("fleet.stream.degraded"),
+	}
+}
+
+// newSessionStream builds the per-session streaming analyzer, or nil
+// when streaming analysis is disabled. Events fan out to obs under the
+// "stream.phase" scope (open/close) and "stream.step" (degraded), each
+// tagged with the session's run ID, then to any caller-provided
+// OnEvent.
+func (f *Fleet) newSessionStream(meta archive.Meta) *analyzer.StreamAnalyzer {
+	if f.opts.DisableStream {
+		return nil
+	}
+	opts := f.opts.Stream
+	if opts.Obs == nil {
+		opts.Obs = f.opts.Obs
+	}
+	userEvent := opts.OnEvent
+	runID := meta.RunID
+	opts.OnEvent = func(ev analyzer.StreamEvent) {
+		switch ev.Kind {
+		case analyzer.PhaseOpen:
+			f.sm.opened.Inc()
+			f.opts.Obs.Emit("stream.phase", "open",
+				fmt.Sprintf("run %q: phase %d opened at step %d", runID, ev.Phase.ID, ev.Step))
+		case analyzer.PhaseClose:
+			f.sm.closed.Inc()
+			f.opts.Obs.Emit("stream.phase", "close",
+				fmt.Sprintf("run %q: phase %d closed (steps %d-%d, %d sampled, total %d)",
+					runID, ev.Phase.ID, ev.Phase.FirstStep, ev.Phase.LastStep, ev.Phase.Steps, ev.Phase.Total))
+		case analyzer.StepDegraded:
+			f.sm.degraded.Inc()
+			f.opts.Obs.Emit("stream.step", "degraded",
+				fmt.Sprintf("run %q: step %d exceeded phase-mean span in phase %d", runID, ev.Step, ev.Phase.ID))
+		}
+		if userEvent != nil {
+			userEvent(ev)
+		}
+	}
+	return analyzer.NewStream(meta.Workload, opts)
+}
+
+// finishSessionStream closes a session's analyzer (if any) and emits
+// its summary. Called by finalize after the drain goroutine exits, so
+// the analyzer is quiescent.
+func (f *Fleet) finishSessionStream(s *session) {
+	if s.stream == nil {
+		return
+	}
+	rep := s.stream.Finish()
+	f.opts.Obs.Emit("stream", "summary",
+		fmt.Sprintf("run %q: %d phases over %d sampled steps (%d seen, duty 1/%d, %d degraded steps)",
+			s.meta.RunID, len(rep.Phases), rep.Steps, rep.StepsSeen, rep.DutyCycle, streamDegradedTotal(rep)))
+}
+
+func streamDegradedTotal(rep *analyzer.StreamReport) int64 {
+	var n int64
+	for _, p := range rep.Phases {
+		n += p.Degraded
+	}
+	return n
+}

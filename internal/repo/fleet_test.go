@@ -164,7 +164,7 @@ func TestFleetQueueCapEnforced(t *testing.T) {
 		id:         42,
 		meta:       archive.Meta{RunID: "congested"},
 		w:          archive.NewWriter(archive.Meta{RunID: "congested"}),
-		ch:         make(chan []byte, f.opts.QueueSize),
+		ch:         make(chan queued, f.opts.QueueSize),
 		done:       make(chan struct{}),
 		lastActive: f.opts.Now(),
 	}

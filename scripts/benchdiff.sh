@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Benchmark regression gate: regenerate the analyzer and archive
-# benchmarks in quick mode and compare them against the committed
-# BENCH_analyzer.json / BENCH_archive.json baselines. Fails when any
-# shared kernel/mode/n entry regresses past the tolerance, or when the
-# grid-indexed DBSCAN stops beating the quadratic reference by at least
-# MIN_GRID_SPEEDUP.
+# Benchmark regression gate: regenerate the analyzer, archive, and
+# stream benchmarks in quick mode and compare them against the committed
+# BENCH_analyzer.json / BENCH_archive.json / BENCH_stream.json
+# baselines. Fails when any shared kernel/mode/n entry regresses past
+# the tolerance, when the grid-indexed DBSCAN stops beating the
+# quadratic reference by at least MIN_GRID_SPEEDUP, or when the
+# streaming analyzer's fidelity against batch OLS falls outside the
+# MIN_STREAM_F1 / MAX_SHARE_MAPE floors.
 #
 # Environment:
 #   BENCH_TOLERANCE      allowed ns/op regression fraction (default 0.25;
@@ -19,8 +21,13 @@
 #                        when the run had GOMAXPROCS >= 4)
 #   MIN_ALLOC_REDUCTION  required fraction of naive-encoder allocations
 #                        the pooled wire encoder eliminates (default 0.5)
+#   MIN_STREAM_F1        required streaming phase-boundary F1 vs the
+#                        batch analyzer at duty 1/10 (default 0.9)
+#   MAX_SHARE_MAPE       allowed streaming time-share MAPE vs the batch
+#                        analyzer at duty 1/10 (default 0.10)
 #   BENCH_BASELINE       analyzer baseline (default BENCH_analyzer.json)
 #   ARCHIVE_BASELINE     archive baseline (default BENCH_archive.json)
+#   STREAM_BASELINE      stream baseline (default BENCH_stream.json)
 #
 # Run directly or via `BENCH_GATE=1 make check`.
 set -euo pipefail
@@ -29,13 +36,16 @@ cd "$(dirname "$0")/.."
 
 baseline="${BENCH_BASELINE:-BENCH_analyzer.json}"
 archive_baseline="${ARCHIVE_BASELINE:-BENCH_archive.json}"
+stream_baseline="${STREAM_BASELINE:-BENCH_stream.json}"
 tolerance="${BENCH_TOLERANCE:-0.25}"
 alloc_tolerance="${ALLOC_TOLERANCE:-0.10}"
 min_grid="${MIN_GRID_SPEEDUP:-2}"
 min_decode="${MIN_DECODE_SPEEDUP:-2}"
 min_alloc_reduction="${MIN_ALLOC_REDUCTION:-0.5}"
+min_stream_f1="${MIN_STREAM_F1:-0.9}"
+max_share_mape="${MAX_SHARE_MAPE:-0.10}"
 
-for b in "$baseline" "$archive_baseline"; do
+for b in "$baseline" "$archive_baseline" "$stream_baseline"; do
     if [ ! -f "$b" ]; then
         echo "benchdiff.sh: baseline $b not found" >&2
         exit 1
@@ -44,7 +54,8 @@ done
 
 fresh="$(mktemp /tmp/bench_analyzer.XXXXXX.json)"
 fresh_archive="$(mktemp /tmp/bench_archive.XXXXXX.json)"
-trap 'rm -f "$fresh" "$fresh_archive"' EXIT
+fresh_stream="$(mktemp /tmp/bench_stream.XXXXXX.json)"
+trap 'rm -f "$fresh" "$fresh_archive" "$fresh_stream"' EXIT
 
 echo "== paperbench -analyzer-bench (quick)"
 go run ./cmd/paperbench -analyzer-bench "$fresh" -bench-quick
@@ -65,3 +76,17 @@ go run ./cmd/benchdiff -old "$archive_baseline" -new "$fresh_archive" \
     -tolerance "$tolerance" -alloc-tolerance "$alloc_tolerance" \
     -min-grid-speedup 0 -min-decode-speedup "$min_decode" \
     -min-alloc-reduction "$min_alloc_reduction"
+
+echo "== paperbench -stream-bench (quick)"
+go run ./cmd/paperbench -stream-bench "$fresh_stream" -bench-quick
+
+# Streaming fidelity gate: the incremental analyzer at duty cycle 1/10
+# must keep boundary F1 >= MIN_STREAM_F1 and time-share MAPE <=
+# MAX_SHARE_MAPE against the batch OLS reference at the largest n. The
+# ns/op comparison against the committed stream baseline uses a loose
+# tolerance (quick mode measures fewer iterations); the fidelity floors
+# are the gate that matters.
+echo "== benchdiff vs $stream_baseline (F1 floor ${min_stream_f1}, MAPE ceiling ${max_share_mape})"
+go run ./cmd/benchdiff -old "$stream_baseline" -new "$fresh_stream" \
+    -tolerance 1.0 -min-grid-speedup 0 \
+    -min-stream-f1 "$min_stream_f1" -max-share-mape "$max_share_mape"

@@ -52,6 +52,18 @@ echo "== archive + diff smoke"
 echo "== crash smoke"
 ./scripts/crash_smoke.sh
 
+# The streaming analyzer's chunk/duty determinism contract and the
+# mini-batch k-means must hold under the race detector; run the stream
+# packages twice so a scheduling-dependent divergence can't hide.
+echo "== go vet stream packages"
+go vet ./internal/core/analyzer ./internal/core/cluster ./internal/repo 2>&1 | { grep -v '^#' || true; }
+echo "== go test -race -count=2 ./internal/core/analyzer ./internal/core/cluster"
+go test -race -count=2 ./internal/core/analyzer ./internal/core/cluster
+
+# Streaming watch-verb round trip over a real archived run.
+echo "== stream smoke"
+./scripts/stream_smoke.sh
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Streaming-analyzer smoke: the `tpupoint watch` verb end to end.
+#
+#   1. Archive a real workload run into a repository directory.
+#   2. Tail the archive through the streaming analyzer (`watch`) and
+#      assert at least one phase boundary closes, with a summary line
+#      and a clean exit.
+#   3. Re-watch at duty cycle 1/10 and assert the sampled pass still
+#      finds phase structure while analyzing a fraction of the steps.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d /tmp/stream_smoke.XXXXXX)"
+trap 'rm -rf "$workdir"' EXIT
+repodir="$workdir/runs"
+
+bin="$workdir/tpupoint"
+go build -o "$bin" ./cmd/tpupoint
+
+echo "== archiving a run for the watch verb"
+"$bin" -workload dcgan-mnist -steps 120 -archive "$repodir" -run-id stream-v1 >/dev/null
+
+# grep -q would SIGPIPE the writer under pipefail; capture instead.
+echo "== watch stream-v1 (full rate)"
+watch_out="$("$bin" -archive "$repodir" watch stream-v1)"
+echo "$watch_out"
+echo "$watch_out" | grep -q 'phase .* closed'
+echo "$watch_out" | grep -q 'watch summary:'
+
+echo "== watch stream-v1 (duty 1/10)"
+duty_out="$("$bin" -archive "$repodir" watch -duty 10 -quiet stream-v1)"
+echo "$duty_out"
+echo "$duty_out" | grep -q 'phase .* closed'
+echo "$duty_out" | grep -q 'duty 1/10'
+
+echo "stream smoke: OK"

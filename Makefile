@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench archive-bench stream-bench check metrics-smoke archive-smoke crash-smoke stream-smoke
+.PHONY: build test race vet fmt bench archive-bench stream-bench ingest-bench check metrics-smoke archive-smoke crash-smoke stream-smoke ingest-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ archive-bench:
 stream-bench:
 	$(GO) run ./cmd/paperbench -stream-bench $(or $(BENCH_OUT),BENCH_stream.json) $(BENCH_ARGS)
 
+# Regenerate the concurrent repository-ingest benchmarks (BENCH_ingest.json):
+# save throughput, p99 append latency, and manifest-CAS retries at
+# 8/64/256 agents over the sharded run repository.
+ingest-bench:
+	$(GO) run ./cmd/paperbench -ingest-bench $(or $(BENCH_OUT),BENCH_ingest.json) $(BENCH_ARGS)
+
 # End-to-end profile-repository smoke: archive two runs through the CLI
 # and diff them.
 archive-smoke:
@@ -57,6 +63,11 @@ crash-smoke:
 stream-smoke:
 	./scripts/stream_smoke.sh
 
+# Sharded-ingest smoke: contention/migration/compaction suites under
+# -race, plus a CLI legacy->sharded migration and compaction round trip.
+ingest-smoke:
+	./scripts/ingest_smoke.sh
+
 # The full gate: everything must build, pass gofmt and vet (plus the
 # vet-filter selftest), and pass the test suite with the race detector
 # on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
@@ -69,4 +80,5 @@ check: build fmt vet
 	./scripts/archive_smoke.sh
 	./scripts/crash_smoke.sh
 	./scripts/stream_smoke.sh
+	./scripts/ingest_smoke.sh
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

@@ -25,6 +25,11 @@
 //     scores (stream reports) — how faithfully the duty-cycled
 //     streaming analyzer reproduces the batch analyzer's phase report.
 //     Deterministic, so any drift is a real code change.
+//   - -max-ingest-p99-regress: per-agent-count p99 save latency of the
+//     sharded ingest repository (ingest reports), held relative to the
+//     baseline's latency at the same agent count rather than to an
+//     absolute floor, so a contention regression at 256 agents cannot
+//     hide behind a healthy small-scale number.
 //
 // Usage:
 //
@@ -58,6 +63,7 @@ func main() {
 		minAlloc  = flag.Float64("min-alloc-reduction", 0, "required wire_marshal allocation-reduction fraction at the largest measured n (0 disables)")
 		minF1     = flag.Float64("min-stream-f1", 0, "required streaming phase-boundary F1 vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
 		maxMAPE   = flag.Float64("max-share-mape", 0, "allowed streaming per-phase time-share MAPE vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
+		maxP99    = flag.Float64("max-ingest-p99-regress", 0, "allowed p99 save-latency regression fraction per ingest agent count, old vs new (0 disables)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -78,6 +84,7 @@ func main() {
 	failures = append(failures, checkDecodeSpeedup(newRep, *minDecode)...)
 	failures = append(failures, checkAllocReduction(newRep, *minAlloc)...)
 	failures = append(failures, checkStreamFidelity(newRep, *minF1, *maxMAPE)...)
+	failures = append(failures, checkIngestLatency(oldRep, newRep, *maxP99)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
@@ -286,6 +293,60 @@ func checkStreamFidelity(rep *experiments.AnalyzerBenchReport, minF1, maxMAPE fl
 					bestN, 100*mape, 100*maxMAPE))
 			}
 		}
+	}
+	return failures
+}
+
+// checkIngestLatency holds the candidate's p99 save latency at each
+// agent count the baseline measured to within maxRegress of the
+// baseline's. Unlike the floor gates this is a relative comparison —
+// absolute latency depends on the runner — and it is keyed per sweep
+// point: a regression that only shows at 256 agents (the contention
+// regime the sharded repository exists for) must not hide behind a
+// healthy 8-agent number. Quick-mode candidates drop the largest point,
+// so only agent counts both reports measured are held; having none in
+// common is itself a failure. The report also tracks manifest-CAS
+// retries per point (ingest_cas_retries_*) — those are diagnostic, not
+// gated, since absorbed retries are the design working as intended.
+func checkIngestLatency(oldRep, newRep *experiments.AnalyzerBenchReport, maxRegress float64) []string {
+	if maxRegress <= 0 {
+		return nil
+	}
+	const prefix = "ingest_p99_us_agents"
+	var agentCounts []int
+	for key := range oldRep.Speedups {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if n, err := strconv.Atoi(key[len(prefix):]); err == nil {
+			agentCounts = append(agentCounts, n)
+		}
+	}
+	if len(agentCounts) == 0 {
+		return []string{"baseline report has no ingest_p99_us entries to hold the candidate to"}
+	}
+	sort.Ints(agentCounts)
+
+	var failures []string
+	compared := 0
+	for _, agents := range agentCounts {
+		key := fmt.Sprintf("%s%d", prefix, agents)
+		oldP99 := oldRep.Speedups[key]
+		newP99, ok := newRep.Speedups[key]
+		if !ok {
+			continue
+		}
+		compared++
+		fmt.Printf("ingest p99 at %d agents: old %.0fµs, new %.0fµs (ceiling %.2fx)\n",
+			agents, oldP99, newP99, 1+maxRegress)
+		if oldP99 > 0 && newP99 > oldP99*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf(
+				"ingest p99 at %d agents regressed %.0f%% (old %.0fµs, new %.0fµs, ceiling %.0f%%)",
+				agents, 100*(newP99/oldP99-1), oldP99, newP99, 100*maxRegress))
+		}
+	}
+	if compared == 0 {
+		failures = append(failures, "candidate report shares no ingest agent counts with the baseline")
 	}
 	return failures
 }

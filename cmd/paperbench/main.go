@@ -37,6 +37,7 @@ func main() {
 	benchOut := flag.String("analyzer-bench", "", "run the analyzer clustering benchmark and write BENCH_analyzer.json here, then exit")
 	archiveBenchOut := flag.String("archive-bench", "", "run the profile archive/diff benchmark and write BENCH_archive.json here, then exit")
 	streamBenchOut := flag.String("stream-bench", "", "run the streaming-analyzer fidelity benchmark and write BENCH_stream.json here, then exit")
+	ingestBenchOut := flag.String("ingest-bench", "", "run the concurrent repository-ingest benchmark and write BENCH_ingest.json here, then exit")
 	benchQuick := flag.Bool("bench-quick", false, "shorten the benchmarks and skip the O(n²) DBSCAN reference above 10k rows (CI smoke mode)")
 	par := flag.Int("parallelism", 0, "worker pool size for the parallel benchmark runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -58,6 +59,13 @@ func main() {
 	if *streamBenchOut != "" {
 		if err := streamBench(*streamBenchOut, *benchQuick); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: stream-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingestBenchOut != "" {
+		if err := ingestBench(*ingestBenchOut, *benchQuick); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: ingest-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -142,6 +150,18 @@ func streamBench(path string, quick bool) error {
 		return err
 	}
 	return writeBenchReport("stream", path, rep)
+}
+
+// ingestBench runs the concurrent repository-ingest benchmark (save
+// throughput, exact p99 append latency, and manifest-CAS retry counts
+// at 8/64/256 agents over the sharded run repository) and writes the
+// BENCH_ingest.json document.
+func ingestBench(path string, quick bool) error {
+	rep, err := experiments.RunIngestBench(nil, quick)
+	if err != nil {
+		return err
+	}
+	return writeBenchReport("ingest", path, rep)
 }
 
 func writeBenchReport(name, path string, rep *experiments.AnalyzerBenchReport) error {

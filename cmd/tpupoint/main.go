@@ -15,6 +15,8 @@
 //	tpupoint -archive ./runs runs list
 //	tpupoint -archive ./runs runs diff base tuned
 //	tpupoint -archive ./runs -keep 2 runs gc
+//	tpupoint -archive ./runs -shards 8 runs list   (migrate to 8 manifest shards)
+//	tpupoint -archive ./runs runs compact          (merge small archives into packs)
 //
 // Fleet collection (profilers stream records to a central server):
 //
@@ -69,6 +71,8 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "collection server: concurrent session cap (0 = default)")
 		maxConns    = flag.Int("max-conns", 0, "served RPC endpoints: connection cap; excess connections get a transient busy error (0 = unlimited)")
 		codecPar    = flag.Int("codec-parallelism", 0, "archive codec worker pool size for repository reads (0 = GOMAXPROCS, 1 = serial; decoded runs are bit-identical for any value)")
+		shards      = flag.Int("shards", 0, "manifest shard count for the profile repository: 0 keeps the existing layout, N > 1 migrates a legacy single-manifest repository to N shards on open")
+		compactEach = flag.Int("compact-every", 0, "collection server: run a background compaction pass every N finalized sessions (0 = never; on demand via `runs compact`)")
 	)
 	flag.Parse()
 
@@ -85,7 +89,7 @@ func main() {
 	}
 
 	if args := flag.Args(); len(args) > 0 && args[0] == "runs" {
-		if err := runsCmd(args[1:], *archiveDir, *keep, *csvOut, *codecPar); err != nil {
+		if err := runsCmd(args[1:], *archiveDir, *keep, *csvOut, *codecPar, *shards); err != nil {
 			fatal(err)
 		}
 		return
@@ -99,7 +103,7 @@ func main() {
 	}
 
 	if *collectSrv != "" {
-		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, reg, health); err != nil {
+		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, *shards, *compactEach, reg, health); err != nil {
 			fatal(err)
 		}
 		return
@@ -242,7 +246,7 @@ func main() {
 		}
 		printRunInfo(os.Stdout, info, "")
 	} else if *archiveDir != "" {
-		r, bucket, err := openRepoDir(*archiveDir, *codecPar)
+		r, bucket, err := openRepoDir(*archiveDir, *codecPar, *shards)
 		if err != nil {
 			fatal(err)
 		}

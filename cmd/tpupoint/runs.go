@@ -29,8 +29,11 @@ import (
 // journal, so a repository left behind by a crashed process is
 // reconciled before any verb runs. codecPar sets the archive codec's
 // worker pool for repository reads (-codec-parallelism: 0 = GOMAXPROCS,
-// 1 = serial; decoded runs are bit-identical either way).
-func openRepoDir(dir string, codecPar int) (*repo.Repo, *storage.Bucket, error) {
+// 1 = serial; decoded runs are bit-identical either way). shards is the
+// -shards request: 0 keeps the repository's existing manifest layout,
+// N > 1 migrates a legacy single-manifest repository to N shards on
+// open (an already-sharded repository keeps its recorded count).
+func openRepoDir(dir string, codecPar, shards int) (*repo.Repo, *storage.Bucket, error) {
 	svc := storage.NewService()
 	bucket, err := svc.CreateBucket("profile-repo")
 	if err != nil {
@@ -43,7 +46,7 @@ func openRepoDir(dir string, codecPar int) (*repo.Repo, *storage.Bucket, error) 
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	}
-	r, rec, err := repo.Open(bucket)
+	r, rec, err := repo.OpenShards(bucket, shards)
 	if err != nil {
 		return nil, nil, fmt.Errorf("recovering repository %s: %w", dir, err)
 	}
@@ -77,12 +80,12 @@ func syncRepoDir(bucket *storage.Bucket, dir string) error {
 	return nil
 }
 
-// runsCmd dispatches the `runs list|show|diff|gc` verbs.
-func runsCmd(args []string, dir string, keep int, csv bool, codecPar int) error {
+// runsCmd dispatches the `runs list|show|diff|gc|...` verbs.
+func runsCmd(args []string, dir string, keep int, csv bool, codecPar, shards int) error {
 	if dir == "" {
 		return errors.New("runs: -archive <dir> is required")
 	}
-	r, bucket, err := openRepoDir(dir, codecPar)
+	r, bucket, err := openRepoDir(dir, codecPar, shards)
 	if err != nil {
 		return err
 	}
@@ -214,6 +217,33 @@ func runsCmd(args []string, dir string, keep int, csv bool, codecPar int) error 
 		}
 		return nil
 
+	case "compact":
+		opts := repo.CompactOptions{}
+		switch len(args) {
+		case 0:
+		case 1:
+			opts.Workload = args[0]
+		default:
+			return errors.New("usage: runs compact [workload]")
+		}
+		rep, err := r.Compact(opts)
+		if err != nil {
+			return err
+		}
+		runsPacked, bytesPacked := 0, int64(0)
+		for _, p := range rep.Packs {
+			fmt.Printf("packed %-20s %d runs, %d bytes -> %s\n",
+				p.Workload, len(p.Runs), p.Bytes, p.Object)
+			runsPacked += len(p.Runs)
+			bytesPacked += p.Bytes
+		}
+		fmt.Printf("compact: %d packs from %d runs (%d bytes)\n",
+			len(rep.Packs), runsPacked, bytesPacked)
+		if len(rep.Packs) == 0 {
+			return nil
+		}
+		return syncRepoDir(bucket, dir)
+
 	case "salvage":
 		if len(args) != 1 {
 			return errors.New("usage: runs salvage <run-id>")
@@ -233,7 +263,7 @@ func runsCmd(args []string, dir string, keep int, csv bool, codecPar int) error 
 		return syncRepoDir(bucket, dir)
 
 	default:
-		return fmt.Errorf("unknown runs verb %q (want list, show, diff, gc, delete, fsck, salvage)", verb)
+		return fmt.Errorf("unknown runs verb %q (want list, show, diff, gc, delete, fsck, salvage, compact)", verb)
 	}
 }
 
@@ -242,18 +272,18 @@ func runsCmd(args []string, dir string, keep int, csv bool, codecPar int) error 
 // session becomes an indexed archive in the -archive directory.
 // Interrupted sessions are durable: their state is parked in the
 // repository and clients reattach with fleet.Resume after a restart.
-func collectServe(addr, dir string, maxSessions, maxConns, codecPar int, reg *obs.Registry, health *obs.Health) error {
+func collectServe(addr, dir string, maxSessions, maxConns, codecPar, shards, compactEvery int, reg *obs.Registry, health *obs.Health) error {
 	if dir == "" {
 		return errors.New("-collect-serve needs -archive <dir> for the repository")
 	}
 	health.SetFailing("repository", "opening")
 	health.SetFailing("collector", "starting")
-	r, bucket, err := openRepoDir(dir, codecPar)
+	r, bucket, err := openRepoDir(dir, codecPar, shards)
 	if err != nil {
 		return err
 	}
 	r.SetObs(reg)
-	fleet := repo.NewFleet(r, repo.FleetOptions{MaxSessions: maxSessions, Obs: reg})
+	fleet := repo.NewFleet(r, repo.FleetOptions{MaxSessions: maxSessions, CompactEvery: compactEvery, Obs: reg})
 	parked, err := fleet.RecoverSessions()
 	if err != nil {
 		return err
@@ -286,6 +316,9 @@ func collectServe(addr, dir string, maxSessions, maxConns, codecPar int, reg *ob
 	if n := fleet.ActiveSessions(); n > 0 {
 		fmt.Printf("%d sessions still open; their accepted records are parked durably (clients resume by token)\n", n)
 	}
+	// Drain any in-flight background compaction before the final sync so
+	// the exported directory reflects a settled repository.
+	fleet.WaitBackground()
 	if err := syncRepoDir(bucket, dir); err != nil {
 		return err
 	}

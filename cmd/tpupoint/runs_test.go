@@ -28,7 +28,7 @@ func writeRepoWithRun(t *testing.T, runID string) (string, []byte) {
 	}
 	blob := w.Finalize(nil)
 
-	r, bucket, err := openRepoDir(dir, 1)
+	r, bucket, err := openRepoDir(dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +55,12 @@ func TestRunsSalvageRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := runsCmd([]string{"salvage", "run-a"}, dir, 0, false, 1); err != nil {
+	if err := runsCmd([]string{"salvage", "run-a"}, dir, 0, false, 1, 0); err != nil {
 		t.Fatalf("runs salvage: %v", err)
 	}
 
 	// Reopen from disk: the run must verify and carry records.
-	r, _, err := openRepoDir(dir, 1)
+	r, _, err := openRepoDir(dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,17 +89,17 @@ func TestRunsFsckRepair(t *testing.T) {
 	}
 
 	// Check-only finds the issue and exits non-zero.
-	if err := runsCmd([]string{"fsck"}, dir, 0, false, 1); err == nil {
+	if err := runsCmd([]string{"fsck"}, dir, 0, false, 1, 0); err == nil {
 		t.Fatal("fsck should report unrepaired issues")
 	}
-	if err := runsCmd([]string{"fsck", "-repair"}, dir, 0, false, 1); err != nil {
+	if err := runsCmd([]string{"fsck", "-repair"}, dir, 0, false, 1, 0); err != nil {
 		t.Fatalf("fsck -repair: %v", err)
 	}
-	if err := runsCmd([]string{"fsck"}, dir, 0, false, 1); err != nil {
+	if err := runsCmd([]string{"fsck"}, dir, 0, false, 1, 0); err != nil {
 		t.Fatalf("repository not clean after repair: %v", err)
 	}
 
-	r, _, err := openRepoDir(dir, 1)
+	r, _, err := openRepoDir(dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestSyncRepoDirPersistsQuarantine(t *testing.T) {
 	if err := os.WriteFile(blobPath(dir, "run-a"), []byte("XXXXnothing"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runsCmd([]string{"fsck", "-repair"}, dir, 0, false, 1); err != nil {
+	if err := runsCmd([]string{"fsck", "-repair"}, dir, 0, false, 1, 0); err != nil {
 		t.Fatalf("fsck -repair: %v", err)
 	}
 	q := filepath.Join(dir, "quarantine", "runs", "run-a", "archive")

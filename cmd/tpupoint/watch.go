@@ -108,7 +108,7 @@ func watchPrinter(quiet bool) func(analyzer.StreamEvent) {
 // watchArchive streams one archived run through the analyzer via the
 // O(1)-resident record iterator.
 func watchArchive(s *analyzer.StreamAnalyzer, dir string, codecPar int, runID string) error {
-	r, _, err := openRepoDir(dir, codecPar)
+	r, _, err := openRepoDir(dir, codecPar, 0)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,172 @@
+package experiments
+
+// The fleet-ingest benchmark behind `paperbench -ingest-bench`: the
+// scale contract for the sharded profile repository. It simulates N
+// concurrent agents (N in {8, 64, 256}) each saving a burst of small
+// archives into one sharded repository over the in-memory bucket,
+// measuring sustained save throughput, the exact p99 append latency
+// (from the full sorted latency population, not a histogram estimate),
+// and how many manifest-CAS retries the shard layer absorbed. The
+// zero-loss contract is asserted inline — every acked save must be
+// listed and the store fsck-clean — so a regression that trades
+// durability for speed fails the bench outright, not just the gate.
+// It emits a BENCH_ingest.json in the same document shape as the other
+// harnesses, so cmd/benchdiff gates it across PRs with
+// -max-ingest-p99-regress.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/obs"
+	"repro/internal/repo"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// IngestBenchAgents is the concurrency sweep: the paper's fleet story
+// at small, medium, and acceptance scale.
+var IngestBenchAgents = []int{8, 64, 256}
+
+// ingestRunsPerAgent is each agent's save burst. It is identical in
+// quick and full mode so quick-mode entries share (kernel, mode, n)
+// keys with the committed baseline and benchdiff can match them.
+const ingestRunsPerAgent = 4
+
+// RunIngestBench drives the concurrent-ingest sweep and returns the
+// report. quick drops the 256-agent acceptance point for CI smoke runs
+// — the remaining sweep points keep their exact configuration, so they
+// stay comparable against a full baseline.
+func RunIngestBench(agents []int, quick bool) (*AnalyzerBenchReport, error) {
+	if len(agents) == 0 {
+		agents = IngestBenchAgents
+		if quick && len(agents) > 1 {
+			agents = agents[:len(agents)-1]
+		}
+	}
+	runsPer := ingestRunsPerAgent
+	rep := &AnalyzerBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Speedups:   map[string]float64{},
+	}
+	for _, n := range agents {
+		if err := runIngestCase(rep, n, runsPer); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// runIngestCase is one sweep point: n agents, runsPer saves each.
+func runIngestCase(rep *AnalyzerBenchReport, n, runsPer int) error {
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket(fmt.Sprintf("ingest-%d", n))
+	if err != nil {
+		return err
+	}
+	r, _, err := repo.OpenShards(bucket, repo.DefaultShards)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry(16)
+	r.SetObs(reg)
+
+	// Blobs are prebuilt outside the timed window — the bench measures
+	// the repository's ingest path, not the archive encoder.
+	total := n * runsPer
+	blobs := make([][]byte, total)
+	for i := range blobs {
+		blobs[i] = ingestBenchBlob(fmt.Sprintf("agent-%03d-run-%02d", i/runsPer, i%runsPer), uint64(i+1))
+	}
+
+	latencies := make([]time.Duration, total)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	start := time.Now()
+	for a := 0; a < n; a++ {
+		go func(a int) {
+			defer wg.Done()
+			for k := 0; k < runsPer; k++ {
+				i := a*runsPer + k
+				t0 := time.Now()
+				_, err := r.Save(blobs[i])
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs[a] = err
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for a, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ingest-bench: agent %d of %d: %w", a, n, err)
+		}
+	}
+
+	// Zero-loss contract: every acked save is listed and the store is
+	// clean. A bench run that lost a run is a failure, not a data point.
+	listed, err := r.List(repo.Filter{})
+	if err != nil {
+		return err
+	}
+	if len(listed) != total {
+		return fmt.Errorf("ingest-bench: agents=%d acked %d saves but %d listed", n, total, len(listed))
+	}
+	frep, err := r.Fsck(false)
+	if err != nil {
+		return err
+	}
+	if !frep.Clean() {
+		return fmt.Errorf("ingest-bench: agents=%d left fsck issues: %+v", n, frep.Issues)
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := sorted[(len(sorted)-1)*99/100]
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	mode := fmt.Sprintf("agents%d", n)
+	rep.Entries = append(rep.Entries, AnalyzerBenchEntry{
+		Kernel:  "ingest_save",
+		Mode:    mode,
+		N:       total,
+		Workers: n,
+		Iters:   total,
+		NsPerOp: float64(sum.Nanoseconds()) / float64(total),
+		// StepsPerSec doubles as sustained saves/sec for this harness.
+		StepsPerSec: float64(total) / wall.Seconds(),
+	})
+	rep.Speedups["ingest_p99_us_"+mode] = float64(p99.Microseconds())
+	rep.Speedups["ingest_cas_retries_"+mode] = float64(reg.Counter("repo.manifest.cas.retries").Value())
+	return nil
+}
+
+// ingestBenchBlob builds the small archive each simulated agent saves:
+// a handful of records, no summary — the shape of a short profiling
+// session, and the small-object pathology compaction exists for.
+func ingestBenchBlob(runID string, seq uint64) []byte {
+	w := archive.NewWriter(archive.Meta{RunID: runID, Workload: "ingest", CreatedSeq: seq})
+	var ts simclock.Time
+	for i := 0; i < 4; i++ {
+		step := int64(i)
+		events := []trace.Event{
+			{Name: "InfeedDequeue", Device: trace.Host, Start: ts, Dur: 500, Step: step},
+			{Name: "MatMul", Device: trace.TPU, Start: ts + 600, Dur: 300, Step: step},
+		}
+		w.Add(trace.Reduce(step, ts, events, 0.2, 0.4))
+		ts = ts.Add(1000)
+	}
+	return w.Finalize(nil)
+}

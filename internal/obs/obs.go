@@ -131,6 +131,41 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Quantile estimates the p-quantile (p in [0,1]) in microseconds from
+// the bucket counts: the upper bound of the bucket containing the
+// p-th ranked observation. Overflow-bucket hits report the observed
+// max instead, so the estimate never exceeds reality's ceiling. Returns
+// 0 for empty (or nil) histograms. The estimate is conservative — at
+// most one bucket width above the true quantile — which is the right
+// bias for latency gates.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(p*float64(total-1)) + 1
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i < len(BucketBoundsUs) {
+				return BucketBoundsUs[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}
+
 // BucketCount is one non-empty histogram bucket in a snapshot. Le is the
 // bucket's inclusive upper bound in µs; -1 marks the overflow bucket.
 type BucketCount struct {

@@ -82,6 +82,49 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Fatalf("nil histogram quantile = %d", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d", got)
+	}
+
+	var h Histogram
+	// 98 fast observations and two slow ones: p50 stays in the fast
+	// bucket, p99+ reaches the slow one.
+	for i := 0; i < 98; i++ {
+		h.Observe(40) // -> le 50 bucket
+	}
+	h.Observe(9_000) // -> le 10_000 bucket
+	h.Observe(9_000)
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 10_000 {
+		t.Fatalf("p99 = %d, want 10_000", got)
+	}
+	if got := h.Quantile(1.0); got != 10_000 {
+		t.Fatalf("p100 = %d, want 10_000", got)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if got := h.Quantile(-1); got != 50 {
+		t.Fatalf("p<0 = %d, want 50", got)
+	}
+	if got := h.Quantile(2); got != 10_000 {
+		t.Fatalf("p>1 = %d, want 10_000", got)
+	}
+
+	// Overflow-bucket hits report the observed max, not a fake bound.
+	var o Histogram
+	o.Observe(99_999_999)
+	if got := o.Quantile(0.99); got != 99_999_999 {
+		t.Fatalf("overflow quantile = %d, want observed max", got)
+	}
+}
+
 // Two registries fed the same data must export byte-identical snapshots,
 // and re-marshaling one registry must be stable: dashboards and the
 // metrics-smoke gate diff these bytes.

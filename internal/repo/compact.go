@@ -1,0 +1,246 @@
+// Segment compaction: merging many small per-run archive blobs into
+// consolidated pack objects, one workload at a time. Fleet ingest
+// produces exactly the small-object pathology GCS bills for — hundreds
+// of kilobyte-scale archives — so Compact concatenates verified TPAR
+// blobs into a pack under runs/.pack/ and repoints each member's
+// manifest entry at its byte window (RunInfo.Offset/Length). Reads
+// slice the window back out (storage.RangeReader when available), and
+// TPAR archives are self-contained byte ranges, so a packed member
+// decodes bit-identically to its original blob.
+//
+// Compaction runs under the same crash-consistency contract as every
+// other mutation: a journaled opCompact intent carrying the full
+// member layout lands first, the pack Put is the commit point, and
+// Recover rolls an interrupted compaction forward (pack durable) or
+// back (pack missing) — see recoverCompact in journal.go. Entries are
+// only repointed while they still address the exact pre-compaction
+// blob, so a member re-saved or repaired mid-compaction is left alone.
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/archive"
+	"repro/internal/storage"
+)
+
+// PackPrefix is the object-name prefix of consolidated pack blobs.
+const PackPrefix = "runs/.pack/"
+
+// CompactOptions tunes a compaction pass; the zero value means
+// "defaults".
+type CompactOptions struct {
+	// Workload restricts the pass to one workload ("" = all).
+	Workload string
+	// MinRuns is the fewest unpacked archives that justify a pack
+	// (default 2 — packing one run is pure churn).
+	MinRuns int
+	// MaxBytes excludes archives larger than this from packing
+	// (default 4 MiB — big blobs don't suffer the small-object tax).
+	MaxBytes int64
+}
+
+// PackInfo describes one pack a compaction pass produced.
+type PackInfo struct {
+	Object   string   `json:"object"`
+	Workload string   `json:"workload"`
+	Runs     []string `json:"runs"`
+	Bytes    int64    `json:"bytes"`
+}
+
+// CompactReport summarizes a compaction pass.
+type CompactReport struct {
+	Packs []PackInfo `json:"packs"`
+}
+
+// Compact merges small unpacked archives into per-workload pack
+// objects. Safe to run concurrently with ingest: members that change
+// under the pass (re-saved, deleted, GC'd) are skipped at repoint
+// time, and a pack nobody ended up referencing is deleted. Returns
+// what it packed; an empty report means nothing qualified.
+func (r *Repo) Compact(opts CompactOptions) (*CompactReport, error) {
+	if opts.MinRuns < 2 {
+		opts.MinRuns = 2
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 4 << 20
+	}
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+	ss, err := r.ensureShards()
+	if err != nil {
+		return nil, err
+	}
+	ms, _, err := r.loadAllShards(ss)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]RunInfo)
+	for _, e := range mergedRuns(ms) {
+		if e.packed() || strings.HasPrefix(e.Object, PackPrefix) {
+			continue
+		}
+		if opts.Workload != "" && e.Workload != opts.Workload {
+			continue
+		}
+		if e.Bytes > opts.MaxBytes {
+			continue
+		}
+		groups[e.Workload] = append(groups[e.Workload], e)
+	}
+	workloads := make([]string, 0, len(groups))
+	for w := range groups {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
+	rep := &CompactReport{}
+	for _, w := range workloads {
+		group := groups[w]
+		if len(group) < opts.MinRuns {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].CreatedSeq != group[j].CreatedSeq {
+				return group[i].CreatedSeq < group[j].CreatedSeq
+			}
+			return group[i].RunID < group[j].RunID
+		})
+		if err := r.compactGroup(ss, w, group, opts.MinRuns, rep); err != nil {
+			return rep, err
+		}
+	}
+	if len(rep.Packs) > 0 {
+		r.compactJournalIfSettled(journalCompactThreshold)
+	}
+	return rep, nil
+}
+
+// compactGroup packs one workload's candidate runs. Write order:
+// journaled intent (with the full member layout) → pack Put (the
+// commit point) → per-shard entry repoints → old blob deletes → done
+// record. A crash at any boundary leaves an open intent that
+// recoverCompact drives to a consistent end state.
+func (r *Repo) compactGroup(ss shardSet, workload string, group []RunInfo, minRuns int, rep *CompactReport) error {
+	var members []packMember
+	var blob []byte
+	for _, e := range group {
+		obj, err := r.store.Get(e.Object)
+		if err != nil {
+			continue // raced with a delete; skip
+		}
+		if _, aerr := archive.OpenWorkers(obj.Data, r.workers); aerr != nil {
+			continue // corrupt blob — Fsck's problem, not compaction's
+		}
+		members = append(members, packMember{
+			RunID:  e.RunID,
+			Object: e.Object,
+			Offset: int64(len(blob)),
+			Length: int64(len(obj.Data)),
+		})
+		blob = append(blob, obj.Data...)
+	}
+	if len(members) < minRuns {
+		return nil
+	}
+	pack := packObjectName(workload, members)
+	jname := ss.journalObject(ss.shardOf(pack))
+	seq, err := r.logIntentAt(jname, journalRecord{
+		Op: opCompact, Object: pack, Members: members,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := r.store.Put(pack, blob); err != nil {
+		return err // intent open; Recover rolls back (pack absent)
+	}
+	var packed []string
+	var oldBlobs []string
+	for _, mb := range members {
+		repointed := false
+		err := r.updateShardIdx(ss, ss.shardOf(mb.RunID), func(m *manifest) error {
+			repointed = false
+			i := m.find(mb.RunID)
+			if i < 0 {
+				return nil
+			}
+			e := &m.Runs[i]
+			// Repoint only an entry still addressing the exact bytes
+			// we packed; anything else changed under us and keeps its
+			// own storage.
+			if e.Object != mb.Object || e.packed() || e.Bytes != mb.Length {
+				return nil
+			}
+			e.Object, e.Offset, e.Length = pack, mb.Offset, mb.Length
+			repointed = true
+			return nil
+		})
+		if err != nil {
+			return err // intent open; Recover reconciles
+		}
+		if repointed {
+			packed = append(packed, mb.RunID)
+			oldBlobs = append(oldBlobs, mb.Object)
+		}
+	}
+	if len(packed) == 0 {
+		// Every member changed under us; the pack is dead weight.
+		if derr := r.store.Delete(pack); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+			return derr
+		}
+		r.logDoneAt(jname, seq, opCompact)
+		return nil
+	}
+	for _, old := range oldBlobs {
+		if derr := r.store.Delete(old); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+			return derr // intent open; Recover reclaims the rest
+		}
+	}
+	r.logDoneAt(jname, seq, opCompact)
+	r.m.compactPacks.Inc()
+	r.m.compactRuns.Add(int64(len(packed)))
+	r.m.compactBytes.Add(int64(len(blob)))
+	r.shardCounter(ss.shardOf(pack), "compactions").Inc()
+	r.obs.Emit("repo", "compacted",
+		fmt.Sprintf("packed %d %q runs into %s (%d bytes)", len(packed), workload, pack, len(blob)))
+	rep.Packs = append(rep.Packs, PackInfo{
+		Object: pack, Workload: workload, Runs: packed, Bytes: int64(len(blob)),
+	})
+	return nil
+}
+
+// packObjectName derives a deterministic pack name from the workload
+// and the member set — no wall clock, no sequence burn, and distinct
+// member sets never collide in practice (FNV-1a over the ordered run
+// IDs). Re-running a crashed pass regenerates the same name, which is
+// harmless: the Put overwrites the identical bytes.
+func packObjectName(workload string, members []packMember) string {
+	h := fnv.New64a()
+	for _, mb := range members {
+		h.Write([]byte(mb.RunID))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%s%s-%016x", PackPrefix, sanitizeForObject(workload), h.Sum64())
+}
+
+// sanitizeForObject maps a workload name onto the object-name-safe
+// alphabet the pack prefix uses.
+func sanitizeForObject(s string) string {
+	if s == "" {
+		return "workload"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -34,6 +34,7 @@ const (
 	stepBatch1
 	stepBatch2
 	stepFinalize
+	stepCompact
 	stepDeleteA
 	stepGC
 	numSteps
@@ -73,7 +74,10 @@ func fleetRecords() []*trace.ProfileRecord { return sessionRecords(9, recsRunF) 
 // runCrashScript drives the workload against store until the power cut
 // (or completion), calling the fleet handlers directly so every store
 // write happens on this goroutine — the cut schedule is deterministic.
-func runCrashScript(t *testing.T, store Store) *crashAcks {
+// shards > 1 opens the repository sharded (migrating the fresh store),
+// so the cut schedule also covers shard initialization and per-shard
+// journals; shards <= 1 runs the v1 single-manifest layout.
+func runCrashScript(t *testing.T, store Store, shards int) *crashAcks {
 	t.Helper()
 	acks := &crashAcks{failedStep: -1}
 	fail := func(step int) *crashAcks {
@@ -81,7 +85,7 @@ func runCrashScript(t *testing.T, store Store) *crashAcks {
 		return acks
 	}
 
-	r, _, err := Open(store)
+	r, _, err := OpenShards(store, shards)
 	if err != nil {
 		return fail(stepSaveA)
 	}
@@ -147,6 +151,13 @@ func runCrashScript(t *testing.T, store Store) *crashAcks {
 	finBody, _ := json.Marshal(sessionRequest{SessionID: opened.SessionID})
 	if _, err := f.handleFinalize(finBody); err != nil {
 		return fail(stepFinalize)
+	}
+
+	// Pack the three direct-save runs; cuts inside this step land at
+	// every compaction write boundary (intent, pack put, repoints, old
+	// blob deletes, done record).
+	if _, err := r.Compact(CompactOptions{Workload: "base"}); err != nil {
+		return fail(stepCompact)
 	}
 
 	if err := r.Delete("run-a"); err != nil {
@@ -348,33 +359,47 @@ func resumeSessionAndFinish(t *testing.T, f2 *Fleet, r2 *Repo, acks *crashAcks, 
 // TestPowerCutAtEveryWriteBoundary is the property test: measure the
 // script's write budget with a dry run, then kill it at every write,
 // in both atomic-drop and torn-append flavors, and verify recovery.
+// The whole schedule runs twice: once against the v1 single-manifest
+// layout and once against a 3-shard repository (whose budget also
+// covers shard initialization, per-shard journals, and the compaction
+// step's pack writes).
 func TestPowerCutAtEveryWriteBoundary(t *testing.T) {
-	dry := newTestBucket(t)
-	cs := faultnet.NewCrashStore(dry)
-	acks := runCrashScript(t, cs)
-	if acks.failedStep != -1 {
-		t.Fatalf("dry run failed at step %d", acks.failedStep)
-	}
-	budget := cs.Writes()
-	if budget < 15 {
-		t.Fatalf("write budget %d suspiciously small — script not exercising the stack", budget)
-	}
+	for _, mode := range []struct {
+		name   string
+		shards int
+	}{
+		{"legacy", 0},
+		{"sharded", 3},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			dry := newTestBucket(t)
+			cs := faultnet.NewCrashStore(dry)
+			acks := runCrashScript(t, cs, mode.shards)
+			if acks.failedStep != -1 {
+				t.Fatalf("dry run failed at step %d", acks.failedStep)
+			}
+			budget := cs.Writes()
+			if budget < 15 {
+				t.Fatalf("write budget %d suspiciously small — script not exercising the stack", budget)
+			}
 
-	for _, tear := range []bool{false, true} {
-		for n := 0; n < budget; n++ {
-			label := "cut@" + strconv.Itoa(n)
-			if tear {
-				label += "+torn"
+			for _, tear := range []bool{false, true} {
+				for n := 0; n < budget; n++ {
+					label := "cut@" + strconv.Itoa(n)
+					if tear {
+						label += "+torn"
+					}
+					bucket := newTestBucket(t)
+					cs := faultnet.NewCrashStore(bucket)
+					cs.CrashAfterWrites(n, tear)
+					acks := runCrashScript(t, cs, mode.shards)
+					if !cs.Dead() {
+						t.Fatalf("%s: cut never fired (budget %d)", label, budget)
+					}
+					// Power restored: verification runs on the raw bucket.
+					verifyRecovered(t, bucket, acks, label)
+				}
 			}
-			bucket := newTestBucket(t)
-			cs := faultnet.NewCrashStore(bucket)
-			cs.CrashAfterWrites(n, tear)
-			acks := runCrashScript(t, cs)
-			if !cs.Dead() {
-				t.Fatalf("%s: cut never fired (budget %d)", label, budget)
-			}
-			// Power restored: verification runs on the raw bucket.
-			verifyRecovered(t, bucket, acks, label)
-		}
+		})
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/archive"
@@ -68,6 +69,11 @@ type FleetOptions struct {
 	// knob. DisableStream turns the in-flight analysis off entirely.
 	Stream        analyzer.StreamOptions
 	DisableStream bool
+	// CompactEvery triggers a background repository compaction pass
+	// after every N successful finalizes (0 = never). Passes run off
+	// the finalize path — an ack never waits on compaction — and
+	// WaitBackground lets shutdown drain them.
+	CompactEvery int
 	// Obs receives the endpoint's metrics.
 	Obs *obs.Registry
 	// Now is the lease clock (testing knob; default time.Now).
@@ -135,6 +141,11 @@ type Fleet struct {
 	mu       sync.Mutex
 	nextID   uint64
 	sessions map[uint64]*session
+
+	// savedRuns counts successful finalizes for the CompactEvery
+	// trigger; bg tracks in-flight background compaction passes.
+	savedRuns atomic.Uint64
+	bg        sync.WaitGroup
 }
 
 // NewFleet builds a collection endpoint writing into repo.
@@ -529,10 +540,36 @@ func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
 	// RecoverSessions (run-in-manifest → retire).
 	f.retireSession(s.token)
 	f.m.saved.Inc()
+	f.maybeCompact()
 	f.opts.Obs.Emit("fleet", "run-saved",
 		fmt.Sprintf("run %q: %d records, %d bytes", info.RunID, info.Records, info.Bytes))
 	return json.Marshal(info)
 }
+
+// maybeCompact kicks a background compaction pass every CompactEvery-th
+// saved run. Repo.Compact serializes passes internally (compactMu), so
+// overlapping triggers queue rather than stampede.
+func (f *Fleet) maybeCompact() {
+	n := f.opts.CompactEvery
+	if n <= 0 {
+		return
+	}
+	if f.savedRuns.Add(1)%uint64(n) != 0 {
+		return
+	}
+	f.bg.Add(1)
+	go func() {
+		defer f.bg.Done()
+		if _, err := f.repo.Compact(CompactOptions{}); err != nil {
+			f.opts.Obs.Emit("fleet", "compact-error", err.Error())
+		}
+	}()
+}
+
+// WaitBackground blocks until every in-flight background compaction
+// pass has finished. Call before tearing down the store under the
+// fleet (tests, shutdown).
+func (f *Fleet) WaitBackground() { f.bg.Wait() }
 
 func (f *Fleet) handleAbort(body []byte) ([]byte, error) {
 	var req sessionRequest

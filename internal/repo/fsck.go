@@ -1,4 +1,4 @@
-// Repository fsck: cross-checks the manifest against the stored blobs
+// Repository fsck: cross-checks the manifests against the stored blobs
 // and (optionally) repairs what it finds. Fsck is the offline
 // complement to the intent journal — the journal makes crashes of
 // *this* code reconverge, fsck catches everything else: bit rot,
@@ -8,11 +8,18 @@
 // re-run classifies again (a half-moved quarantine copy is re-detected
 // as an orphan; a rebuilt blob whose manifest update was lost shows up
 // as a count mismatch).
+//
+// Sharded repositories are checked over the merged view: entries come
+// from every shard, repairs route to the shard owning the run, and
+// pack objects (compact.go) are verified through the entries that
+// reference them — a pack window that fails to decode condemns the
+// entry, not the shared pack.
 package repo
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/archive"
 	"repro/internal/storage"
@@ -26,12 +33,14 @@ const QuarantinePrefix = "quarantine/"
 
 // Fsck issue kinds.
 const (
-	// IssueMissingBlob: a manifest entry whose blob object is gone.
-	// Repair drops the phantom entry.
+	// IssueMissingBlob: a manifest entry whose blob (or pack) object is
+	// gone. Repair drops the phantom entry.
 	IssueMissingBlob = "missing-blob"
 	// IssueCorruptBlob: a referenced blob archive.Open rejects. Repair
-	// salvages what it can and rebuilds the blob in place, or
-	// quarantines it (and drops the entry) when nothing survives.
+	// salvages what it can and rebuilds the blob in place (a packed
+	// run is rebuilt into a private blob; the shared pack is left for
+	// its siblings), or quarantines it (and drops the entry) when
+	// nothing survives.
 	IssueCorruptBlob = "corrupt-blob"
 	// IssueCountMismatch: blob opens cleanly but its counts disagree
 	// with the manifest entry. Repair trusts the blob.
@@ -40,8 +49,12 @@ const (
 	// manifest entry references. Repair re-adopts it (directly, or via
 	// salvage+rebuild) or quarantines it.
 	IssueOrphanBlob = "orphan-blob"
-	// IssueForeignObject: an object under runs/ that is neither the
-	// manifest, the journal, nor a run blob. Repair quarantines it.
+	// IssueOrphanPack: a pack object no manifest entry references —
+	// every member was deleted, or a crashed compaction was rolled
+	// back without its cleanup. Repair quarantines it.
+	IssueOrphanPack = "orphan-pack"
+	// IssueForeignObject: an object under runs/ that is neither
+	// repository bookkeeping nor a run blob. Repair quarantines it.
 	IssueForeignObject = "foreign-object"
 )
 
@@ -66,26 +79,31 @@ type FsckReport struct {
 // Clean reports whether the pass found nothing wrong.
 func (fr *FsckReport) Clean() bool { return len(fr.Issues) == 0 }
 
-// Fsck cross-checks every manifest entry against its blob and every
-// runs/ object against the manifest. With repair=false it only
-// reports; with repair=true it additionally drops phantom entries,
-// rebuilds corrupt blobs from their salvageable segments, repairs
-// stale counts, re-adopts orphaned archives, and quarantines what it
-// cannot save. Run Recover (or construct via Open) first so journal
-// debris is not misreported as corruption.
+// Fsck cross-checks every manifest entry (across all shards) against
+// its blob and every runs/ object against the merged index. With
+// repair=false it only reports; with repair=true it additionally drops
+// phantom entries, rebuilds corrupt blobs from their salvageable
+// segments, repairs stale counts, re-adopts orphaned archives, and
+// quarantines what it cannot save. Run Recover (or construct via Open)
+// first so journal debris is not misreported as corruption.
 func (r *Repo) Fsck(repair bool) (*FsckReport, error) {
-	m, _, err := r.load()
+	ss, err := r.resolveShards()
 	if err != nil {
 		return nil, err
 	}
-	rep := &FsckReport{RunsChecked: len(m.Runs)}
+	ms, _, err := r.loadAllShards(ss)
+	if err != nil {
+		return nil, err
+	}
+	entries := mergedRuns(ms)
+	rep := &FsckReport{RunsChecked: len(entries)}
 
-	referenced := make(map[string]bool, len(m.Runs))
-	for _, e := range m.Runs {
+	referenced := make(map[string]bool, len(entries))
+	for _, e := range entries {
 		referenced[e.Object] = true
 	}
 
-	for _, e := range m.Runs {
+	for _, e := range entries {
 		issue, err := r.fsckEntry(e, repair)
 		if err != nil {
 			return nil, err
@@ -95,11 +113,12 @@ func (r *Repo) Fsck(repair bool) (*FsckReport, error) {
 		}
 	}
 
+	indexed := func(id string) bool { return findRun(ms, id) != nil }
 	for _, name := range r.store.List("runs/") {
 		if isRepoInternalObject(name) || referenced[name] {
 			continue
 		}
-		issue, err := r.fsckUnreferenced(name, m, repair)
+		issue, err := r.fsckUnreferenced(name, indexed, repair)
 		if err != nil {
 			return nil, err
 		}
@@ -143,12 +162,31 @@ func (r *Repo) fsckEntry(e RunInfo, repair bool) (*FsckIssue, error) {
 		return nil, err
 	}
 
-	a, openErr := archive.OpenWorkers(obj.Data, r.workers)
+	blob := obj.Data
+	if e.packed() {
+		end := e.Offset + e.Length
+		if e.Offset < 0 || end > int64(len(obj.Data)) {
+			issue := &FsckIssue{Kind: IssueCorruptBlob, RunID: e.RunID, Object: e.Object,
+				Detail: fmt.Sprintf("entry window [%d,%d) outside pack (%d bytes)",
+					e.Offset, end, len(obj.Data))}
+			if repair {
+				action, err := r.repairCorrupt(e, nil)
+				if err != nil {
+					return nil, err
+				}
+				issue.Action = action
+			}
+			return issue, nil
+		}
+		blob = obj.Data[e.Offset:end]
+	}
+
+	a, openErr := archive.OpenWorkers(blob, r.workers)
 	if openErr != nil {
 		issue := &FsckIssue{Kind: IssueCorruptBlob, RunID: e.RunID, Object: e.Object,
 			Detail: openErr.Error()}
 		if repair {
-			action, err := r.repairCorrupt(e, obj.Data)
+			action, err := r.repairCorrupt(e, blob)
 			if err != nil {
 				return nil, err
 			}
@@ -173,8 +211,20 @@ func (r *Repo) fsckEntry(e RunInfo, repair bool) (*FsckIssue, error) {
 }
 
 // fsckUnreferenced classifies one runs/ object no manifest entry
-// claims.
-func (r *Repo) fsckUnreferenced(name string, m *manifest, repair bool) (*FsckIssue, error) {
+// claims; indexed reports whether a run ID exists anywhere in the
+// merged index.
+func (r *Repo) fsckUnreferenced(name string, indexed func(string) bool, repair bool) (*FsckIssue, error) {
+	if strings.HasPrefix(name, PackPrefix) {
+		issue := &FsckIssue{Kind: IssueOrphanPack, Object: name,
+			Detail: "pack object has no referencing manifest entries"}
+		if repair {
+			if err := r.quarantine(name); err != nil {
+				return nil, err
+			}
+			issue.Action = "quarantined"
+		}
+		return issue, nil
+	}
 	id := runIDFromObject(name)
 	if id == "" {
 		issue := &FsckIssue{Kind: IssueForeignObject, Object: name,
@@ -205,10 +255,10 @@ func (r *Repo) fsckUnreferenced(name string, m *manifest, repair bool) (*FsckIss
 	// Adopt directly when the blob verifies and agrees about its own
 	// identity; anything else goes through salvage.
 	if a, err := archive.OpenWorkers(obj.Data, r.workers); err == nil && a.Meta().RunID == id {
-		if m.find(id) >= 0 {
+		if indexed(id) {
 			// A manifest entry for this run ID exists but points at a
-			// different object — structurally impossible via runObject,
-			// so treat as foreign debris.
+			// different object (a packed window, or foreign debris);
+			// the indexed entry wins.
 			if err := r.quarantine(name); err != nil {
 				return nil, err
 			}
@@ -252,10 +302,20 @@ func (r *Repo) fsckUnreferenced(name string, m *manifest, repair bool) (*FsckIss
 }
 
 // repairCorrupt rebuilds a referenced-but-corrupt blob from its
-// salvageable segments, or quarantines it when nothing survives.
+// salvageable segments, or drops the entry when nothing survives. A
+// private blob is rebuilt in place (or quarantined); a packed run is
+// rebuilt into a private blob and its entry repointed — the shared
+// pack is never quarantined on one member's account, its other
+// windows may be healthy.
 func (r *Repo) repairCorrupt(e RunInfo, blob []byte) (string, error) {
 	res, serr := archive.Salvage(blob)
 	if serr != nil || len(res.Records) == 0 {
+		if e.packed() {
+			if err := r.dropEntry(e.RunID); err != nil {
+				return "", err
+			}
+			return "dropped entry (nothing salvageable from pack window)", nil
+		}
 		if err := r.quarantine(e.Object); err != nil {
 			return "", err
 		}
@@ -275,19 +335,29 @@ func (r *Repo) repairCorrupt(e RunInfo, blob []byte) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("repo: fsck rebuilt blob does not verify: %w", err)
 	}
-	if _, err := r.store.Put(e.Object, rebuilt); err != nil {
+	target := e.Object
+	if e.packed() {
+		target = runObject(e.RunID)
+	}
+	if _, err := r.store.Put(target, rebuilt); err != nil {
 		return "", err
 	}
-	if err := r.replaceEntry(r.entryFor(a, e)); err != nil {
+	good := r.entryFor(a, RunInfo{RunID: e.RunID, Object: target})
+	if err := r.replaceEntry(good); err != nil {
 		return "", err
 	}
 	r.m.salvagedSegs.Add(int64(res.Report.SegmentsKept))
+	if e.packed() {
+		return fmt.Sprintf("rebuilt out of pack into private blob (%d/%d segments, %d records kept)",
+			res.Report.SegmentsKept, res.Report.SegmentsTotal, res.Report.RecordsKept), nil
+	}
 	return fmt.Sprintf("rebuilt from salvage (%d/%d segments, %d records kept)",
 		res.Report.SegmentsKept, res.Report.SegmentsTotal, res.Report.RecordsKept), nil
 }
 
 // entryFor computes the correct manifest entry for an opened archive,
-// keeping base's identity fields where the archive has none.
+// keeping base's identity and placement fields where the archive has
+// none.
 func (r *Repo) entryFor(a *archive.Archive, base RunInfo) RunInfo {
 	meta := a.Meta()
 	first, last := a.TimeRange()
@@ -304,6 +374,8 @@ func (r *Repo) entryFor(a *archive.Archive, base RunInfo) RunInfo {
 		TimeFirst:  first,
 		TimeLast:   last,
 		Object:     base.Object,
+		Offset:     base.Offset,
+		Length:     base.Length,
 	}
 	if info.RunID == "" {
 		info.RunID = meta.RunID
@@ -316,7 +388,7 @@ func (r *Repo) entryFor(a *archive.Archive, base RunInfo) RunInfo {
 
 // dropEntry removes runID's manifest entry (no blob side effects).
 func (r *Repo) dropEntry(runID string) error {
-	return r.update(func(m *manifest) error {
+	return r.updateRun(runID, func(m *manifest) error {
 		if i := m.find(runID); i >= 0 {
 			m.Runs = append(m.Runs[:i], m.Runs[i+1:]...)
 		}
@@ -326,7 +398,7 @@ func (r *Repo) dropEntry(runID string) error {
 
 // replaceEntry swaps runID's manifest entry for info.
 func (r *Repo) replaceEntry(info RunInfo) error {
-	return r.update(func(m *manifest) error {
+	return r.updateRun(info.RunID, func(m *manifest) error {
 		if i := m.find(info.RunID); i >= 0 {
 			m.Runs[i] = info
 		}
@@ -334,19 +406,31 @@ func (r *Repo) replaceEntry(info RunInfo) error {
 	})
 }
 
-// adopt indexes info, replacing any existing entry for the same run.
+// adopt indexes info on the shard owning its run ID, replacing any
+// existing entry for the same run and advancing both the shard's
+// stored sequence counter and this process's lease past the adopted
+// sequence.
 func (r *Repo) adopt(info RunInfo) error {
-	return r.update(func(m *manifest) error {
+	ss, err := r.ensureShards()
+	if err != nil {
+		return err
+	}
+	si := ss.shardOf(info.RunID)
+	if err := r.updateShardIdx(ss, si, func(m *manifest) error {
 		if i := m.find(info.RunID); i >= 0 {
 			m.Runs[i] = info
 		} else {
 			m.Runs = append(m.Runs, info)
 		}
-		if info.CreatedSeq >= m.NextSeq {
-			m.NextSeq = info.CreatedSeq + 1
+		if ln := localSeqAfter(info.CreatedSeq, ss.n, si); ln > m.NextSeq {
+			m.NextSeq = ln
 		}
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	r.noteSeq(info.CreatedSeq)
+	return nil
 }
 
 // quarantine moves an object aside under QuarantinePrefix instead of
@@ -372,23 +456,55 @@ func (r *Repo) quarantine(name string) error {
 
 // Salvage recovers runID's blob in place: every intact segment is
 // re-archived into a fresh, fully valid blob and the manifest entry is
-// recomputed (or created, when the blob was an orphan). The report
+// recomputed (or created, when the blob was an orphan). A packed run's
+// window is salvaged out of its pack into a private blob. The report
 // itemizes what the underlying archive.Salvage kept and lost.
 func (r *Repo) Salvage(runID string) (RunInfo, *archive.SalvageReport, error) {
 	object := runObject(runID)
-	m, _, err := r.load()
+	ss, err := r.resolveShards()
 	if err != nil {
 		return RunInfo{}, nil, err
 	}
-	idx := m.find(runID)
-	obj, err := r.store.Get(object)
-	if errors.Is(err, storage.ErrNotFound) {
-		return RunInfo{}, nil, fmt.Errorf("%w: %q has no blob to salvage", ErrRunNotFound, runID)
-	}
+	ms, _, err := r.loadAllShards(ss)
 	if err != nil {
 		return RunInfo{}, nil, err
 	}
-	res, err := archive.Salvage(obj.Data)
+	entry := findRun(ms, runID)
+
+	var blob []byte
+	if entry != nil && entry.packed() {
+		obj, gerr := r.store.Get(entry.Object)
+		if errors.Is(gerr, storage.ErrNotFound) {
+			return RunInfo{}, nil, fmt.Errorf("%w: %q has no blob to salvage", ErrRunNotFound, runID)
+		}
+		if gerr != nil {
+			return RunInfo{}, nil, gerr
+		}
+		// Clamp the window so a corrupt offset still yields whatever
+		// bytes exist for the salvager to chew on.
+		off, end := entry.Offset, entry.Offset+entry.Length
+		if off < 0 {
+			off = 0
+		}
+		if end > int64(len(obj.Data)) {
+			end = int64(len(obj.Data))
+		}
+		if off > end {
+			off = end
+		}
+		blob = obj.Data[off:end]
+	} else {
+		obj, gerr := r.store.Get(object)
+		if errors.Is(gerr, storage.ErrNotFound) {
+			return RunInfo{}, nil, fmt.Errorf("%w: %q has no blob to salvage", ErrRunNotFound, runID)
+		}
+		if gerr != nil {
+			return RunInfo{}, nil, gerr
+		}
+		blob = obj.Data
+	}
+
+	res, err := archive.Salvage(blob)
 	if err != nil {
 		return RunInfo{}, nil, fmt.Errorf("repo: salvage %q: %w", runID, err)
 	}
@@ -397,10 +513,9 @@ func (r *Repo) Salvage(runID string) (RunInfo, *archive.SalvageReport, error) {
 	}
 	meta := res.Meta
 	if meta.RunID != runID {
-		if idx >= 0 {
-			e := m.Runs[idx]
-			meta = archive.Meta{RunID: runID, Workload: e.Workload, Label: e.Label,
-				HostSpec: e.HostSpec, TPUVersion: e.TPUVersion, CreatedSeq: e.CreatedSeq}
+		if entry != nil {
+			meta = archive.Meta{RunID: runID, Workload: entry.Workload, Label: entry.Label,
+				HostSpec: entry.HostSpec, TPUVersion: entry.TPUVersion, CreatedSeq: entry.CreatedSeq}
 		} else {
 			meta.RunID = runID
 		}
@@ -417,10 +532,11 @@ func (r *Repo) Salvage(runID string) (RunInfo, *archive.SalvageReport, error) {
 	// blob — for an orphan that means deleting the only copy. Leaving
 	// the orphan adoption unjournaled is safe: a crash mid-way leaves a
 	// valid orphan blob fsck re-adopts.
+	jname := ss.journalObject(ss.shardOf(runID))
 	var seq uint64
-	journaled := idx >= 0
+	journaled := entry != nil
 	if journaled {
-		if seq, err = r.logIntent(opSave, runID, object, nil); err != nil {
+		if seq, err = r.logIntentAt(jname, journalRecord{Op: opSave, RunID: runID, Object: object}); err != nil {
 			return RunInfo{}, &res.Report, err
 		}
 	}
@@ -431,7 +547,7 @@ func (r *Repo) Salvage(runID string) (RunInfo, *archive.SalvageReport, error) {
 		return RunInfo{}, &res.Report, err
 	}
 	if journaled {
-		r.logDone(seq, opSave)
+		r.logDoneAt(jname, seq, opSave)
 	}
 	r.m.salvagedSegs.Add(int64(res.Report.SegmentsKept))
 	r.obs.Emit("repo", "salvage",

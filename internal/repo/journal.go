@@ -1,28 +1,36 @@
 // Write-ahead intent journal: the crash-consistency spine of the
-// repository. Every mutating operation (Save, Delete, GC, and the
-// fleet's finalize, which lands as a Save) appends a CRC-framed intent
-// record to the journal object *before* it touches any blob or the
-// manifest, and a matching done record after the mutation fully
-// commits or fully rolls back. A process that dies mid-mutation leaves
-// an open intent behind; Recover replays the journal on open and
-// drives every open intent to one of the two legal end states, so the
-// manifest and the blob set always reconverge:
+// repository. Every mutating operation (Save, Delete, GC, Compact, and
+// the fleet's finalize, which lands as a Save) appends a CRC-framed
+// intent record to its shard's journal object *before* it touches any
+// blob or manifest, and a matching done record after the mutation
+// fully commits or fully rolls back. A process that dies mid-mutation
+// leaves an open intent behind; Recover replays every journal on open
+// and drives each open intent to one of the two legal end states, so
+// the manifests and the blob set always reconverge:
 //
 //   - save intent, run in manifest        → mutation committed; nothing to do
 //   - save intent, run absent             → roll back: reclaim the orphan blob
 //   - delete intent, run still in manifest → mutation never took effect; no-op
-//   - delete intent, run absent           → complete: reclaim the leftover blob
-//   - gc intent                           → complete: reclaim every blob whose
-//     run is absent from the manifest and not protected by an open save
+//   - delete intent, run absent           → complete: reclaim the leftover
+//     object unless other runs still reference it (a shared pack)
+//   - gc intent                           → complete: reclaim every recorded
+//     victim object no longer referenced by any manifest
+//   - compact intent, pack absent          → roll back: nothing durable
+//     happened, the member blobs are untouched
+//   - compact intent, pack present+valid   → roll forward: repoint members
+//     still on their old blobs, reclaim superseded blobs
 //
 // Journal frame layout (little-endian), chosen so a torn tail — the
 // power cut landing mid-append — is detectable and trimmable:
 //
 //	u32 payloadLen | u32 crc32c(payload) | payload (JSON journalRecord)
 //
-// The journal is an append-only object (storage.Bucket.Append); the
-// only non-append write is the compaction rewrite at the end of a
-// successful Recover, once every intent is settled.
+// Journals are append-only objects (storage.Bucket.Append); the only
+// non-append writes are the compaction rewrites at the end of a
+// successful Recover, once every intent is settled. A v1 repository
+// has one journal (runs/.journal); a sharded one has one per shard
+// (runs/.journal-<i>), all sharing a single in-process seq counter so
+// intent/done pairs stay unambiguous across journals.
 package repo
 
 import (
@@ -35,10 +43,12 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/archive"
 	"repro/internal/storage"
 )
 
-// JournalObject is the bucket object holding the intent journal.
+// JournalObject is the bucket object holding the intent journal in the
+// v1 single-shard layout.
 const JournalObject = "runs/.journal"
 
 // journalFrameOverhead is the per-record framing cost: u32 length +
@@ -53,13 +63,23 @@ var journalTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Journal operation and phase names.
 const (
-	opSave   = "save"
-	opDelete = "delete"
-	opGC     = "gc"
+	opSave    = "save"
+	opDelete  = "delete"
+	opGC      = "gc"
+	opCompact = "compact"
 
 	phaseIntent = "intent"
 	phaseDone   = "done"
 )
+
+// packMember is one run's slot in a compaction intent: where its bytes
+// lived before the pack and where they land inside it.
+type packMember struct {
+	RunID  string `json:"run_id"`
+	Object string `json:"object"` // pre-compaction blob
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+}
 
 // journalRecord is one framed journal entry. Seq pairs an intent with
 // its done record; an intent whose seq has no done record is open.
@@ -70,10 +90,16 @@ type journalRecord struct {
 	RunID   string   `json:"run_id,omitempty"`
 	Object  string   `json:"object,omitempty"`
 	Victims []string `json:"victims,omitempty"`
+	// Objects lists the victim *objects* of a GC intent — distinct from
+	// Victims (run IDs) because a packed victim's object is a shared
+	// pack that recovery must reference-check before reclaiming.
+	Objects []string `json:"objects,omitempty"`
+	// Members is a compaction intent's layout of the pack in Object.
+	Members []packMember `json:"members,omitempty"`
 }
 
 // appendFrame CRC-frames payload and appends it to object. The append
-// is the durability point for both the intent journal and the fleet's
+// is the durability point for both the intent journals and the fleet's
 // per-session logs: a frame either lands whole or its torn prefix is
 // detected and trimmed by readFrames.
 func appendFrame(store Store, object string, payload []byte) error {
@@ -119,42 +145,63 @@ func readFrames(store Store, object string, maxPayload int) (frames [][]byte, in
 	return frames, pos, len(data) - pos, nil
 }
 
-// appendJournal frames rec and appends it to the journal object.
-func (r *Repo) appendJournal(rec journalRecord) error {
+// appendJournalTo frames rec and appends it to the named journal.
+func (r *Repo) appendJournalTo(journal string, rec journalRecord) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	if err := appendFrame(r.store, JournalObject, payload); err != nil {
+	if err := appendFrame(r.store, journal, payload); err != nil {
 		return fmt.Errorf("repo: journal append: %w", err)
 	}
 	return nil
 }
 
-// logIntent appends an intent record and returns its seq for the
-// matching done record.
+// logIntentAt stamps rec as an intent with a fresh seq, appends it to
+// the named journal, and returns the seq for the matching done record.
+func (r *Repo) logIntentAt(journal string, rec journalRecord) (uint64, error) {
+	rec.Seq = atomic.AddUint64(&r.journalSeq, 1)
+	rec.Phase = phaseIntent
+	return rec.Seq, r.appendJournalTo(journal, rec)
+}
+
+// logIntent appends an intent record to the journal of the shard
+// owning runID and returns its seq. (Operations that already resolved
+// their shard use logIntentAt directly.)
 func (r *Repo) logIntent(op, runID, object string, victims []string) (uint64, error) {
-	seq := atomic.AddUint64(&r.journalSeq, 1)
-	err := r.appendJournal(journalRecord{
-		Seq: seq, Op: op, Phase: phaseIntent,
-		RunID: runID, Object: object, Victims: victims,
+	ss, err := r.resolveShards()
+	if err != nil {
+		return 0, err
+	}
+	return r.logIntentAt(ss.journalObject(ss.shardOf(runID)), journalRecord{
+		Op: op, RunID: runID, Object: object, Victims: victims,
 	})
-	return seq, err
 }
 
-// logDone appends the done record closing intent seq. A failure here
-// is harmless-by-design: the next Recover replays the intent, finds
-// the mutation already settled, and closes it then.
+// logDoneAt appends the done record closing intent seq to the journal
+// that holds it. A failure here is harmless-by-design: the next
+// Recover replays the intent, finds the mutation already settled, and
+// closes it then.
+func (r *Repo) logDoneAt(journal string, seq uint64, op string) {
+	_ = r.appendJournalTo(journal, journalRecord{Seq: seq, Op: op, Phase: phaseDone})
+}
+
+// logDone closes intent seq in the v1 journal — the legacy counterpart
+// of logIntent for callers that never resolved a shard.
 func (r *Repo) logDone(seq uint64, op string) {
-	_ = r.appendJournal(journalRecord{Seq: seq, Op: op, Phase: phaseDone})
+	ss, err := r.resolveShards()
+	if err != nil {
+		return
+	}
+	r.logDoneAt(ss.journalObject(0), seq, op)
 }
 
-// readJournal decodes the journal leniently: it stops at the first
-// torn or CRC-failing frame (the bytes a power cut left behind) and
-// reports how many tail bytes it discarded. A missing or empty journal
-// is an empty history.
-func readJournal(store Store) (recs []journalRecord, tornBytes int, err error) {
-	frames, _, torn, err := readFrames(store, JournalObject, maxJournalPayload)
+// readJournalObject decodes one journal leniently: it stops at the
+// first torn or CRC-failing frame (the bytes a power cut left behind)
+// and reports how many tail bytes it discarded. A missing or empty
+// journal is an empty history.
+func readJournalObject(store Store, object string) (recs []journalRecord, tornBytes int, err error) {
+	frames, _, torn, err := readFrames(store, object, maxJournalPayload)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -173,11 +220,16 @@ func readJournal(store Store) (recs []journalRecord, tornBytes int, err error) {
 	return recs, torn, nil
 }
 
-// RecoveryReport summarizes one journal replay.
+// readJournal reads the v1 journal object.
+func readJournal(store Store) ([]journalRecord, int, error) {
+	return readJournalObject(store, JournalObject)
+}
+
+// RecoveryReport summarizes one replay over every journal.
 type RecoveryReport struct {
 	// Records is how many intact journal records the replay scanned.
 	Records int
-	// TornBytes is the size of the discarded torn tail, if any.
+	// TornBytes is the size of the discarded torn tails, if any.
 	TornBytes int
 	// OpenIntents is how many intents had no done record and were
 	// reconciled.
@@ -188,7 +240,8 @@ type RecoveryReport struct {
 	// RolledBack counts open intents whose mutation was undone.
 	RolledBack int
 	// OrphansReclaimed lists blob objects deleted during replay —
-	// save rollbacks and unfinished GC victims.
+	// save rollbacks, unfinished GC victims, superseded or abandoned
+	// compaction state.
 	OrphansReclaimed []string
 }
 
@@ -197,26 +250,47 @@ func (rr *RecoveryReport) Clean() bool {
 	return rr.OpenIntents == 0 && rr.TornBytes == 0
 }
 
-// Recover replays the intent journal and reconciles every open intent,
-// returning what it did. It must be called before the repository
-// serves mutations when the underlying store may hold the debris of a
-// crashed writer — Open does it automatically. Recover is idempotent:
-// a second replay over the same store finds a clean journal.
+// journalState is one journal's decoded history plus whether the
+// stored object has any bytes worth compacting away.
+type journalState struct {
+	name string
+	recs []journalRecord
+	torn int
+}
+
+// Recover replays every intent journal and reconciles every open
+// intent, returning what it did. It must be called before the
+// repository serves mutations when the underlying store may hold the
+// debris of a crashed writer — Open does it automatically. Recover is
+// idempotent: a second replay over the same store finds clean
+// journals.
 func (r *Repo) Recover() (*RecoveryReport, error) {
-	recs, torn, err := readJournal(r.store)
+	ss, err := r.resolveShards()
 	if err != nil {
 		return nil, err
 	}
-	rep := &RecoveryReport{Records: len(recs), TornBytes: torn}
+	rep := &RecoveryReport{}
+	var states []journalState
+	for _, name := range r.journalObjects(ss) {
+		recs, torn, err := readJournalObject(r.store, name)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, journalState{name: name, recs: recs, torn: torn})
+		rep.Records += len(recs)
+		rep.TornBytes += torn
+	}
 
 	maxSeq := uint64(0)
 	done := make(map[uint64]bool)
-	for _, rec := range recs {
-		if rec.Seq > maxSeq {
-			maxSeq = rec.Seq
-		}
-		if rec.Phase == phaseDone {
-			done[rec.Seq] = true
+	for _, st := range states {
+		for _, rec := range st.recs {
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+			if rec.Phase == phaseDone {
+				done[rec.Seq] = true
+			}
 		}
 	}
 	// Future intents must not collide with replayed seqs.
@@ -227,26 +301,38 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 		}
 	}
 
-	var open []journalRecord
-	for _, rec := range recs {
-		if rec.Phase == phaseIntent && !done[rec.Seq] {
-			open = append(open, rec)
+	// Open intents, globally seq-ordered (the seq counter is shared
+	// across journals). Compaction intents reconcile after the others:
+	// they re-read the manifests they mutate, so they must see the
+	// final word on every save/delete/gc rollback first.
+	var open, openCompacts []journalRecord
+	for _, st := range states {
+		for _, rec := range st.recs {
+			if rec.Phase != phaseIntent || done[rec.Seq] {
+				continue
+			}
+			if rec.Op == opCompact {
+				openCompacts = append(openCompacts, rec)
+			} else {
+				open = append(open, rec)
+			}
 		}
 	}
-	rep.OpenIntents = len(open)
-	if len(open) == 0 && torn == 0 {
+	sort.Slice(open, func(i, j int) bool { return open[i].Seq < open[j].Seq })
+	sort.Slice(openCompacts, func(i, j int) bool { return openCompacts[i].Seq < openCompacts[j].Seq })
+	rep.OpenIntents = len(open) + len(openCompacts)
+	if rep.OpenIntents == 0 && rep.TornBytes == 0 {
 		return rep, nil
 	}
 
-	m, _, err := r.load()
+	ms, _, err := r.loadAllShards(ss)
 	if err != nil {
 		return nil, err
 	}
-	// Blobs protected from reclamation: everything the manifest
-	// references, plus the target of any open save intent other than
-	// the one being reconciled (it will be judged by its own intent).
-	inManifest := make(map[string]bool, len(m.Runs))
-	for _, info := range m.Runs {
+	// Objects protected from reclamation: everything any manifest
+	// references (a pack stays protected while one member survives).
+	inManifest := make(map[string]bool)
+	for _, info := range mergedRuns(ms) {
 		inManifest[info.Object] = true
 	}
 
@@ -267,7 +353,7 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 	for _, intent := range open {
 		switch intent.Op {
 		case opSave:
-			if m.find(intent.RunID) >= 0 {
+			if findRun(ms, intent.RunID) != nil {
 				// The manifest update landed: the save committed and
 				// only the done record is missing.
 				rep.Completed++
@@ -279,7 +365,7 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 				rep.RolledBack++
 			}
 		case opDelete:
-			if m.find(intent.RunID) >= 0 {
+			if findRun(ms, intent.RunID) != nil {
 				// Manifest untouched: the delete never took effect and
 				// the caller never got an ack. Leave the run alone.
 				rep.RolledBack++
@@ -294,10 +380,17 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 			// (the CAS loop can recompute it); reclaim exactly the
 			// recorded victims that did lose their manifest entry.
 			for _, id := range intent.Victims {
-				if m.find(id) >= 0 {
+				if findRun(ms, id) != nil {
 					continue
 				}
 				if err := reclaim(runObject(id)); err != nil {
+					return nil, err
+				}
+			}
+			// Packed victims recorded their shared object explicitly;
+			// inManifest protects it while any sibling survives.
+			for _, object := range intent.Objects {
+				if err := reclaim(object); err != nil {
 					return nil, err
 				}
 			}
@@ -306,13 +399,134 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 		r.logReplay(intent)
 	}
 
-	// Compact: every intent is settled, so the history (and any torn
-	// tail) can be dropped wholesale.
-	if _, err := r.store.Put(JournalObject, nil); err != nil {
-		return nil, fmt.Errorf("repo: journal compact: %w", err)
+	for _, intent := range openCompacts {
+		if err := r.recoverCompact(ss, intent, rep); err != nil {
+			return nil, err
+		}
+		r.logReplay(intent)
 	}
-	r.m.journalReplays.Add(int64(len(open)))
+
+	// Compact: every intent is settled, so each journal's history (and
+	// any torn tail) can be dropped wholesale.
+	for _, st := range states {
+		if len(st.recs) == 0 && st.torn == 0 {
+			continue
+		}
+		if _, err := r.store.Put(st.name, nil); err != nil {
+			return nil, fmt.Errorf("repo: journal compact: %w", err)
+		}
+	}
+	r.m.journalReplays.Add(int64(rep.OpenIntents))
 	return rep, nil
+}
+
+// recoverCompact reconciles one open compaction intent. The pack Put
+// is the commit point: a missing pack means nothing durable happened
+// (the member blobs are untouched — pure rollback); a present, valid
+// pack rolls forward — members whose entries still address their old
+// blobs are repointed into the pack, superseded blobs are reclaimed,
+// and a pack no member ended up referencing is dropped.
+func (r *Repo) recoverCompact(ss shardSet, intent journalRecord, rep *RecoveryReport) error {
+	pack := intent.Object
+	obj, err := r.store.Get(pack)
+	if errors.Is(err, storage.ErrNotFound) {
+		rep.RolledBack++
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	valid := true
+	for _, mb := range intent.Members {
+		end := mb.Offset + mb.Length
+		if mb.Offset < 0 || end > int64(len(obj.Data)) {
+			valid = false
+			break
+		}
+		if _, aerr := archive.OpenWorkers(obj.Data[mb.Offset:end], r.workers); aerr != nil {
+			valid = false
+			break
+		}
+	}
+	if !valid {
+		// Put is atomic, so an invalid pack is bit rot rather than a
+		// torn write; nothing can have been repointed into it safely.
+		// Drop it unless some entry references it (then Fsck owns the
+		// repair).
+		referenced, rerr := r.packReferenced(ss, pack)
+		if rerr != nil {
+			return rerr
+		}
+		if !referenced {
+			if derr := r.store.Delete(pack); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+				return derr
+			}
+			rep.OrphansReclaimed = append(rep.OrphansReclaimed, pack)
+		}
+		rep.RolledBack++
+		return nil
+	}
+	packUsed := false
+	for _, mb := range intent.Members {
+		si := ss.shardOf(mb.RunID)
+		usesPack := false
+		err := r.updateShardIdx(ss, si, func(m *manifest) error {
+			usesPack = false
+			i := m.find(mb.RunID)
+			if i < 0 {
+				return nil
+			}
+			e := &m.Runs[i]
+			if e.Object == pack {
+				// Already repointed before the crash.
+				usesPack = true
+				return nil
+			}
+			if e.Object != mb.Object || e.packed() || e.Bytes != mb.Length {
+				// The entry moved on (re-saved, repaired); leave it.
+				return nil
+			}
+			e.Object, e.Offset, e.Length = pack, mb.Offset, mb.Length
+			usesPack = true
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if usesPack {
+			packUsed = true
+		}
+		// The member's pre-compaction blob is superseded unless some
+		// entry (a re-save of the same run ID lands at the same object
+		// name) still references it — the scan, not the repoint outcome,
+		// decides: a cut after the repoint but before the delete leaves
+		// an already-repointed entry whose old blob still lingers.
+		referenced := false
+		ms, _, lerr := r.loadAllShards(ss)
+		if lerr != nil {
+			return lerr
+		}
+		for _, e := range mergedRuns(ms) {
+			if e.Object == mb.Object {
+				referenced = true
+				break
+			}
+		}
+		if !referenced && r.store.Exists(mb.Object) {
+			if derr := r.store.Delete(mb.Object); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+				return derr
+			}
+			rep.OrphansReclaimed = append(rep.OrphansReclaimed, mb.Object)
+		}
+	}
+	if !packUsed {
+		if derr := r.store.Delete(pack); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+			return derr
+		}
+		rep.OrphansReclaimed = append(rep.OrphansReclaimed, pack)
+	}
+	rep.Completed++
+	return nil
 }
 
 func (r *Repo) logReplay(intent journalRecord) {
@@ -320,16 +534,26 @@ func (r *Repo) logReplay(intent journalRecord) {
 		fmt.Sprintf("replayed open %s intent seq %d (run %q)", intent.Op, intent.Seq, intent.RunID))
 }
 
-// compactJournalIfSettled opportunistically truncates the journal once
-// it grows past threshold bytes, but only when every recorded intent
-// is closed — an open intent belongs to a mutation still in flight (or
-// to a crashed writer, which Recover owns).
+// compactJournalIfSettled opportunistically truncates each journal
+// once it grows past threshold bytes, but only when every intent it
+// records is closed — an open intent belongs to a mutation still in
+// flight (or to a crashed writer, which Recover owns).
 func (r *Repo) compactJournalIfSettled(threshold int) {
-	obj, err := r.store.Get(JournalObject)
+	ss, err := r.resolveShards()
+	if err != nil {
+		return
+	}
+	for _, name := range r.journalObjects(ss) {
+		r.compactJournalObject(name, threshold)
+	}
+}
+
+func (r *Repo) compactJournalObject(name string, threshold int) {
+	obj, err := r.store.Get(name)
 	if err != nil || len(obj.Data) < threshold {
 		return
 	}
-	recs, torn, err := readJournal(r.store)
+	recs, torn, err := readJournalObject(r.store, name)
 	if err != nil || torn > 0 {
 		return
 	}
@@ -347,7 +571,7 @@ func (r *Repo) compactJournalIfSettled(threshold int) {
 	// A concurrent mutation may append between the read and this
 	// rewrite; tolerate losing the race by writing only when the
 	// object is unchanged (generation-checked swap).
-	_, _ = r.store.PutIf(JournalObject, nil, obj.Generation)
+	_, _ = r.store.PutIf(name, nil, obj.Generation)
 }
 
 // journalCompactThreshold is the journal size past which settled
@@ -370,10 +594,15 @@ func sortedUnique(ids []string) []string {
 }
 
 // isRepoInternalObject reports whether name is repository bookkeeping
-// rather than run data — the manifest and the journal live under the
-// runs/ prefix but index it.
+// rather than run data — the manifests, journals, and layout object
+// live under the runs/ prefix but index it. Pack objects are data, not
+// bookkeeping: Fsck verifies them through the entries that reference
+// them.
 func isRepoInternalObject(name string) bool {
-	return name == ManifestObject || name == JournalObject
+	if name == ManifestObject || name == JournalObject || name == LayoutObject {
+		return true
+	}
+	return isShardManifestObject(name) || isShardJournalObject(name)
 }
 
 // runIDFromObject inverts runObject: runs/<id>/archive → <id>, "" for

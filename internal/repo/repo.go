@@ -5,33 +5,43 @@
 // collection of runs, and this package makes that collection durable
 // and addressable.
 //
-// Layout inside the bucket:
+// Layout inside the bucket (v1, single shard):
 //
-//	runs/manifest.json   — JSON index of every run + the seq allocator
+//	runs/manifest.json    — JSON index of every run + the seq allocator
 //	runs/<run-id>/archive — the archive blob
 //
-// The manifest is updated with a compare-and-swap loop over
+// A sharded repository (see shard.go) splits the index across M
+// manifest shards hashed by run ID, each with its own CAS loop and
+// intent journal, and may consolidate small archives into pack objects
+// under runs/.pack/ (see compact.go); a manifest entry then addresses
+// a byte window of the shared pack.
+//
+// Manifests are updated with a compare-and-swap loop over
 // storage.Bucket.PutIf, so concurrent writers (the fleet endpoint
 // finalizing several sessions at once) serialize safely: each retry
-// re-reads the latest manifest at its generation and re-applies its
-// mutation.
+// re-reads the latest manifest at its generation, backs off with
+// deterministic jitter, and re-applies its mutation.
 //
 // Mutations are crash-consistent: each one is bracketed by a
-// write-ahead intent record in the journal object (journal.go), and
-// Open replays the journal so a process death at any write boundary
-// leaves a repository that reconverges on recovery — see the recovery
-// invariants in DESIGN.md and the power-cut property suite in
-// crash_test.go.
+// write-ahead intent record in the owning shard's journal object
+// (journal.go), and Open replays every journal so a process death at
+// any write boundary leaves a repository that reconverges on recovery
+// — see the recovery invariants in DESIGN.md and the power-cut
+// property suite in crash_test.go.
 package repo
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/obs"
+	"repro/internal/prng"
+	"repro/internal/rpc"
 	"repro/internal/simclock"
 	"repro/internal/storage"
 )
@@ -39,7 +49,9 @@ import (
 // Store is the mutable object-store surface the repository (and the
 // fleet endpoint's durable session logs) write through. *storage.Bucket
 // implements it directly; fault decorators (faultnet.CrashStore) wrap
-// it to script power cuts at write boundaries.
+// it to script power cuts at write boundaries. Stores that additionally
+// implement storage.RangeReader serve packed-run reads without
+// materializing the whole pack.
 type Store interface {
 	Get(name string) (*storage.Object, error)
 	Put(name string, data []byte) (*storage.Object, error)
@@ -52,23 +64,32 @@ type Store interface {
 
 var _ Store = (*storage.Bucket)(nil)
 
-// ManifestObject is the bucket object holding the run index.
+// ManifestObject is the bucket object holding the run index in the v1
+// single-shard layout.
 const ManifestObject = "runs/manifest.json"
 
-// casRetries bounds the manifest compare-and-swap loop. Contention this
-// deep means dozens of simultaneous finalizations; surfacing an error
-// beats spinning.
-const casRetries = 32
+// casRetries bounds a manifest shard's compare-and-swap loop. Every
+// failed CAS proves some other writer committed, so with backoff the
+// budget is consumed only while distinct writers keep winning — 512
+// outlasts any realistic burst (256 concurrent agents each commit once
+// and drain) without spinning forever on a truly wedged store.
+const casRetries = 512
 
 // Repository errors.
 var (
-	ErrRunExists          = errors.New("repo: run already exists")
-	ErrRunNotFound        = errors.New("repo: run not found")
-	ErrManifestContention = errors.New("repo: manifest contention")
+	ErrRunExists   = errors.New("repo: run already exists")
+	ErrRunNotFound = errors.New("repo: run not found")
+	// ErrManifestContention wraps rpc.ErrBusy: a CAS loop that exhausts
+	// its retries is a saturated-but-alive repository, exactly the
+	// condition rpc.IsTransient tells ReconnectClient and fleet agents
+	// to back off and retry rather than surface to an acked writer.
+	ErrManifestContention = fmt.Errorf("repo: manifest contention: %w", rpc.ErrBusy)
 )
 
 // RunInfo is one manifest entry: everything list/show need without
-// opening the archive blob.
+// opening the archive blob. A packed run (compact.go) sets Object to
+// the shared pack and Offset/Length to its byte window; Length == 0
+// means the object is the run's private blob.
 type RunInfo struct {
 	RunID      string        `json:"run_id"`
 	Workload   string        `json:"workload"`
@@ -82,9 +103,16 @@ type RunInfo struct {
 	TimeFirst  simclock.Time `json:"time_first"`
 	TimeLast   simclock.Time `json:"time_last"`
 	Object     string        `json:"object"`
+	Offset     int64         `json:"offset,omitempty"`
+	Length     int64         `json:"length,omitempty"`
 }
 
-// manifest is the stored index document.
+// packed reports whether the entry addresses a window of a shared pack
+// object rather than a private blob.
+func (info RunInfo) packed() bool { return info.Length > 0 }
+
+// manifest is the stored index document (one per shard; NextSeq is the
+// shard-local sequence counter — see shard.go for the global mapping).
 type manifest struct {
 	NextSeq uint64    `json:"next_seq"`
 	Runs    []RunInfo `json:"runs"`
@@ -105,6 +133,11 @@ type repoMetrics struct {
 	fsckIssues     *obs.Counter
 	fsckRepairs    *obs.Counter
 	salvagedSegs   *obs.Counter
+	casRetries     *obs.Counter
+	casExhausted   *obs.Counter
+	compactPacks   *obs.Counter
+	compactRuns    *obs.Counter
+	compactBytes   *obs.Counter
 }
 
 func newRepoMetrics(r *obs.Registry) repoMetrics {
@@ -113,45 +146,103 @@ func newRepoMetrics(r *obs.Registry) repoMetrics {
 		fsckIssues:     r.Counter("repo.fsck.issues"),
 		fsckRepairs:    r.Counter("repo.fsck.repairs"),
 		salvagedSegs:   r.Counter("repo.salvage.segments.recovered"),
+		casRetries:     r.Counter("repo.manifest.cas.retries"),
+		casExhausted:   r.Counter("repo.manifest.cas.exhausted"),
+		compactPacks:   r.Counter("repo.compact.packs"),
+		compactRuns:    r.Counter("repo.compact.runs"),
+		compactBytes:   r.Counter("repo.compact.bytes"),
 	}
 }
 
 // Repo is a run repository over one store. Safe for concurrent use:
-// all index mutations go through the manifest CAS, and every mutation
-// is journaled (journal.go) so a crash at any write boundary is
-// recoverable.
+// all index mutations go through per-shard manifest CAS loops, and
+// every mutation is journaled (journal.go) so a crash at any write
+// boundary is recoverable.
 type Repo struct {
 	store      Store
 	workers    int
 	obs        *obs.Registry
 	m          repoMetrics
 	journalSeq uint64 // atomic; intent/done pairing
+
+	wantShards int        // OpenShards target for fresh stores; 0 = keep what exists
+	layoutMu   sync.Mutex // guards shards
+	shards     *shardSet  // cached layout; nil until resolved
+
+	seqMu      sync.Mutex // guards the seq lease state below
+	lease      seqLease
+	leaseShard int    // rotation cursor for the next block lease
+	lastSeq    uint64 // highest seq issued or observed by this process
+
+	sleep func(time.Duration) // CAS backoff sleeper; injectable in tests
+	rngMu sync.Mutex
+	rng   *prng.Source
+
+	inflightMu sync.Mutex
+	inflight   map[string]struct{} // run IDs with an in-process Save
+
+	compactMu sync.Mutex // serializes Compact within the process
 }
 
-// New returns a repository over store. An empty store is an empty
+// New returns a repository over store. An empty store is an empty v1
 // repository; no initialization is needed. New does NOT replay the
 // intent journal — use Open when the store may hold the debris of a
 // crashed writer, or call Recover explicitly.
 func New(store Store) *Repo {
-	return &Repo{store: store, m: newRepoMetrics(nil)}
+	return &Repo{
+		store:    store,
+		m:        newRepoMetrics(nil),
+		sleep:    time.Sleep,
+		rng:      prng.New(nextRepoSeed()),
+		inflight: make(map[string]struct{}),
+	}
 }
 
 // Open returns a repository over store after replaying its intent
-// journal, so interrupted mutations from a previous process are
-// completed or rolled back before any new ones start. This is the
-// constructor every durable deployment (the CLI, the collection
-// server) should use.
+// journals, so interrupted mutations from a previous process are
+// completed or rolled back before any new ones start. The store's
+// existing layout — v1 single-manifest or sharded — is preserved; use
+// OpenShards to migrate. This is the constructor every durable
+// deployment (the CLI, the collection server) should use.
 func Open(store Store) (*Repo, *RecoveryReport, error) {
+	return OpenShards(store, 0)
+}
+
+// OpenShards is Open with a target shard count. shards > 1 migrates a
+// v1 single-manifest store (or initializes a fresh one) to that many
+// shards; a store that is already sharded keeps its existing count.
+// shards <= 1 preserves whatever layout the store has, exactly like
+// Open. Migration requires this process to be the only writer.
+func OpenShards(store Store, shards int) (*Repo, *RecoveryReport, error) {
+	if shards > MaxShards {
+		return nil, nil, fmt.Errorf("repo: %d shards exceeds the %d maximum", shards, MaxShards)
+	}
 	r := New(store)
+	r.wantShards = shards
 	rep, err := r.Recover()
 	if err != nil {
 		return nil, nil, err
+	}
+	ss, err := r.resolveShards()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case shards > 1 && ss.legacy:
+		if err := r.migrateToShards(shards); err != nil {
+			return nil, nil, err
+		}
+	case !ss.legacy:
+		// Finish an interrupted migration's cleanup (the layout object
+		// committed but the legacy objects lingered).
+		r.cleanupLegacy()
 	}
 	return r, rep, nil
 }
 
 // SetObs points the repository's durability metrics (journal replays,
-// fsck repairs, salvage counts) and recovery events at reg.
+// fsck repairs, salvage counts, CAS contention, compaction volume) and
+// recovery events at reg.
 func (r *Repo) SetObs(reg *obs.Registry) {
 	r.obs = reg
 	r.m = newRepoMetrics(reg)
@@ -166,68 +257,76 @@ func (r *Repo) SetCodecParallelism(n int) { r.workers = n }
 
 func runObject(runID string) string { return "runs/" + runID + "/archive" }
 
-// load reads the manifest and its generation (0 = not created yet).
+// load reads shard 0's manifest and its generation (0 = not created
+// yet) — in a v1 repository, the whole index.
 func (r *Repo) load() (*manifest, int64, error) {
-	obj, err := r.store.Get(ManifestObject)
-	if errors.Is(err, storage.ErrNotFound) {
-		return &manifest{NextSeq: 1}, 0, nil
-	}
+	ss, err := r.resolveShards()
 	if err != nil {
 		return nil, 0, err
 	}
-	var m manifest
-	if err := json.Unmarshal(obj.Data, &m); err != nil {
-		return nil, 0, fmt.Errorf("repo: corrupt manifest: %w", err)
-	}
-	if m.NextSeq == 0 {
-		m.NextSeq = 1
-	}
-	return &m, obj.Generation, nil
+	return r.loadManifestObject(ss.manifestObject(0))
 }
 
-// update applies mut to the manifest under a CAS loop. mut may be
-// called multiple times; it must be idempotent on its input.
+// update applies mut to shard 0's manifest under the CAS loop — in a
+// v1 repository, the whole index. mut may be called multiple times; it
+// must be idempotent on its input.
 func (r *Repo) update(mut func(*manifest) error) error {
-	for i := 0; i < casRetries; i++ {
-		m, gen, err := r.load()
-		if err != nil {
-			return err
-		}
-		if err := mut(m); err != nil {
-			return err
-		}
-		data, err := json.MarshalIndent(m, "", "  ")
-		if err != nil {
-			return err
-		}
-		if _, err := r.store.PutIf(ManifestObject, data, gen); err == nil {
-			return nil
-		} else if !errors.Is(err, storage.ErrGenerationMismatch) {
-			return err
-		}
+	ss, err := r.ensureShards()
+	if err != nil {
+		return err
 	}
-	return ErrManifestContention
+	return r.updateShardIdx(ss, 0, mut)
 }
 
 // NextSeq allocates the next logical creation sequence number. Archives
 // carry it as Meta.CreatedSeq so listings sort by creation order
 // without any wall clock (deterministic runs stay deterministic).
+// Allocation is block-leased: one manifest CAS buys seqBlockSize
+// values, and within a process the returned values are strictly
+// increasing even as leases rotate across shards (see shard.go).
 func (r *Repo) NextSeq() (uint64, error) {
-	var seq uint64
-	err := r.update(func(m *manifest) error {
-		seq = m.NextSeq
-		m.NextSeq++
-		return nil
-	})
-	return seq, err
+	ss, err := r.ensureShards()
+	if err != nil {
+		return 0, err
+	}
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
+	if r.lease.stride != uint64(ss.n) || r.lease.next >= r.lease.end {
+		if err := r.leaseSeqBlock(ss); err != nil {
+			return 0, err
+		}
+	}
+	seq := r.lease.next
+	r.lease.next += r.lease.stride
+	r.lastSeq = seq
+	return seq, nil
 }
 
-// Save validates blob as an archive, stores it, and indexes the run.
-// The archive's Meta.RunID must be non-empty and unused. The mutation
-// is journaled: an intent record lands before the blob write, so a
-// crash between the blob Put and the manifest update (or during the
-// rollback delete) leaves an orphan the next Recover reclaims instead
-// of a blob GC can never see.
+// beginInflight claims runID for an in-process Save; a second
+// concurrent claim fails, closing the duplicate-save race without any
+// storage round-trip.
+func (r *Repo) beginInflight(runID string) bool {
+	r.inflightMu.Lock()
+	defer r.inflightMu.Unlock()
+	if _, busy := r.inflight[runID]; busy {
+		return false
+	}
+	r.inflight[runID] = struct{}{}
+	return true
+}
+
+func (r *Repo) endInflight(runID string) {
+	r.inflightMu.Lock()
+	delete(r.inflight, runID)
+	r.inflightMu.Unlock()
+}
+
+// Save validates blob as an archive, stores it, and indexes the run on
+// the shard owning its ID. The archive's Meta.RunID must be non-empty
+// and unused. The mutation is journaled: an intent record lands before
+// the blob write, so a crash between the blob Put and the manifest
+// update (or during the rollback delete) leaves an orphan the next
+// Recover reclaims instead of a blob GC can never see.
 func (r *Repo) Save(blob []byte) (RunInfo, error) {
 	a, err := archive.OpenWorkers(blob, r.workers)
 	if err != nil {
@@ -252,22 +351,37 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 		TimeLast:   last,
 		Object:     runObject(meta.RunID),
 	}
+	ss, err := r.ensureShards()
+	if err != nil {
+		return RunInfo{}, err
+	}
+	// Two saves of one run ID in this process share the blob object
+	// name; serialize them here so the loser never journals an intent
+	// against bytes the winner owns.
+	if !r.beginInflight(info.RunID) {
+		return RunInfo{}, fmt.Errorf("%w: %q (save in flight)", ErrRunExists, info.RunID)
+	}
+	defer r.endInflight(info.RunID)
+	si := ss.shardOf(info.RunID)
+	jname := ss.journalObject(si)
 	// Reject duplicates before any write: a doomed save must not
 	// journal an intent against an object some committed run owns
 	// (replaying such an intent would reclaim the original's blob).
-	if m, _, err := r.load(); err != nil {
+	if m, _, err := r.loadManifestObject(ss.manifestObject(si)); err != nil {
 		return RunInfo{}, err
 	} else if m.find(info.RunID) >= 0 {
 		return RunInfo{}, fmt.Errorf("%w: %q", ErrRunExists, info.RunID)
 	}
-	seq, err := r.logIntent(opSave, info.RunID, info.Object, nil)
+	seq, err := r.logIntentAt(jname, journalRecord{
+		Op: opSave, RunID: info.RunID, Object: info.Object,
+	})
 	if err != nil {
 		return RunInfo{}, err
 	}
 	if _, err := r.store.Put(info.Object, blob); err != nil {
 		return RunInfo{}, err
 	}
-	err = r.update(func(m *manifest) error {
+	err = r.updateShardIdx(ss, si, func(m *manifest) error {
 		if m.find(info.RunID) >= 0 {
 			return fmt.Errorf("%w: %q", ErrRunExists, info.RunID)
 		}
@@ -281,8 +395,18 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 			// winner's manifest entry — leave it, and close our
 			// intent (a replay would find the run in the manifest and
 			// do nothing anyway).
-			r.logDone(seq, opSave)
+			r.logDoneAt(jname, seq, opSave)
 			return RunInfo{}, err
+		}
+		// The update failed for some other reason (flaky storage, CAS
+		// exhaustion). Re-verify under the shard index before rolling
+		// back: a concurrent save of the same ID may have committed
+		// between our pre-check and this failure, in which case the
+		// blob now belongs to the winner and deleting it would reclaim
+		// an indexed run's bytes.
+		if m, _, lerr := r.loadManifestObject(ss.manifestObject(si)); lerr == nil && m.find(info.RunID) >= 0 {
+			r.logDoneAt(jname, seq, opSave)
+			return RunInfo{}, fmt.Errorf("%w: %q", ErrRunExists, info.RunID)
 		}
 		// Roll the blob back so a failed index never leaves an
 		// unlisted orphan. If this delete itself fails (flaky or dead
@@ -291,11 +415,11 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 		// journal, not by hoping the delete succeeds (see
 		// TestSaveRollbackFailureReclaimedByRecover).
 		if derr := r.store.Delete(info.Object); derr == nil || errors.Is(derr, storage.ErrNotFound) {
-			r.logDone(seq, opSave)
+			r.logDoneAt(jname, seq, opSave)
 		}
 		return RunInfo{}, err
 	}
-	r.logDone(seq, opSave)
+	r.logDoneAt(jname, seq, opSave)
 	r.compactJournalIfSettled(journalCompactThreshold)
 	return info, nil
 }
@@ -316,15 +440,20 @@ func (f Filter) match(info RunInfo) bool {
 	return true
 }
 
-// List returns matching runs sorted by creation sequence (run ID as a
-// tiebreak so listings are total-ordered).
+// List returns matching runs from every shard, sorted by creation
+// sequence (run ID as a tiebreak so listings are total-ordered even if
+// a foreign tool minted colliding sequences).
 func (r *Repo) List(f Filter) ([]RunInfo, error) {
-	m, _, err := r.load()
+	ss, err := r.resolveShards()
+	if err != nil {
+		return nil, err
+	}
+	ms, _, err := r.loadAllShards(ss)
 	if err != nil {
 		return nil, err
 	}
 	var out []RunInfo
-	for _, info := range m.Runs {
+	for _, info := range mergedRuns(ms) {
 		if f.match(info) {
 			out = append(out, info)
 		}
@@ -340,7 +469,11 @@ func (r *Repo) List(f Filter) ([]RunInfo, error) {
 
 // Info returns one run's manifest entry.
 func (r *Repo) Info(runID string) (RunInfo, error) {
-	m, _, err := r.load()
+	ss, err := r.resolveShards()
+	if err != nil {
+		return RunInfo{}, err
+	}
+	m, _, err := r.loadManifestObject(ss.manifestObject(ss.shardOf(runID)))
 	if err != nil {
 		return RunInfo{}, err
 	}
@@ -351,62 +484,145 @@ func (r *Repo) Info(runID string) (RunInfo, error) {
 	return m.Runs[i], nil
 }
 
+// readEntryBytes fetches a run's archive bytes, slicing its window out
+// of the shared pack when the entry is packed. Stores exposing
+// storage.RangeReader serve the window directly; others fall back to
+// whole-object Get plus slice.
+func (r *Repo) readEntryBytes(info RunInfo) ([]byte, error) {
+	if !info.packed() {
+		obj, err := r.store.Get(info.Object)
+		if err != nil {
+			return nil, err
+		}
+		return obj.Data, nil
+	}
+	if rr, ok := r.store.(storage.RangeReader); ok {
+		return rr.GetRange(info.Object, info.Offset, info.Length)
+	}
+	obj, err := r.store.Get(info.Object)
+	if err != nil {
+		return nil, err
+	}
+	end := info.Offset + info.Length
+	if info.Offset < 0 || end > int64(len(obj.Data)) {
+		return nil, fmt.Errorf("repo: run %q window [%d,%d) outside pack %s (%d bytes)",
+			info.RunID, info.Offset, end, info.Object, len(obj.Data))
+	}
+	return obj.Data[info.Offset:end], nil
+}
+
 // Get opens a run's archive.
 func (r *Repo) Get(runID string) (RunInfo, *archive.Archive, error) {
 	info, err := r.Info(runID)
 	if err != nil {
 		return RunInfo{}, nil, err
 	}
-	obj, err := r.store.Get(info.Object)
+	blob, err := r.readEntryBytes(info)
 	if err != nil {
 		return RunInfo{}, nil, fmt.Errorf("repo: run %q blob: %w", runID, err)
 	}
-	a, err := archive.OpenWorkers(obj.Data, r.workers)
+	a, err := archive.OpenWorkers(blob, r.workers)
 	if err != nil {
 		return RunInfo{}, nil, fmt.Errorf("repo: run %q: %w", runID, err)
 	}
 	return info, a, nil
 }
 
-// Delete removes a run from the index and deletes its blob. The
-// intent record lands before the manifest update, so a crash between
-// un-indexing the run and deleting its blob leaves a leftover the next
-// Recover reclaims.
+// deleteEntryBlob removes the storage behind a de-indexed entry. A
+// private blob is deleted outright; a pack is deleted only when no
+// indexed entry on any shard still references it (siblings keep their
+// windows). Losing that race leaks a pack at worst, which Fsck flags
+// as an orphan.
+func (r *Repo) deleteEntryBlob(ss shardSet, e RunInfo) error {
+	if e.Object == "" {
+		return nil
+	}
+	if e.packed() || strings.HasPrefix(e.Object, PackPrefix) {
+		referenced, err := r.packReferenced(ss, e.Object)
+		if err != nil || referenced {
+			return err
+		}
+	}
+	if derr := r.store.Delete(e.Object); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+		return derr
+	}
+	return nil
+}
+
+// packReferenced reports whether any indexed entry still addresses the
+// pack object.
+func (r *Repo) packReferenced(ss shardSet, pack string) (bool, error) {
+	ms, _, err := r.loadAllShards(ss)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range mergedRuns(ms) {
+		if e.Object == pack {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Delete removes a run from its shard's index and deletes its blob
+// (or, for a packed run, drops the pack once no sibling references
+// it). The intent record lands before the manifest update, so a crash
+// between un-indexing the run and deleting its blob leaves a leftover
+// the next Recover reclaims.
 func (r *Repo) Delete(runID string) error {
-	seq, err := r.logIntent(opDelete, runID, runObject(runID), nil)
+	ss, err := r.ensureShards()
 	if err != nil {
 		return err
 	}
-	err = r.update(func(m *manifest) error {
+	si := ss.shardOf(runID)
+	jname := ss.journalObject(si)
+	// Resolve the entry first so the intent records the object the run
+	// actually lives in — a packed run's object is the shared pack,
+	// which recovery must only reclaim when no sibling references it.
+	obj := runObject(runID)
+	if m, _, err := r.loadManifestObject(ss.manifestObject(si)); err != nil {
+		return err
+	} else if i := m.find(runID); i >= 0 {
+		obj = m.Runs[i].Object
+	}
+	seq, err := r.logIntentAt(jname, journalRecord{
+		Op: opDelete, RunID: runID, Object: obj,
+	})
+	if err != nil {
+		return err
+	}
+	var removed RunInfo
+	err = r.updateShardIdx(ss, si, func(m *manifest) error {
 		i := m.find(runID)
 		if i < 0 {
 			return fmt.Errorf("%w: %q", ErrRunNotFound, runID)
 		}
+		removed = m.Runs[i]
 		m.Runs = append(m.Runs[:i], m.Runs[i+1:]...)
 		return nil
 	})
 	if err != nil {
 		if errors.Is(err, ErrRunNotFound) {
 			// Nothing to undo; the intent is settled.
-			r.logDone(seq, opDelete)
+			r.logDoneAt(jname, seq, opDelete)
 		}
 		return err
 	}
-	if derr := r.store.Delete(runObject(runID)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
+	if derr := r.deleteEntryBlob(ss, removed); derr != nil {
 		// Manifest entry is gone but the blob lingers; leave the
 		// intent open so Recover finishes the job.
 		return derr
 	}
-	r.logDone(seq, opDelete)
+	r.logDoneAt(jname, seq, opDelete)
 	return nil
 }
 
-// gcVictims computes the run IDs GC would drop from m, in manifest
-// order: everything but the newest keep runs per workload (by creation
-// sequence), and removes them from m.
-func gcVictims(m *manifest, keep int) []string {
+// gcDropSet returns the run IDs GC would drop from the merged view:
+// everything but the newest keep runs per workload, ranked by
+// (CreatedSeq, RunID) so interleaved shard allocations rank totally.
+func gcDropSet(entries []RunInfo, keep int) map[string]bool {
 	byWorkload := make(map[string][]RunInfo)
-	for _, info := range m.Runs {
+	for _, info := range entries {
 		byWorkload[info.Workload] = append(byWorkload[info.Workload], info)
 	}
 	drop := make(map[string]bool)
@@ -424,74 +640,104 @@ func gcVictims(m *manifest, keep int) []string {
 			drop[info.RunID] = true
 		}
 	}
-	var victims []string
-	kept := m.Runs[:0]
-	for _, info := range m.Runs {
-		if drop[info.RunID] {
-			victims = append(victims, info.RunID)
-		} else {
-			kept = append(kept, info)
-		}
-	}
-	m.Runs = kept
-	return victims
+	return drop
 }
 
-// GC keeps the newest keep runs per workload (by creation sequence) and
-// deletes the rest, returning the deleted run IDs in deletion order.
-// GC runs its own CAS loop instead of update() because the intent
-// record must carry the victim set computed against the exact manifest
-// generation being swapped — a crash after the swap but before the
+// GC keeps the newest keep runs per workload (by creation sequence,
+// decided over the merged cross-shard view) and deletes the rest,
+// returning the deleted run IDs in deletion order. Each shard commits
+// its removals under its own CAS with its own intent record — the
+// intent must carry the victim set computed against the exact manifest
+// generation being swapped, so a crash after the swap but before the
 // blob deletes lets Recover reclaim precisely those victims.
 func (r *Repo) GC(keep int) ([]string, error) {
 	if keep < 0 {
 		keep = 0
 	}
-	var victims []string
-	committed := false
-	var seq uint64
-	for i := 0; i < casRetries && !committed; i++ {
-		m, gen, err := r.load()
+	ss, err := r.ensureShards()
+	if err != nil {
+		return nil, err
+	}
+	var all []string
+	for si := 0; si < ss.n; si++ {
+		victims, err := r.gcShard(ss, si, keep)
+		all = append(all, victims...)
+		if err != nil {
+			return all, err
+		}
+	}
+	if len(all) > 0 {
+		r.compactJournalIfSettled(journalCompactThreshold)
+	}
+	return all, nil
+}
+
+// gcShard runs one shard's GC round: recompute the global drop set,
+// journal this shard's victims, CAS the shard manifest, then delete
+// the victim blobs.
+func (r *Repo) gcShard(ss shardSet, si, keep int) ([]string, error) {
+	jname := ss.journalObject(si)
+	for attempt := 0; attempt < casRetries; attempt++ {
+		if attempt > 0 {
+			r.casBackoff(attempt)
+		}
+		ms, gens, err := r.loadAllShards(ss)
 		if err != nil {
 			return nil, err
 		}
-		victims = gcVictims(m, keep)
+		drop := gcDropSet(mergedRuns(ms), keep)
+		m, gen := ms[si], gens[si]
+		var victims []string
+		var victimObjs []string
+		var victimEntries []RunInfo
+		kept := m.Runs[:0]
+		for _, info := range m.Runs {
+			if drop[info.RunID] {
+				victims = append(victims, info.RunID)
+				victimObjs = append(victimObjs, info.Object)
+				victimEntries = append(victimEntries, info)
+			} else {
+				kept = append(kept, info)
+			}
+		}
 		if len(victims) == 0 {
 			return nil, nil
 		}
-		data, err := json.MarshalIndent(m, "", "  ")
+		m.Runs = kept
+		data, err := marshalManifest(m)
 		if err != nil {
 			return nil, err
 		}
-		seq, err = r.logIntent(opGC, "", "", sortedUnique(victims))
+		seq, err := r.logIntentAt(jname, journalRecord{
+			Op: opGC, Victims: sortedUnique(victims), Objects: sortedUnique(victimObjs),
+		})
 		if err != nil {
 			return nil, err
 		}
-		if _, err := r.store.PutIf(ManifestObject, data, gen); err == nil {
-			committed = true
+		if _, err := r.store.PutIf(ss.manifestObject(si), data, gen); err == nil {
+			for _, e := range victimEntries {
+				if derr := r.deleteEntryBlob(ss, e); derr != nil {
+					// Leave the intent open: Recover deletes the
+					// remaining victim blobs.
+					return victims, derr
+				}
+			}
+			r.logDoneAt(jname, seq, opGC)
+			return victims, nil
 		} else if errors.Is(err, storage.ErrGenerationMismatch) {
 			// Lost the race; the recorded victims are still in the
 			// manifest, so this intent is harmless — close it and
 			// recompute against the new generation.
-			r.logDone(seq, opGC)
+			r.logDoneAt(jname, seq, opGC)
+			r.m.casRetries.Inc()
+			r.shardCounter(si, "cas_retries").Inc()
 		} else {
-			r.logDone(seq, opGC)
+			r.logDoneAt(jname, seq, opGC)
 			return nil, err
 		}
 	}
-	if !committed {
-		return nil, ErrManifestContention
-	}
-	for _, id := range victims {
-		if derr := r.store.Delete(runObject(id)); derr != nil && !errors.Is(derr, storage.ErrNotFound) {
-			// Leave the intent open: Recover deletes the remaining
-			// victim blobs.
-			return victims, derr
-		}
-	}
-	r.logDone(seq, opGC)
-	r.compactJournalIfSettled(journalCompactThreshold)
-	return victims, nil
+	r.m.casExhausted.Inc()
+	return nil, fmt.Errorf("%w: gc on shard %d", ErrManifestContention, si)
 }
 
 // Compare diffs two stored runs by ID. See DiffArchives for the

@@ -1,0 +1,510 @@
+package repo
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+func openSharded(t *testing.T, store Store, shards int) *Repo {
+	t.Helper()
+	r, _, err := OpenShards(store, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestShardRoutingStable pins the hash routing: the same run ID must
+// land on the same shard forever (a routing change would strand every
+// existing entry on the wrong shard).
+func TestShardRoutingStable(t *testing.T) {
+	ss := shardSet{n: 8}
+	for id, want := range map[string]int{
+		"run-a":       shardIndex("run-a", 8),
+		"dcgan-00042": shardIndex("dcgan-00042", 8),
+	} {
+		if got := ss.shardOf(id); got != want {
+			t.Fatalf("shardOf(%q) = %d, want %d", id, got, want)
+		}
+	}
+	// Distribution sanity: 256 IDs over 8 shards should touch them all.
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		seen[ss.shardOf("agent-"+strconv.Itoa(i))] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("256 IDs hit only %d/8 shards", len(seen))
+	}
+}
+
+// TestNextSeqMonotonicAcrossShardLeases is the regression test for the
+// cross-shard ordering bug: lease blocks rotate across shards, and the
+// global sequence must stay strictly increasing within a process — no
+// duplicates, no order flips — even as the allocator interleaves shard
+// blocks.
+func TestNextSeqMonotonicAcrossShardLeases(t *testing.T) {
+	r := openSharded(t, newTestBucket(t), 4)
+	var prev uint64
+	seen := make(map[uint64]bool)
+	// 300 allocations forces several lease rotations (block size 64).
+	for i := 0; i < 300; i++ {
+		seq, err := r.NextSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq <= prev {
+			t.Fatalf("allocation %d: seq %d after %d — order flipped", i, seq, prev)
+		}
+		if seen[seq] {
+			t.Fatalf("allocation %d: seq %d issued twice", i, seq)
+		}
+		seen[seq] = true
+		prev = seq
+	}
+}
+
+// TestNextSeqDisjointAcrossProcesses: two repository handles over the
+// same store (two collection servers) must never issue the same
+// sequence, and each must stay internally monotonic.
+func TestNextSeqDisjointAcrossProcesses(t *testing.T) {
+	bucket := newTestBucket(t)
+	r1 := openSharded(t, bucket, 4)
+	r2 := openSharded(t, bucket, 4)
+	seen := make(map[uint64]string)
+	var p1, p2 uint64
+	for i := 0; i < 200; i++ {
+		s1, err := r1.NextSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := r2.NextSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 <= p1 || s2 <= p2 {
+			t.Fatalf("iteration %d: non-monotonic (%d<=%d or %d<=%d)", i, s1, p1, s2, p2)
+		}
+		p1, p2 = s1, s2
+		for _, pair := range []struct {
+			who string
+			s   uint64
+		}{{"r1", s1}, {"r2", s2}} {
+			if prev, dup := seen[pair.s]; dup {
+				t.Fatalf("seq %d issued by both %s and %s", pair.s, prev, pair.who)
+			}
+			seen[pair.s] = pair.who
+		}
+	}
+}
+
+// TestCasBackoffDeterministicSchedule: the backoff sleeps come from the
+// injected prng through the injected sleeper — no wall clock — and the
+// jitter ceilings grow exponentially up to the cap.
+func TestCasBackoffDeterministicSchedule(t *testing.T) {
+	r := New(newTestBucket(t))
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	for attempt := 1; attempt <= 12; attempt++ {
+		r.casBackoff(attempt)
+	}
+	if len(slept) != 12 {
+		t.Fatalf("expected 12 sleeps, got %d", len(slept))
+	}
+	for i, d := range slept {
+		shift := i + 1
+		if shift > casBackoffMaxShift {
+			shift = casBackoffMaxShift
+		}
+		ceil := casBackoffBase << shift
+		if d < 0 || d >= ceil {
+			t.Fatalf("attempt %d slept %v, want [0,%v)", i+1, d, ceil)
+		}
+	}
+	// Deterministic: a second repository seeded identically replays the
+	// same schedule.
+	r2 := New(newTestBucket(t))
+	r2.rng = r.rng.Fork(1) // different stream must differ somewhere
+	var slept2 []time.Duration
+	r2.sleep = func(d time.Duration) { slept2 = append(slept2, d) }
+	for attempt := 1; attempt <= 12; attempt++ {
+		r2.casBackoff(attempt)
+	}
+	same := len(slept) == len(slept2)
+	if same {
+		for i := range slept {
+			if slept[i] != slept2[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("two distinct jitter streams produced identical schedules")
+	}
+}
+
+// TestManifestContentionIsTransient pins the error classification the
+// fleet retry path depends on: CAS exhaustion must read as a transient
+// busy condition, not a permanent failure.
+func TestManifestContentionIsTransient(t *testing.T) {
+	if !errors.Is(ErrManifestContention, rpc.ErrBusy) {
+		t.Fatal("ErrManifestContention does not wrap rpc.ErrBusy")
+	}
+	if !rpc.IsTransient(ErrManifestContention) {
+		t.Fatal("IsTransient(ErrManifestContention) = false; agents would fail instead of retrying")
+	}
+	wrapped := errors.New("outer: " + ErrManifestContention.Error())
+	_ = wrapped // plain string copies must NOT classify — only the wrapped chain
+	if rpc.IsTransient(&rpc.RemoteError{Msg: "x"}) {
+		t.Fatal("RemoteError must not be transient")
+	}
+}
+
+// TestUpdateContentionBacksOffAndSucceeds: injected generation
+// mismatches (every 2nd PutIf fails) must be absorbed by the retry
+// loop — the mutation still lands, the backoff sleeper is exercised,
+// and no ErrManifestContention escapes.
+func TestUpdateContentionBacksOffAndSucceeds(t *testing.T) {
+	bucket := newTestBucket(t)
+	cs := &faultnet.ContendingStore{Inner: bucket, FailEvery: 2}
+	r, _, err := OpenShards(cs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sleeps int
+	r.sleep = func(time.Duration) { sleeps++ }
+	for i := 0; i < 20; i++ {
+		id := "run-" + strconv.Itoa(i)
+		if _, err := r.Save(archiveBlob(t, id, uint64(i+1), 0)); err != nil {
+			t.Fatalf("save %s under injected contention: %v", id, err)
+		}
+	}
+	if cs.Injections() == 0 {
+		t.Fatal("contention injector never fired")
+	}
+	if sleeps == 0 {
+		t.Fatal("CAS retries never backed off")
+	}
+	listed, err := r.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 20 {
+		t.Fatalf("listed %d runs, want 20", len(listed))
+	}
+}
+
+// TestMigrationRoundTrip: a populated v1 repository opened with a shard
+// target must preserve every run, adopt the sharded layout durably, and
+// keep allocating sequences above the migrated maximum.
+func TestMigrationRoundTrip(t *testing.T) {
+	bucket := newTestBucket(t)
+	legacy, _, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 7
+	for i := 0; i < runs; i++ {
+		seq, err := legacy.NextSeq()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := legacy.Save(archiveBlob(t, "run-"+strconv.Itoa(i), seq, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := legacy.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := openSharded(t, bucket, 4)
+	if n, _ := r.Shards(); n != 4 {
+		t.Fatalf("Shards() = %d after migration, want 4", n)
+	}
+	if bucket.Exists(ManifestObject) || bucket.Exists(JournalObject) {
+		t.Fatal("legacy objects survived migration")
+	}
+	if !bucket.Exists(LayoutObject) {
+		t.Fatal("layout object missing after migration")
+	}
+	after, err := r.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("migration changed run count: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("run %d changed across migration:\n  before %+v\n  after  %+v", i, before[i], after[i])
+		}
+	}
+	for _, info := range after {
+		if _, _, err := r.Get(info.RunID); err != nil {
+			t.Fatalf("migrated run %q unreadable: %v", info.RunID, err)
+		}
+	}
+	rep, err := r.Fsck(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck after migration: %+v", rep.Issues)
+	}
+	seq, err := r.NextSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSeq uint64
+	for _, info := range before {
+		if info.CreatedSeq > maxSeq {
+			maxSeq = info.CreatedSeq
+		}
+	}
+	if seq <= maxSeq {
+		t.Fatalf("post-migration NextSeq %d not above migrated max %d", seq, maxSeq)
+	}
+
+	// Re-opening without a target keeps the sharded layout.
+	r2, _, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r2.Shards(); n != 4 {
+		t.Fatalf("re-open lost the sharded layout (Shards() = %d)", n)
+	}
+	// Re-opening with a different target keeps the committed count.
+	r3 := openSharded(t, bucket, 8)
+	if n, _ := r3.Shards(); n != 4 {
+		t.Fatalf("OpenShards(8) on a 4-shard store reported %d shards", n)
+	}
+}
+
+// TestMigrationPowerCut kills the migration at every write boundary and
+// verifies the repository recovers to a consistent state — either still
+// v1 or fully sharded, never half — with every run intact.
+func TestMigrationPowerCut(t *testing.T) {
+	seed := func(t *testing.T, store Store) {
+		legacy, _, err := Open(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			seq, err := legacy.NextSeq()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := legacy.Save(archiveBlob(t, "run-"+strconv.Itoa(i), seq, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Budget from a dry run of just the migration.
+	dryBucket := newTestBucket(t)
+	seed(t, dryBucket)
+	dry := faultnet.NewCrashStore(dryBucket)
+	if _, _, err := OpenShards(dry, 3); err != nil {
+		t.Fatal(err)
+	}
+	budget := dry.Writes()
+	if budget < 3 {
+		t.Fatalf("migration write budget %d suspiciously small", budget)
+	}
+
+	for n := 0; n < budget; n++ {
+		bucket := newTestBucket(t)
+		seed(t, bucket)
+		cs := faultnet.NewCrashStore(bucket)
+		cs.CrashAfterWrites(n, false)
+		_, _, err := OpenShards(cs, 3)
+		if err == nil && !cs.Dead() {
+			t.Fatalf("cut@%d never fired (budget %d)", n, budget)
+		}
+
+		// Power restored: a plain Open must recover a clean repository.
+		r, _, err := Open(bucket)
+		if err != nil {
+			t.Fatalf("cut@%d: recovery open: %v", n, err)
+		}
+		listed, err := r.List(Filter{})
+		if err != nil {
+			t.Fatalf("cut@%d: list: %v", n, err)
+		}
+		if len(listed) != 5 {
+			t.Fatalf("cut@%d: %d runs survived, want 5", n, len(listed))
+		}
+		for _, info := range listed {
+			if _, _, err := r.Get(info.RunID); err != nil {
+				t.Fatalf("cut@%d: run %q unreadable: %v", n, info.RunID, err)
+			}
+		}
+		rep, err := r.Fsck(false)
+		if err != nil {
+			t.Fatalf("cut@%d: fsck: %v", n, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("cut@%d: fsck issues: %+v", n, rep.Issues)
+		}
+		// A second migration attempt must complete idempotently.
+		r2 := openSharded(t, bucket, 3)
+		if listed2, _ := r2.List(Filter{}); len(listed2) != 5 {
+			t.Fatalf("cut@%d: re-migration lost runs (%d/5)", n, len(listed2))
+		}
+	}
+}
+
+// TestLayoutCreationRace: two fresh handles with different shard
+// targets racing to initialize one store must converge on a single
+// layout (PutIf gen 0 — exactly one creator wins).
+func TestLayoutCreationRace(t *testing.T) {
+	bucket := newTestBucket(t)
+	r1 := openSharded(t, bucket, 4)
+	r2 := openSharded(t, bucket, 8)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = r1.Save(archiveBlob(t, "left", 1, 0)) }()
+	go func() { defer wg.Done(); _, errs[1] = r2.Save(archiveBlob(t, "right", 2, 0)) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("saver %d: %v", i, err)
+		}
+	}
+	n1, _ := r1.Shards()
+	n2, _ := r2.Shards()
+	if n1 != n2 {
+		t.Fatalf("handles disagree on shard count: %d vs %d", n1, n2)
+	}
+	r3, _, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed, err := r3.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 2 {
+		t.Fatalf("listed %d runs, want 2", len(listed))
+	}
+}
+
+// TestSaveRollbackSparesWinnerBlob is the TOCTOU regression test: r1's
+// Save passes its duplicate pre-check, then a concurrent save of the
+// same run ID commits through a second handle before r1's manifest
+// update fails hard. r1's rollback must NOT delete the blob — it now
+// belongs to the winner's manifest entry.
+func TestSaveRollbackSparesWinnerBlob(t *testing.T) {
+	bucket := newTestBucket(t)
+	r2, _, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := archiveBlob(t, "contested", 1, 0)
+
+	var once sync.Once
+	hs := &hookStore{Store: bucket}
+	hs.putIfErr = func(name string) error {
+		var ferr error
+		if name == ManifestObject {
+			once.Do(func() {
+				// The interleaved winner: commits the same run ID through
+				// a clean handle, then r1's own update fails hard.
+				if _, err := r2.Save(blob); err != nil {
+					t.Errorf("winner save: %v", err)
+				}
+				ferr = errors.New("injected hard failure after winner committed")
+			})
+			if ferr != nil {
+				return ferr
+			}
+		}
+		return nil
+	}
+	r1 := New(hs)
+
+	_, err = r1.Save(blob)
+	if !errors.Is(err, ErrRunExists) {
+		t.Fatalf("loser got %v, want ErrRunExists", err)
+	}
+	if !bucket.Exists(runObject("contested")) {
+		t.Fatal("loser's rollback reclaimed the winner's blob")
+	}
+	if _, _, err := r2.Get("contested"); err != nil {
+		t.Fatalf("winner's run unreadable after loser rollback: %v", err)
+	}
+	rep, err := r2.Fsck(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fsck after contested save: %+v", rep.Issues)
+	}
+}
+
+// TestConcurrentSameIDSaves: many goroutines saving the same run ID
+// through one handle — exactly one wins, the rest get ErrRunExists,
+// and the winner's blob survives intact.
+func TestConcurrentSameIDSaves(t *testing.T) {
+	r := openSharded(t, newTestBucket(t), 4)
+	blob := archiveBlob(t, "dup", 1, 0)
+	const savers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, savers)
+	wg.Add(savers)
+	for i := 0; i < savers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Save(blob)
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrRunExists):
+		default:
+			t.Fatalf("saver %d: unexpected error %v", i, err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d savers won, want exactly 1", wins)
+	}
+	if _, _, err := r.Get("dup"); err != nil {
+		t.Fatalf("winning save unreadable: %v", err)
+	}
+}
+
+// TestRangeReaderServesPackedRuns: the storage.RangeReader fast path
+// and the Get-and-slice fallback must return identical bytes.
+func TestRangeReaderServesPackedRuns(t *testing.T) {
+	bucket := newTestBucket(t)
+	var rr storage.RangeReader = bucket
+	if _, err := bucket.Put("obj", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.GetRange("obj", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Fatalf("GetRange = %q", got)
+	}
+	if _, err := rr.GetRange("obj", 8, 10); err == nil {
+		t.Fatal("out-of-bounds range did not error")
+	}
+	if _, err := rr.GetRange("missing", 0, 1); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing object: %v", err)
+	}
+}

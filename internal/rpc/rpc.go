@@ -329,9 +329,12 @@ func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 // IsTransient reports whether err could plausibly be cured by retrying on
 // a fresh connection: closed or reset transports, timeouts, dial
 // failures, and server-busy rejections (ErrBusy — the server is alive,
-// just saturated; backing off and retrying is exactly right).
-// Application-level RemoteErrors, oversized frames (a local encoding
-// bug), and an open circuit breaker are not transient.
+// just saturated; backing off and retrying is exactly right). Repository
+// manifest contention (repo.ErrManifestContention wraps ErrBusy) rides
+// the same classification: every failed CAS means another writer
+// committed, so the losing agent should back off and retry, not fail
+// its run. Application-level RemoteErrors, oversized frames (a local
+// encoding bug), and an open circuit breaker are not transient.
 func IsTransient(err error) bool {
 	if err == nil {
 		return false

@@ -178,6 +178,35 @@ func (b *Bucket) Get(name string) (*Object, error) {
 	return obj.copy(), nil
 }
 
+// RangeReader is the optional capability of stores that can serve a
+// byte range of an object without materializing the whole blob — the
+// GCS "Range:" header. Callers discover it with a type assertion and
+// fall back to Get-and-slice when the store lacks it, so decorators
+// (fault injectors, crash simulators) stay compatible without
+// forwarding the method.
+type RangeReader interface {
+	GetRange(name string, off, n int64) ([]byte, error)
+}
+
+// GetRange returns a copy of n bytes of the object starting at off.
+// Unlike Get it copies only the requested window, which is what makes
+// reading one run out of a multi-megabyte consolidated pack cheap.
+func (b *Bucket) GetRange(name string, off, n int64) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	obj, ok := b.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, b.name, name)
+	}
+	if off < 0 || n < 0 || off+n > int64(len(obj.Data)) {
+		return nil, fmt.Errorf("storage: range [%d,%d) outside %s/%s (%d bytes)",
+			off, off+n, b.name, name, len(obj.Data))
+	}
+	cp := make([]byte, n)
+	copy(cp, obj.Data[off:off+n])
+	return cp, nil
+}
+
 // Exists reports whether an object is present.
 func (b *Bucket) Exists(name string) bool {
 	b.mu.RLock()

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Benchmark regression gate: regenerate the analyzer, archive, and
-# stream benchmarks in quick mode and compare them against the committed
-# BENCH_analyzer.json / BENCH_archive.json / BENCH_stream.json
-# baselines. Fails when any shared kernel/mode/n entry regresses past
-# the tolerance, when the grid-indexed DBSCAN stops beating the
-# quadratic reference by at least MIN_GRID_SPEEDUP, or when the
+# Benchmark regression gate: regenerate the analyzer, archive, stream,
+# and ingest benchmarks in quick mode and compare them against the
+# committed BENCH_analyzer.json / BENCH_archive.json / BENCH_stream.json
+# / BENCH_ingest.json baselines. Fails when any shared kernel/mode/n
+# entry regresses past the tolerance, when the grid-indexed DBSCAN stops
+# beating the quadratic reference by at least MIN_GRID_SPEEDUP, when the
 # streaming analyzer's fidelity against batch OLS falls outside the
-# MIN_STREAM_F1 / MAX_SHARE_MAPE floors.
+# MIN_STREAM_F1 / MAX_SHARE_MAPE floors, or when the sharded
+# repository's p99 save latency regresses past MAX_INGEST_P99_REGRESS.
 #
 # Environment:
 #   BENCH_TOLERANCE      allowed ns/op regression fraction (default 0.25;
@@ -25,9 +26,15 @@
 #                        batch analyzer at duty 1/10 (default 0.9)
 #   MAX_SHARE_MAPE       allowed streaming time-share MAPE vs the batch
 #                        analyzer at duty 1/10 (default 0.10)
+#   MAX_INGEST_P99_REGRESS allowed p99 save-latency regression fraction
+#                        per ingest agent count (default 3.0 — concurrent
+#                        latency tails are noisy on shared CI runners, so
+#                        the gate catches order-of-magnitude contention
+#                        collapses, not scheduling jitter)
 #   BENCH_BASELINE       analyzer baseline (default BENCH_analyzer.json)
 #   ARCHIVE_BASELINE     archive baseline (default BENCH_archive.json)
 #   STREAM_BASELINE      stream baseline (default BENCH_stream.json)
+#   INGEST_BASELINE      ingest baseline (default BENCH_ingest.json)
 #
 # Run directly or via `BENCH_GATE=1 make check`.
 set -euo pipefail
@@ -37,6 +44,7 @@ cd "$(dirname "$0")/.."
 baseline="${BENCH_BASELINE:-BENCH_analyzer.json}"
 archive_baseline="${ARCHIVE_BASELINE:-BENCH_archive.json}"
 stream_baseline="${STREAM_BASELINE:-BENCH_stream.json}"
+ingest_baseline="${INGEST_BASELINE:-BENCH_ingest.json}"
 tolerance="${BENCH_TOLERANCE:-0.25}"
 alloc_tolerance="${ALLOC_TOLERANCE:-0.10}"
 min_grid="${MIN_GRID_SPEEDUP:-2}"
@@ -44,8 +52,9 @@ min_decode="${MIN_DECODE_SPEEDUP:-2}"
 min_alloc_reduction="${MIN_ALLOC_REDUCTION:-0.5}"
 min_stream_f1="${MIN_STREAM_F1:-0.9}"
 max_share_mape="${MAX_SHARE_MAPE:-0.10}"
+max_ingest_p99_regress="${MAX_INGEST_P99_REGRESS:-3.0}"
 
-for b in "$baseline" "$archive_baseline" "$stream_baseline"; do
+for b in "$baseline" "$archive_baseline" "$stream_baseline" "$ingest_baseline"; do
     if [ ! -f "$b" ]; then
         echo "benchdiff.sh: baseline $b not found" >&2
         exit 1
@@ -55,7 +64,8 @@ done
 fresh="$(mktemp /tmp/bench_analyzer.XXXXXX.json)"
 fresh_archive="$(mktemp /tmp/bench_archive.XXXXXX.json)"
 fresh_stream="$(mktemp /tmp/bench_stream.XXXXXX.json)"
-trap 'rm -f "$fresh" "$fresh_archive" "$fresh_stream"' EXIT
+fresh_ingest="$(mktemp /tmp/bench_ingest.XXXXXX.json)"
+trap 'rm -f "$fresh" "$fresh_archive" "$fresh_stream" "$fresh_ingest"' EXIT
 
 echo "== paperbench -analyzer-bench (quick)"
 go run ./cmd/paperbench -analyzer-bench "$fresh" -bench-quick
@@ -90,3 +100,19 @@ echo "== benchdiff vs $stream_baseline (F1 floor ${min_stream_f1}, MAPE ceiling 
 go run ./cmd/benchdiff -old "$stream_baseline" -new "$fresh_stream" \
     -tolerance 1.0 -min-grid-speedup 0 \
     -min-stream-f1 "$min_stream_f1" -max-share-mape "$max_share_mape"
+
+echo "== paperbench -ingest-bench (quick)"
+go run ./cmd/paperbench -ingest-bench "$fresh_ingest" -bench-quick
+
+# Sharded-ingest gate: p99 save latency at each agent count both reports
+# measured must stay within MAX_INGEST_P99_REGRESS of the baseline.
+# Quick mode drops the 256-agent acceptance point, so CI holds the 8-
+# and 64-agent points; the full run before committing a new baseline
+# covers 256. The generic ns/op comparison is disabled (-tolerance 10)
+# for the same reason the p99 ceiling is generous: concurrent save
+# latency on a shared runner is noisy, and the per-point p99 ceiling is
+# the contract that matters.
+echo "== benchdiff vs $ingest_baseline (p99 ceiling ${max_ingest_p99_regress})"
+go run ./cmd/benchdiff -old "$ingest_baseline" -new "$fresh_ingest" \
+    -tolerance 10 -min-grid-speedup 0 \
+    -max-ingest-p99-regress "$max_ingest_p99_regress"

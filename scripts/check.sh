@@ -64,6 +64,12 @@ go test -race -count=2 ./internal/core/analyzer ./internal/core/cluster
 echo "== stream smoke"
 ./scripts/stream_smoke.sh
 
+# Sharded-ingest gate: the contention and migration suites under -race,
+# then a CLI legacy->sharded migration plus compaction round trip over a
+# real on-disk repository.
+echo "== ingest smoke"
+./scripts/ingest_smoke.sh
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench archive-bench stream-bench ingest-bench check metrics-smoke archive-smoke crash-smoke stream-smoke ingest-smoke
+.PHONY: build test race vet fmt bench archive-bench stream-bench ingest-bench cluster-bench check metrics-smoke archive-smoke crash-smoke stream-smoke ingest-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ stream-bench:
 ingest-bench:
 	$(GO) run ./cmd/paperbench -ingest-bench $(or $(BENCH_OUT),BENCH_ingest.json) $(BENCH_ARGS)
 
+# Regenerate the multi-tenant cluster-scheduling benchmarks
+# (BENCH_cluster.json): scheduler throughput plus the deterministic
+# fairness surface (Jain's index, worst-tenant p99 queueing delay, shed
+# counts) per routing policy over the rush and fleet presets.
+cluster-bench:
+	$(GO) run ./cmd/paperbench -cluster-bench $(or $(BENCH_OUT),BENCH_cluster.json) $(BENCH_ARGS)
+
 # End-to-end profile-repository smoke: archive two runs through the CLI
 # and diff them.
 archive-smoke:
@@ -68,6 +75,12 @@ stream-smoke:
 ingest-smoke:
 	./scripts/ingest_smoke.sh
 
+# Multi-tenant cluster smoke: scheduler-determinism contract under
+# -race, then a CLI fleet round trip — seeded rush run, per-tenant
+# listing, cross-tenant diff, and bit-identical replay.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 # The full gate: everything must build, pass gofmt and vet (plus the
 # vet-filter selftest), and pass the test suite with the race detector
 # on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
@@ -81,4 +94,5 @@ check: build fmt vet
 	./scripts/crash_smoke.sh
 	./scripts/stream_smoke.sh
 	./scripts/ingest_smoke.sh
+	./scripts/cluster_smoke.sh
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

@@ -30,6 +30,17 @@
 //     baseline's latency at the same agent count rather than to an
 //     absolute floor, so a contention regression at 256 agents cannot
 //     hide behind a healthy small-scale number.
+//   - -min-cluster-throughput: wall-clock scheduler throughput (jobs
+//     scheduled per second) of every cluster_schedule entry (cluster
+//     reports). An absolute floor, kept loose: it exists to catch the
+//     scheduling loop going accidentally quadratic, not to measure the
+//     runner.
+//   - -max-cluster-p99-regress: per-preset×policy worst-tenant p99
+//     queueing delay (cluster_p99_wait_us_*) held relative to the
+//     baseline, and Jain's fairness index (cluster_jain_*) held to the
+//     same fraction in the other direction. Both are simulated-time
+//     quantities — deterministic for a fixed seed — so the tolerance
+//     can be tight; drift means the scheduler changed behavior.
 //
 // Usage:
 //
@@ -64,6 +75,8 @@ func main() {
 		minF1     = flag.Float64("min-stream-f1", 0, "required streaming phase-boundary F1 vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
 		maxMAPE   = flag.Float64("max-share-mape", 0, "allowed streaming per-phase time-share MAPE vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
 		maxP99    = flag.Float64("max-ingest-p99-regress", 0, "allowed p99 save-latency regression fraction per ingest agent count, old vs new (0 disables)")
+		minSched  = flag.Float64("min-cluster-throughput", 0, "required wall-clock scheduler throughput in jobs/sec for every cluster_schedule entry (0 disables)")
+		maxWait   = flag.Float64("max-cluster-p99-regress", 0, "allowed regression fraction for per-preset×policy cluster p99 queueing delay and Jain fairness, old vs new (0 disables)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -85,6 +98,8 @@ func main() {
 	failures = append(failures, checkAllocReduction(newRep, *minAlloc)...)
 	failures = append(failures, checkStreamFidelity(newRep, *minF1, *maxMAPE)...)
 	failures = append(failures, checkIngestLatency(oldRep, newRep, *maxP99)...)
+	failures = append(failures, checkClusterThroughput(newRep, *minSched)...)
+	failures = append(failures, checkClusterFairness(oldRep, newRep, *maxWait)...)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
@@ -347,6 +362,96 @@ func checkIngestLatency(oldRep, newRep *experiments.AnalyzerBenchReport, maxRegr
 	}
 	if compared == 0 {
 		failures = append(failures, "candidate report shares no ingest agent counts with the baseline")
+	}
+	return failures
+}
+
+// checkClusterThroughput holds every cluster_schedule entry's wall-clock
+// scheduler throughput (jobs scheduled per second, pipeline prep
+// amortized in) above an absolute floor. The floor is meant to be loose
+// — it catches the scheduling loop going accidentally quadratic in jobs
+// or workers, not runner speed.
+func checkClusterThroughput(rep *experiments.AnalyzerBenchReport, minJobsPerSec float64) []string {
+	if minJobsPerSec <= 0 {
+		return nil
+	}
+	var failures []string
+	seen := false
+	for _, e := range rep.Entries {
+		if e.Kernel != "cluster_schedule" {
+			continue
+		}
+		seen = true
+		fmt.Printf("cluster scheduler throughput %s (n=%d, %d workers): %.0f jobs/sec (floor %.0f)\n",
+			e.Mode, e.N, e.Workers, e.StepsPerSec, minJobsPerSec)
+		if e.StepsPerSec < minJobsPerSec {
+			failures = append(failures, fmt.Sprintf(
+				"cluster scheduler throughput %s is %.0f jobs/sec, below the %.0f floor",
+				e.Mode, e.StepsPerSec, minJobsPerSec))
+		}
+	}
+	if !seen {
+		failures = append(failures, "candidate report has no cluster_schedule entries")
+	}
+	return failures
+}
+
+// checkClusterFairness holds the candidate's worst-tenant p99 queueing
+// delay (cluster_p99_wait_us_<preset>_<policy>) at each preset×policy
+// the baseline measured to within maxRegress of the baseline's, and
+// Jain's fairness index (cluster_jain_*) to the same fraction in the
+// other direction. Both are simulated-time quantities, deterministic
+// for a fixed seed, so unlike the ingest latency gate the tolerance can
+// be tight; any drift is a scheduler behavior change, not runner noise.
+// Quick-mode candidates drop the fleet preset, so only modes both
+// reports measured are held; having none in common is itself a failure.
+func checkClusterFairness(oldRep, newRep *experiments.AnalyzerBenchReport, maxRegress float64) []string {
+	if maxRegress <= 0 {
+		return nil
+	}
+	const waitPrefix = "cluster_p99_wait_us_"
+	const jainPrefix = "cluster_jain_"
+	var modes []string
+	for key := range oldRep.Speedups {
+		if strings.HasPrefix(key, waitPrefix) {
+			modes = append(modes, key[len(waitPrefix):])
+		}
+	}
+	if len(modes) == 0 {
+		return []string{"baseline report has no cluster_p99_wait_us entries to hold the candidate to"}
+	}
+	sort.Strings(modes)
+
+	var failures []string
+	compared := 0
+	for _, mode := range modes {
+		oldWait := oldRep.Speedups[waitPrefix+mode]
+		newWait, ok := newRep.Speedups[waitPrefix+mode]
+		if !ok {
+			continue
+		}
+		compared++
+		fmt.Printf("cluster p99 wait %s: old %.0fµs, new %.0fµs (ceiling %.2fx)\n",
+			mode, oldWait, newWait, 1+maxRegress)
+		if oldWait > 0 && newWait > oldWait*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf(
+				"cluster p99 queueing delay %s regressed %.0f%% (old %.0fµs, new %.0fµs, ceiling %.0f%%)",
+				mode, 100*(newWait/oldWait-1), oldWait, newWait, 100*maxRegress))
+		}
+		oldJain, okOld := oldRep.Speedups[jainPrefix+mode]
+		newJain, okNew := newRep.Speedups[jainPrefix+mode]
+		if okOld && okNew {
+			fmt.Printf("cluster Jain index %s: old %.3f, new %.3f (floor %.2fx)\n",
+				mode, oldJain, newJain, 1-maxRegress)
+			if oldJain > 0 && newJain < oldJain*(1-maxRegress) {
+				failures = append(failures, fmt.Sprintf(
+					"cluster Jain fairness %s dropped %.0f%% (old %.3f, new %.3f, floor %.0f%%)",
+					mode, 100*(1-newJain/oldJain), oldJain, newJain, 100*(1-maxRegress)))
+			}
+		}
+	}
+	if compared == 0 {
+		failures = append(failures, "candidate report shares no cluster preset×policy modes with the baseline")
 	}
 	return failures
 }

@@ -38,6 +38,7 @@ func main() {
 	archiveBenchOut := flag.String("archive-bench", "", "run the profile archive/diff benchmark and write BENCH_archive.json here, then exit")
 	streamBenchOut := flag.String("stream-bench", "", "run the streaming-analyzer fidelity benchmark and write BENCH_stream.json here, then exit")
 	ingestBenchOut := flag.String("ingest-bench", "", "run the concurrent repository-ingest benchmark and write BENCH_ingest.json here, then exit")
+	clusterBenchOut := flag.String("cluster-bench", "", "run the multi-tenant cluster-scheduling benchmark and write BENCH_cluster.json here, then exit")
 	benchQuick := flag.Bool("bench-quick", false, "shorten the benchmarks and skip the O(n²) DBSCAN reference above 10k rows (CI smoke mode)")
 	par := flag.Int("parallelism", 0, "worker pool size for the parallel benchmark runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -66,6 +67,13 @@ func main() {
 	if *ingestBenchOut != "" {
 		if err := ingestBench(*ingestBenchOut, *benchQuick); err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: ingest-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterBenchOut != "" {
+		if err := clusterBench(*clusterBenchOut, *benchQuick); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: cluster-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -162,6 +170,18 @@ func ingestBench(path string, quick bool) error {
 		return err
 	}
 	return writeBenchReport("ingest", path, rep)
+}
+
+// clusterBench runs the multi-tenant cluster-scheduling benchmark
+// (scheduler throughput, Jain's fairness index, worst-tenant p99
+// queueing delay, and shed counts per routing policy over the rush and
+// fleet presets) and writes the BENCH_cluster.json document.
+func clusterBench(path string, quick bool) error {
+	rep, err := experiments.RunClusterBench(nil, quick)
+	if err != nil {
+		return err
+	}
+	return writeBenchReport("cluster", path, rep)
 }
 
 func writeBenchReport(name, path string, rep *experiments.AnalyzerBenchReport) error {

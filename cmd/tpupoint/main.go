@@ -22,6 +22,13 @@
 //
 //	tpupoint -collect-serve :8471 -archive ./runs -max-sessions 16
 //	tpupoint -workload bert-squad -collect 127.0.0.1:8471 -run-id vm0
+//
+// Multi-tenant cluster simulation (deterministic shared-clock fleet):
+//
+//	tpupoint cluster -presets
+//	tpupoint cluster -preset rush -policy all -seed 42
+//	tpupoint -archive ./runs cluster -preset smoke -policy workload-affinity
+//	tpupoint -archive ./runs runs list -tenant vision
 package main
 
 import (
@@ -97,6 +104,13 @@ func main() {
 
 	if args := flag.Args(); len(args) > 0 && args[0] == "watch" {
 		if err := watchCmd(args[1:], *archiveDir, *codecPar); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if args := flag.Args(); len(args) > 0 && args[0] == "cluster" {
+		if err := clusterCmd(args[1:], *archiveDir, *codecPar, *shards, reg); err != nil {
 			fatal(err)
 		}
 		return

@@ -8,6 +8,7 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"net"
@@ -96,19 +97,30 @@ func runsCmd(args []string, dir string, keep int, csv bool, codecPar, shards int
 	}
 	switch verb {
 	case "list":
-		runs, err := r.List(repo.Filter{})
+		fs := flag.NewFlagSet("runs list", flag.ContinueOnError)
+		tenant := fs.String("tenant", "", "only runs archived under this tenant")
+		workload := fs.String("workload", "", "only runs of this workload")
+		labelF := fs.String("label", "", "only runs with this label")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		runs, err := r.List(repo.Filter{Workload: *workload, Label: *labelF, Tenant: *tenant})
 		if err != nil {
 			return err
 		}
 		if len(runs) == 0 {
-			fmt.Println("repository is empty")
+			if *tenant != "" || *workload != "" || *labelF != "" {
+				fmt.Println("no runs match the filter")
+			} else {
+				fmt.Println("repository is empty")
+			}
 			return nil
 		}
-		fmt.Printf("%-24s %-20s %-12s %-6s %8s %8s %10s\n",
-			"RUN", "WORKLOAD", "LABEL", "TPU", "RECORDS", "WINDOWS", "BYTES")
+		fmt.Printf("%-24s %-20s %-12s %-12s %-6s %8s %8s %10s\n",
+			"RUN", "WORKLOAD", "LABEL", "TENANT", "TPU", "RECORDS", "WINDOWS", "BYTES")
 		for _, info := range runs {
-			fmt.Printf("%-24s %-20s %-12s %-6s %8d %8d %10d\n",
-				info.RunID, info.Workload, info.Label, info.TPUVersion,
+			fmt.Printf("%-24s %-20s %-12s %-12s %-6s %8d %8d %10d\n",
+				info.RunID, info.Workload, info.Label, info.Tenant, info.TPUVersion,
 				info.Records, info.Windows, info.Bytes)
 		}
 		return nil

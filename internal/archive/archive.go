@@ -115,6 +115,7 @@ type Meta struct {
 	HostSpec   string // rendered host.Spec the run used
 	TPUVersion string
 	CreatedSeq uint64 // repository-issued logical creation order
+	Tenant     string // owning tenant in multi-tenant cluster runs
 }
 
 // OpSummary is one operator's aggregate within a phase.
@@ -492,6 +493,7 @@ func marshalMeta(m Meta) []byte {
 	e.String(4, m.HostSpec)
 	e.String(5, m.TPUVersion)
 	e.Uint64(6, m.CreatedSeq)
+	e.String(7, m.Tenant)
 	return e.Bytes()
 }
 
@@ -865,7 +867,7 @@ func unmarshalMeta(b []byte) (Meta, error) {
 			return m, fmt.Errorf("%w: meta: %v", ErrMalformed, err)
 		}
 		switch f {
-		case 1, 2, 3, 4, 5:
+		case 1, 2, 3, 4, 5, 7:
 			v, err := d.String()
 			if err != nil {
 				return m, fmt.Errorf("%w: meta field %d: %v", ErrMalformed, f, err)
@@ -881,6 +883,8 @@ func unmarshalMeta(b []byte) (Meta, error) {
 				m.HostSpec = v
 			case 5:
 				m.TPUVersion = v
+			case 7:
+				m.Tenant = v
 			}
 		case 6:
 			v, err := d.Uint64()

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/simclock"
+)
+
+// Shed reasons. Both wrap rpc.ErrBusy so the existing reconnect/backoff
+// client machinery (rpc.IsTransient) treats cluster shedding exactly like
+// collector busy-shedding: retry later, don't fail the run.
+var (
+	ErrTenantRate = fmt.Errorf("cluster: tenant over admission rate: %w", rpc.ErrBusy)
+	ErrQueueFull  = fmt.Errorf("cluster: worker queue full: %w", rpc.ErrBusy)
+)
+
+// tokenBucket is the per-tenant admission budget, refilled in simulated
+// time. All inputs are simulated quantities, so refills replay exactly.
+type tokenBucket struct {
+	ratePerSec float64 // tokens per simulated second
+	burst      float64
+	tokens     float64
+	last       simclock.Time
+}
+
+func newTokenBucket(t TenantSpec) *tokenBucket {
+	return &tokenBucket{
+		ratePerSec: t.RatePerSec,
+		burst:      float64(t.Burst),
+		tokens:     float64(t.Burst), // start full
+	}
+}
+
+// take refills for elapsed simulated time and spends one token if
+// available. Refill depends only on (last, now, rate) — all simulated
+// quantities — so admission decisions replay bit-identically.
+func (b *tokenBucket) take(now simclock.Time) bool {
+	if now > b.last {
+		b.tokens += now.Sub(b.last).Seconds() * b.ratePerSec
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

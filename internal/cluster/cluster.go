@@ -1,0 +1,299 @@
+// Package cluster lifts the single-device simulation into a shared-clock
+// multi-tenant TPU fleet: N simulated workers (each a tpu.Device + host
+// pipeline driven by the estimator), a job router with pluggable policies,
+// and per-tenant admission control. Every accepted job runs the real
+// workload→profiler→archive pipeline, so a cluster run yields a fleet of
+// diffable archived profiles plus a fairness/interference report.
+//
+// Determinism is a hard contract: the same Spec and seed produce a
+// bit-identical schedule, report, and archive set at any Parallelism. The
+// simulation is therefore split into three phases:
+//
+//  1. per-job isolated pipelines, each a pure function of its JobSpec,
+//     computed in parallel (parallel.Map preserves order);
+//  2. a strictly sequential shared-simclock scheduling loop (arrivals,
+//     admission, routing, dispatch, completion) over those results;
+//  3. archive construction in deterministic completion order.
+//
+// Cross-tenant interference is modeled at the scheduling layer: a job's
+// service time is its isolated duration dilated by the fraction of busy
+// pod neighbors at dispatch (pods of PodSize workers share storage
+// bandwidth), plus a setup cost when a worker switches op-mix signatures.
+// The archived profile remains the isolated execution; the dilation and
+// queueing show up in the fairness report as slowdown versus that
+// isolated baseline.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/host"
+	"repro/internal/prng"
+	"repro/internal/simclock"
+	"repro/internal/tpu"
+)
+
+// Router policy names.
+const (
+	PolicyRoundRobin = "round-robin"
+	PolicyLeastLoad  = "least-loaded"
+	PolicyAffinity   = "workload-affinity"
+)
+
+// Policies lists the routing policies in canonical order.
+func Policies() []string {
+	return []string{PolicyRoundRobin, PolicyLeastLoad, PolicyAffinity}
+}
+
+// ErrBadSpec rejects cluster specs that cannot be simulated.
+var ErrBadSpec = errors.New("cluster: invalid spec")
+
+// TenantSpec describes one tenant's offered load and admission budget.
+type TenantSpec struct {
+	Name      string
+	Workloads []string // op mix: each job draws one of these
+	Jobs      int      // jobs submitted over the run
+
+	// ArrivalMeanUs is the mean inter-arrival gap (exponential), in
+	// simulated µs.
+	ArrivalMeanUs float64
+
+	// RatePerSec is the token-bucket refill rate in jobs per simulated
+	// second; Burst is the bucket capacity. A tenant arriving with an
+	// empty bucket is shed with rpc.ErrBusy.
+	RatePerSec float64
+	Burst      int
+}
+
+// Spec describes one cluster run.
+type Spec struct {
+	Workers int         // simulated TPU workers
+	PodSize int         // workers per pod (interference domain); default 8
+	Version tpu.Version // chip generation for every worker (default V2)
+
+	// HostSpec is the per-worker host VM; the zero value means
+	// host.DefaultSpec().
+	HostSpec host.Spec
+
+	Seed  uint64
+	Steps int // train steps per job (compressed runs); default 6
+
+	// QueueDepth bounds each worker's wait queue: a job routed to a
+	// worker whose queue is full is shed with rpc.ErrBusy. Default 4.
+	QueueDepth int
+
+	// AffinityEps is the max L1 op-mix distance the workload-affinity
+	// policy treats as "same signature". Default 0.10.
+	AffinityEps float64
+
+	// InterferenceAlpha scales service-time dilation by busy pod
+	// neighbors. Default 0.35.
+	InterferenceAlpha float64
+
+	// SetupUs is the worker setup cost when the incoming job's op-mix
+	// signature differs from the worker's last one (program reload,
+	// weight transfer). Default 150ms of simulated time.
+	SetupUs float64
+
+	// Parallelism bounds the phase-1 pipeline pool; 0 uses GOMAXPROCS.
+	// It must not affect any result — that is the determinism contract.
+	Parallelism int
+
+	Tenants []TenantSpec
+}
+
+// withDefaults fills zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.PodSize == 0 {
+		s.PodSize = 8
+	}
+	if s.Version == 0 {
+		s.Version = tpu.V2
+	}
+	if s.HostSpec == (host.Spec{}) {
+		s.HostSpec = host.DefaultSpec()
+	}
+	if s.Steps == 0 {
+		s.Steps = 6
+	}
+	if s.QueueDepth == 0 {
+		s.QueueDepth = 4
+	}
+	if s.AffinityEps == 0 {
+		s.AffinityEps = 0.10
+	}
+	if s.InterferenceAlpha == 0 {
+		s.InterferenceAlpha = 0.35
+	}
+	if s.SetupUs == 0 {
+		s.SetupUs = 150_000
+	}
+	return s
+}
+
+// Validate rejects non-simulable specs with a typed error.
+func (s Spec) Validate() error {
+	if s.Workers < 1 {
+		return fmt.Errorf("%w: Workers = %d, must be >= 1", ErrBadSpec, s.Workers)
+	}
+	if s.PodSize < 1 {
+		return fmt.Errorf("%w: PodSize = %d, must be >= 1", ErrBadSpec, s.PodSize)
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("%w: Steps = %d, must be >= 1", ErrBadSpec, s.Steps)
+	}
+	if s.QueueDepth < 1 {
+		return fmt.Errorf("%w: QueueDepth = %d, must be >= 1", ErrBadSpec, s.QueueDepth)
+	}
+	if err := tpu.NewChipSpec(s.Version).Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if err := s.HostSpec.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if len(s.Tenants) == 0 {
+		return fmt.Errorf("%w: no tenants", ErrBadSpec)
+	}
+	seen := map[string]bool{}
+	for _, t := range s.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("%w: tenant with empty name", ErrBadSpec)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("%w: duplicate tenant %q", ErrBadSpec, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Jobs < 1 {
+			return fmt.Errorf("%w: tenant %q has %d jobs", ErrBadSpec, t.Name, t.Jobs)
+		}
+		if len(t.Workloads) == 0 {
+			return fmt.Errorf("%w: tenant %q has no workloads", ErrBadSpec, t.Name)
+		}
+		if !(t.ArrivalMeanUs > 0) {
+			return fmt.Errorf("%w: tenant %q ArrivalMeanUs = %g", ErrBadSpec, t.Name, t.ArrivalMeanUs)
+		}
+		if !(t.RatePerSec > 0) || t.Burst < 1 {
+			return fmt.Errorf("%w: tenant %q rate %g burst %d", ErrBadSpec, t.Name, t.RatePerSec, t.Burst)
+		}
+	}
+	return nil
+}
+
+// Job is one unit of offered load: a workload run on behalf of a tenant.
+type Job struct {
+	ID       string // "<tenant>-j<idx>", unique within a run
+	Tenant   string
+	Index    int // index within the tenant's submission stream
+	Workload string
+	Seed     uint64
+	Arrival  simclock.Time
+}
+
+// makeJobs expands the tenant specs into the global arrival sequence,
+// sorted by (arrival, tenant, index) so ties are total-ordered.
+func makeJobs(s Spec) []Job {
+	var jobs []Job
+	for ti, t := range s.Tenants {
+		src := prng.New(s.Seed).Fork(uint64(ti) + 1)
+		var at float64
+		for j := 0; j < t.Jobs; j++ {
+			// Exponential inter-arrival; 1-u keeps the argument in (0,1].
+			u := src.Float64()
+			at += -t.ArrivalMeanUs * math.Log(1-u)
+			wl := t.Workloads[src.Intn(len(t.Workloads))]
+			jobs = append(jobs, Job{
+				ID:       fmt.Sprintf("%s-j%03d", t.Name, j),
+				Tenant:   t.Name,
+				Index:    j,
+				Workload: wl,
+				Seed:     s.Seed ^ fnv(t.Name)*31 ^ uint64(j+1)*0x9e3779b97f4a7c15,
+				Arrival:  simclock.Time(at + 0.5),
+			})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		a, b := jobs[i], jobs[j]
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Index < b.Index
+	})
+	return jobs
+}
+
+// fnv hashes a name into a stable seed component.
+func fnv(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Preset returns a named cluster spec. Presets share the CLI and the
+// bench harness so every documented scenario is reproducible by name.
+func Preset(name string, seed uint64) (Spec, error) {
+	switch name {
+	case "smoke":
+		// Tiny: CI smoke and examples.
+		return Spec{
+			Workers: 4, PodSize: 4, Seed: seed, Steps: 6,
+			Tenants: []TenantSpec{
+				{Name: "vision", Workloads: []string{"dcgan-mnist"}, Jobs: 12,
+					ArrivalMeanUs: 400_000, RatePerSec: 8, Burst: 4},
+				{Name: "nlp", Workloads: []string{"bert-mrpc"}, Jobs: 12,
+					ArrivalMeanUs: 400_000, RatePerSec: 8, Burst: 4},
+			},
+		}, nil
+	case "rush":
+		// A contended 8-worker fleet with a hot tenant that overruns its
+		// token bucket.
+		return Spec{
+			Workers: 8, PodSize: 4, Seed: seed, Steps: 6,
+			Tenants: []TenantSpec{
+				{Name: "vision", Workloads: []string{"dcgan-mnist", "dcgan-cifar10"}, Jobs: 40,
+					ArrivalMeanUs: 150_000, RatePerSec: 6, Burst: 3},
+				{Name: "nlp", Workloads: []string{"bert-mrpc", "bert-cola"}, Jobs: 30,
+					ArrivalMeanUs: 200_000, RatePerSec: 6, Burst: 3},
+				{Name: "detect", Workloads: []string{"retinanet-coco"}, Jobs: 25,
+					ArrivalMeanUs: 250_000, RatePerSec: 5, Burst: 2},
+				{Name: "batch", Workloads: []string{"resnet-imagenet"}, Jobs: 25,
+					ArrivalMeanUs: 60_000, RatePerSec: 3, Burst: 2},
+			},
+		}, nil
+	case "fleet":
+		// The acceptance scenario: 64 workers, 8 tenants, 1000 jobs.
+		ts := make([]TenantSpec, 0, 8)
+		mixes := [][]string{
+			{"dcgan-mnist"}, {"bert-mrpc"}, {"dcgan-mnist", "bert-mrpc"},
+			{"dcgan-cifar10"}, {"bert-cola"}, {"dcgan-mnist", "dcgan-cifar10"},
+			{"bert-mrpc", "bert-cola"}, {"dcgan-mnist", "bert-cola"},
+		}
+		for i := 0; i < 8; i++ {
+			ts = append(ts, TenantSpec{
+				Name:          fmt.Sprintf("tenant-%d", i),
+				Workloads:     mixes[i],
+				Jobs:          125,
+				ArrivalMeanUs: 40_000 + 10_000*float64(i%4),
+				RatePerSec:    30,
+				Burst:         8,
+			})
+		}
+		return Spec{
+			Workers: 64, PodSize: 8, Seed: seed, Steps: 4, QueueDepth: 6,
+			Tenants: ts,
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("cluster: unknown preset %q (have smoke, rush, fleet)", name)
+	}
+}
+
+// PresetNames lists the named cluster scenarios.
+func PresetNames() []string { return []string{"smoke", "rush", "fleet"} }

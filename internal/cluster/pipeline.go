@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core/analyzer"
+	"repro/internal/estimator"
+	"repro/internal/parallel"
+	"repro/internal/simclock"
+	"repro/internal/tpu"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/xla"
+)
+
+// signature is a workload's op-mix fingerprint: each compiled op's share
+// of the jitter-free step time, sorted by op name. The workload-affinity
+// router keys on it.
+type signature []opShare
+
+type opShare struct {
+	Op    string
+	Share float64
+}
+
+// Distance returns the L1 distance between two signatures (0 = identical
+// mixes, 2 = disjoint). A nil signature is maximally distant.
+func (s signature) Distance(o signature) float64 {
+	if s == nil || o == nil {
+		return 2
+	}
+	var d float64
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i].Op == o[j].Op:
+			d += abs(s[i].Share - o[j].Share)
+			i++
+			j++
+		case s[i].Op < o[j].Op:
+			d += s[i].Share
+			i++
+		default:
+			d += o[j].Share
+			j++
+		}
+	}
+	for ; i < len(s); i++ {
+		d += s[i].Share
+	}
+	for ; j < len(o); j++ {
+		d += o[j].Share
+	}
+	return d
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// computeSignature compiles the workload's train graph and folds each
+// instruction's roofline time into per-op shares on the given chip.
+func computeSignature(w *workloads.Workload, spec tpu.ChipSpec) (signature, error) {
+	prog, err := xla.Compile(w.TrainGraph)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: compiling %s for signature: %w", w.Name, err)
+	}
+	dev := tpu.NewDevice(spec, 0)
+	shares := map[string]float64{}
+	var total float64
+	for _, inst := range prog.Instructions {
+		t := float64(dev.InstructionTime(inst))
+		shares[inst.Op] += t
+		total += t
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("cluster: %s has no compute", w.Name)
+	}
+	sig := make(signature, 0, len(shares))
+	for op, t := range shares {
+		sig = append(sig, opShare{Op: op, Share: t / total})
+	}
+	sort.Slice(sig, func(i, j int) bool { return sig[i].Op < sig[j].Op })
+	return sig, nil
+}
+
+// jobResult is the isolated per-job pipeline output: what the job's
+// profile looks like when it runs alone on one worker.
+type jobResult struct {
+	records []*trace.ProfileRecord
+	report  *analyzer.Report
+	dur     simclock.Duration // isolated runtime D_iso
+}
+
+// runPipeline executes one job's full isolated pipeline: train run with
+// the profiler polling a window per step, window reduction, and phase
+// analysis. It is a pure function of (workload, job, steps) — the
+// determinism contract leans on that.
+func runPipeline(w *workloads.Workload, job Job, steps int) (jobResult, error) {
+	var (
+		svc  *tpu.ProfileService
+		recs []*trace.ProfileRecord
+	)
+	take := func(resp tpu.ProfileResponse) {
+		if resp.WindowEnd <= resp.WindowStart {
+			return
+		}
+		recs = append(recs, trace.Reduce(int64(len(recs)), resp.WindowStart,
+			resp.Events, resp.IdleFrac, resp.MXUUtil))
+	}
+	r, err := estimator.New(w, estimator.Options{
+		Steps:       steps,
+		Seed:        job.Seed,
+		DisableEval: true,
+		// Poll the profile service after every step so window boundaries
+		// land at deterministic simulated times. The wall-clock profiler
+		// goroutine cannot be used here: its polling cadence depends on
+		// real time and would break bit-identical replay.
+		OnTrainStep: func(_ *estimator.Runner, _ int64, _ tpu.StepTiming) {
+			take(svc.NextWindow())
+		},
+	})
+	if err != nil {
+		return jobResult{}, fmt.Errorf("cluster: job %s: %w", job.ID, err)
+	}
+	svc = r.ProfileService()
+	if err := r.Run(); err != nil {
+		return jobResult{}, fmt.Errorf("cluster: job %s: %w", job.ID, err)
+	}
+	// Drain the tail (shutdown ops past the last step's window).
+	for {
+		resp := svc.NextWindow()
+		take(resp)
+		if resp.EndOfStream || resp.WindowEnd <= resp.WindowStart {
+			break
+		}
+	}
+	rep, err := analyzer.Analyze(w.Name, recs, analyzer.OLSAlgo,
+		analyzer.Options{Seed: job.Seed, Parallelism: 1})
+	if err != nil {
+		return jobResult{}, fmt.Errorf("cluster: job %s: analyze: %w", job.ID, err)
+	}
+	return jobResult{records: recs, report: rep, dur: r.TotalTime()}, nil
+}
+
+// Cluster is a prepared fleet simulation: jobs generated, isolated
+// pipelines run, signatures computed. Schedule replays the scheduling
+// layer over it — cheap enough to run once per policy.
+type Cluster struct {
+	spec    Spec
+	chip    tpu.ChipSpec
+	jobs    []Job
+	results []jobResult
+	sigs    map[string]signature
+}
+
+// New validates the spec, generates the arrival sequence, and runs every
+// job's isolated pipeline (in parallel; order-preserving).
+func New(spec Spec) (*Cluster, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	chip := tpu.NewChipSpec(spec.Version)
+
+	// One Workload instance per distinct name, shared read-only by the
+	// parallel pipelines (Get calibrates, which costs milliseconds).
+	names := map[string]bool{}
+	for _, t := range spec.Tenants {
+		for _, wl := range t.Workloads {
+			names[wl] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	cache := make(map[string]*workloads.Workload, len(sorted))
+	sigs := make(map[string]signature, len(sorted))
+	for _, n := range sorted {
+		w, err := workloads.Get(n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		w.HostSpec = spec.HostSpec
+		sig, err := computeSignature(w, chip)
+		if err != nil {
+			return nil, err
+		}
+		cache[n] = w
+		sigs[n] = sig
+	}
+
+	jobs := makeJobs(spec)
+	pool := parallel.New(spec.Parallelism)
+	results, err := parallel.Map(pool, context.Background(), len(jobs), 1,
+		func(_, lo, _ int) (jobResult, error) {
+			return runPipeline(cache[jobs[lo].Workload], jobs[lo], spec.Steps)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{spec: spec, chip: chip, jobs: jobs, results: results, sigs: sigs}, nil
+}
+
+// Spec returns the (default-filled) spec the cluster was built with.
+func (c *Cluster) Spec() Spec { return c.spec }
+
+// Jobs returns the arrival-ordered job sequence.
+func (c *Cluster) Jobs() []Job { return c.jobs }

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simclock"
+)
+
+// TenantStats is one tenant's slice of the fairness report.
+type TenantStats struct {
+	Tenant    string `json:"tenant"`
+	Submitted int    `json:"submitted"`
+	Accepted  int    `json:"accepted"`
+	Shed      int    `json:"shed"`
+	Completed int    `json:"completed"`
+
+	WaitP50 simclock.Duration `json:"wait_p50_us"`
+	WaitP95 simclock.Duration `json:"wait_p95_us"`
+	WaitP99 simclock.Duration `json:"wait_p99_us"`
+
+	// MeanSlowdown is the mean of (wait+service)/isolated over the
+	// tenant's completed jobs: 1.0 means the fleet felt like a private
+	// machine.
+	MeanSlowdown float64 `json:"mean_slowdown"`
+
+	// ServiceTime is total service received — the allocation Jain's
+	// index is computed over.
+	ServiceTime simclock.Duration `json:"service_time_us"`
+}
+
+// WorkerStats is one worker's utilization summary.
+type WorkerStats struct {
+	Worker      int               `json:"worker"`
+	Jobs        int               `json:"jobs"`
+	Setups      int               `json:"setups"`
+	Busy        simclock.Duration `json:"busy_us"`
+	Utilization float64           `json:"utilization"`
+}
+
+// Report is the per-policy fairness/interference characterization.
+type Report struct {
+	Policy    string `json:"policy"`
+	Workers   int    `json:"workers"`
+	Submitted int    `json:"submitted"`
+	Accepted  int    `json:"accepted"`
+	Shed      int    `json:"shed"`
+	Completed int    `json:"completed"`
+
+	Makespan simclock.Duration `json:"makespan_us"`
+
+	// JainIndex is Jain's fairness index over per-tenant service time:
+	// 1 is perfectly fair, 1/n is one tenant taking everything.
+	JainIndex float64 `json:"jain_index"`
+
+	// MaxWaitP99 is the worst tenant's p99 queueing delay — the
+	// regression-gated latency number.
+	MaxWaitP99 simclock.Duration `json:"max_wait_p99_us"`
+
+	MeanUtilization float64 `json:"mean_utilization"`
+
+	Tenants     []TenantStats `json:"tenants"`
+	WorkerStats []WorkerStats `json:"worker_stats"`
+}
+
+// buildReport folds a finished schedule into the fairness report.
+func (c *Cluster) buildReport(policy string, outcomes []Outcome, workers []*workerState, end simclock.Time) *Report {
+	rep := &Report{Policy: policy, Workers: len(workers), Makespan: end.Sub(0)}
+
+	perTenant := map[string]*TenantStats{}
+	waits := map[string][]simclock.Duration{}
+	order := make([]string, 0, len(c.spec.Tenants))
+	for _, t := range c.spec.Tenants {
+		perTenant[t.Name] = &TenantStats{Tenant: t.Name}
+		order = append(order, t.Name)
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		ts := perTenant[o.Job.Tenant]
+		ts.Submitted++
+		rep.Submitted++
+		if !o.Accepted {
+			ts.Shed++
+			rep.Shed++
+			continue
+		}
+		ts.Accepted++
+		ts.Completed++
+		ts.ServiceTime += o.Service
+		ts.MeanSlowdown += o.Slowdown
+		rep.Accepted++
+		rep.Completed++
+		waits[o.Job.Tenant] = append(waits[o.Job.Tenant], o.Wait)
+	}
+
+	var sum, sumSq float64
+	for _, name := range order {
+		ts := perTenant[name]
+		if ts.Completed > 0 {
+			ts.MeanSlowdown /= float64(ts.Completed)
+		}
+		ws := waits[name]
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		ts.WaitP50 = percentile(ws, 0.50)
+		ts.WaitP95 = percentile(ws, 0.95)
+		ts.WaitP99 = percentile(ws, 0.99)
+		if ts.WaitP99 > rep.MaxWaitP99 {
+			rep.MaxWaitP99 = ts.WaitP99
+		}
+		x := float64(ts.ServiceTime)
+		sum += x
+		sumSq += x * x
+		rep.Tenants = append(rep.Tenants, *ts)
+	}
+	if n := float64(len(order)); n > 0 && sumSq > 0 {
+		rep.JainIndex = sum * sum / (n * sumSq)
+	}
+
+	for _, w := range workers {
+		u := w.busyTime.Seconds() / end.Sub(0).Seconds()
+		if end <= 0 {
+			u = 0
+		}
+		rep.WorkerStats = append(rep.WorkerStats, WorkerStats{
+			Worker: w.id, Jobs: w.jobs, Setups: w.setups,
+			Busy: w.busyTime, Utilization: u,
+		})
+		rep.MeanUtilization += u
+	}
+	if len(workers) > 0 {
+		rep.MeanUtilization /= float64(len(workers))
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank percentile of sorted values, or 0
+// for an empty slice.
+func percentile(sorted []simclock.Duration, p float64) simclock.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}
+
+// String renders the report as the CLI's human-readable fairness table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %s: %d workers, %d jobs (%d accepted, %d shed), makespan %s, Jain %.3f, mean util %.1f%%\n",
+		r.Policy, r.Workers, r.Submitted, r.Accepted, r.Shed, r.Makespan, r.JainIndex, 100*r.MeanUtilization)
+	fmt.Fprintf(&b, "%-12s %5s %5s %5s %12s %12s %12s %10s\n",
+		"tenant", "subm", "acc", "shed", "wait-p50", "wait-p99", "service", "slowdown")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-12s %5d %5d %5d %12s %12s %12s %9.2fx\n",
+			t.Tenant, t.Submitted, t.Accepted, t.Shed,
+			t.WaitP50, t.WaitP99, t.ServiceTime, t.MeanSlowdown)
+	}
+	return b.String()
+}

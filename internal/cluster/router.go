@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// workerState is one simulated TPU worker in the scheduling layer. The
+// heavy simulation already ran in phase 1; here a worker is a serial
+// server with a bounded FIFO queue and an op-mix memory for affinity.
+type workerState struct {
+	id        int
+	queue     []int // indices into the cluster's job slice
+	busy      bool
+	busyUntil simclock.Time
+	backlog   simclock.Duration // sum of queued jobs' isolated durations
+	sig       signature         // last dispatched job's op-mix; nil = cold
+
+	jobs     int
+	setups   int
+	busyTime simclock.Duration
+}
+
+// backlogEnd estimates when the worker would start one more queued job:
+// the current job's completion (or now if idle) plus the queued backlog.
+// An idle worker with an empty queue returns exactly now, so it always
+// beats any busy worker — the work-conservation property the router
+// tests pin down.
+func (w *workerState) backlogEnd(now simclock.Time) simclock.Time {
+	start := now
+	if w.busy && w.busyUntil > start {
+		start = w.busyUntil
+	}
+	return start.Add(w.backlog)
+}
+
+// router picks a worker for a job. Implementations must be deterministic:
+// same state, same pick.
+type router interface {
+	name() string
+	pick(now simclock.Time, sig signature, workers []*workerState) int
+}
+
+// newRouter resolves a policy name.
+func newRouter(policy string, affinityEps float64, queueDepth int) (router, error) {
+	switch policy {
+	case PolicyRoundRobin:
+		return &roundRobin{}, nil
+	case PolicyLeastLoad:
+		return leastLoaded{}, nil
+	case PolicyAffinity:
+		return affinity{eps: affinityEps, depth: queueDepth}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q (have %v)", policy, Policies())
+	}
+}
+
+// roundRobin rotates through workers in index order, ignoring load.
+type roundRobin struct{ next int }
+
+func (r *roundRobin) name() string { return PolicyRoundRobin }
+
+func (r *roundRobin) pick(_ simclock.Time, _ signature, workers []*workerState) int {
+	id := r.next % len(workers)
+	r.next++
+	return id
+}
+
+// leastLoaded picks the worker with the earliest backlog end, breaking
+// ties by lowest index.
+type leastLoaded struct{}
+
+func (leastLoaded) name() string { return PolicyLeastLoad }
+
+func (leastLoaded) pick(now simclock.Time, _ signature, workers []*workerState) int {
+	return argminBacklog(now, workers)
+}
+
+func argminBacklog(now simclock.Time, workers []*workerState) int {
+	best := 0
+	bestEnd := workers[0].backlogEnd(now)
+	for i := 1; i < len(workers); i++ {
+		if end := workers[i].backlogEnd(now); end < bestEnd {
+			best, bestEnd = i, end
+		}
+	}
+	return best
+}
+
+// affinity prefers workers whose last op-mix signature is within eps of
+// the job's (no setup cost), choosing least-loaded among them; when no
+// worker matches it falls back to plain least-loaded over everyone — a
+// deterministic fallback, not a random spray.
+//
+// Matching workers whose queue is already full are skipped: without that
+// guard the first worker to acquire a signature attracts that
+// signature's whole stream, its queue overflows, and the rest of the
+// fleet never warms up. Spilling the overflow through the least-loaded
+// fallback seeds fresh workers with the signature instead.
+type affinity struct {
+	eps   float64
+	depth int // the fleet's QueueDepth, for the overflow guard
+}
+
+func (affinity) name() string { return PolicyAffinity }
+
+func (a affinity) pick(now simclock.Time, sig signature, workers []*workerState) int {
+	best := -1
+	var bestEnd simclock.Time
+	for i, w := range workers {
+		if w.sig.Distance(sig) > a.eps {
+			continue
+		}
+		if w.busy && len(w.queue) >= a.depth {
+			continue // would be shed on arrival; spill to the fallback
+		}
+		if end := w.backlogEnd(now); best == -1 || end < bestEnd {
+			best, bestEnd = i, end
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return argminBacklog(now, workers)
+}

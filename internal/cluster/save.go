@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/archive"
+	"repro/internal/repo"
+)
+
+// SaveArchives writes every completed job's profile into the repository
+// in deterministic completion order (end time, job ID as tiebreak), so
+// CreatedSeq assignment — and therefore every archive byte — is
+// independent of the Parallelism the pipelines ran at.
+//
+// Run IDs are "<label>-<jobID>"; the label distinguishes policies when
+// several scheduled runs share one repository. Returns the number of
+// archives saved; zero lost jobs means it equals Result.Report.Accepted.
+func (c *Cluster) SaveArchives(r *repo.Repo, res *Result, label string) (int, error) {
+	idx := make([]int, 0, len(res.Outcomes))
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Accepted {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		oa, ob := res.Outcomes[idx[a]], res.Outcomes[idx[b]]
+		if oa.End != ob.End {
+			return oa.End < ob.End
+		}
+		return oa.Job.ID < ob.Job.ID
+	})
+	hostSpec := fmt.Sprintf("%dc %gMBps", c.spec.HostSpec.Cores, c.spec.HostSpec.ReadMBps)
+	saved := 0
+	for _, i := range idx {
+		o := res.Outcomes[i]
+		jr := c.results[i]
+		seq, err := r.NextSeq()
+		if err != nil {
+			return saved, fmt.Errorf("cluster: saving %s: %w", o.Job.ID, err)
+		}
+		w := archive.NewWriter(archive.Meta{
+			RunID:      label + "-" + o.Job.ID,
+			Workload:   o.Job.Workload,
+			Label:      label,
+			Tenant:     o.Job.Tenant,
+			HostSpec:   hostSpec,
+			TPUVersion: c.chip.Name,
+			CreatedSeq: seq,
+		})
+		for _, rec := range jr.records {
+			w.Add(rec)
+		}
+		if _, err := r.Save(w.Finalize(archive.SummarizeReport(jr.report))); err != nil {
+			return saved, fmt.Errorf("cluster: saving %s: %w", o.Job.ID, err)
+		}
+		saved++
+	}
+	return saved, nil
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+// Outcome is one job's fate in a scheduled run — the unit of the
+// diffable schedule trace.
+type Outcome struct {
+	Job      Job
+	Accepted bool
+	ShedErr  error // ErrTenantRate or ErrQueueFull when !Accepted
+	Worker   int   // -1 when shed
+
+	Start   simclock.Time     // dispatch time (accepted only)
+	End     simclock.Time     // completion time
+	Wait    simclock.Duration // arrival → dispatch
+	Service simclock.Duration // dilated service time incl. setup
+	Setup   bool              // paid the signature-switch setup cost
+
+	// Slowdown is (wait + service) / isolated duration: the cost of
+	// running in the shared fleet instead of alone.
+	Slowdown float64
+}
+
+// Result is one policy's scheduled run over a prepared cluster.
+type Result struct {
+	Policy   string
+	Outcomes []Outcome // arrival order
+	Report   *Report
+}
+
+// Schedule replays the scheduling layer over the prepared jobs under the
+// given policy. The loop is strictly sequential on a shared simclock.Sim —
+// the cheap phase of the simulation, so running it once per policy reuses
+// the expensive per-job pipelines.
+func (c *Cluster) Schedule(policy string, reg *obs.Registry) (*Result, error) {
+	rt, err := newRouter(policy, c.spec.AffinityEps, c.spec.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		reg = obs.NewRegistry(64)
+	}
+	var (
+		mSubmitted = reg.Counter("cluster.jobs.submitted")
+		mAccepted  = reg.Counter("cluster.jobs.accepted")
+		mShed      = reg.Counter("cluster.jobs.shed")
+		mCompleted = reg.Counter("cluster.jobs.completed")
+		mSetups    = reg.Counter("cluster.worker.setups")
+		hWait      = reg.Histogram("cluster.wait_us")
+	)
+	reg.Gauge("cluster.workers").Set(int64(c.spec.Workers))
+
+	sim := simclock.New()
+	workers := make([]*workerState, c.spec.Workers)
+	for i := range workers {
+		workers[i] = &workerState{id: i}
+	}
+	buckets := make(map[string]*tokenBucket, len(c.spec.Tenants))
+	for _, t := range c.spec.Tenants {
+		buckets[t.Name] = newTokenBucket(t)
+	}
+	outcomes := make([]Outcome, len(c.jobs))
+
+	// service computes a job's dilated runtime at dispatch: the isolated
+	// duration stretched by storage contention from busy pod neighbors,
+	// plus the setup cost when the worker switches op-mix signatures.
+	service := func(now simclock.Time, w *workerState, jobIdx int) (simclock.Duration, bool) {
+		iso := c.results[jobIdx].dur
+		podStart := (w.id / c.spec.PodSize) * c.spec.PodSize
+		podEnd := podStart + c.spec.PodSize
+		if podEnd > len(workers) {
+			podEnd = len(workers)
+		}
+		busy, peers := 0, 0
+		for i := podStart; i < podEnd; i++ {
+			if i == w.id {
+				continue
+			}
+			peers++
+			if workers[i].busy {
+				busy++
+			}
+		}
+		d := float64(iso)
+		if peers > 0 {
+			d *= 1 + c.spec.InterferenceAlpha*float64(busy)/float64(peers)
+		}
+		sig := c.sigs[c.jobs[jobIdx].Workload]
+		setup := w.sig.Distance(sig) > c.spec.AffinityEps
+		if setup {
+			d += c.spec.SetupUs
+		}
+		return simclock.Duration(d + 0.5), setup
+	}
+
+	var dispatch func(w *workerState, jobIdx int)
+	dispatch = func(w *workerState, jobIdx int) {
+		now := sim.Now()
+		job := c.jobs[jobIdx]
+		dur, setup := service(now, w, jobIdx)
+		w.busy = true
+		w.busyUntil = now.Add(dur)
+		w.sig = c.sigs[job.Workload]
+		w.jobs++
+		w.busyTime += dur
+		if setup {
+			w.setups++
+			mSetups.Inc()
+		}
+		o := &outcomes[jobIdx]
+		o.Start = now
+		o.End = w.busyUntil
+		o.Wait = now.Sub(job.Arrival)
+		o.Service = dur
+		o.Setup = setup
+		o.Slowdown = float64(o.Wait+dur) / float64(c.results[jobIdx].dur)
+		hWait.Observe(int64(o.Wait))
+		sim.At(w.busyUntil, func() {
+			mCompleted.Inc()
+			w.busy = false
+			if len(w.queue) > 0 {
+				next := w.queue[0]
+				w.queue = w.queue[1:]
+				w.backlog -= c.results[next].dur
+				dispatch(w, next)
+			}
+		})
+	}
+
+	for i := range c.jobs {
+		i := i
+		job := c.jobs[i]
+		sim.At(job.Arrival, func() {
+			mSubmitted.Inc()
+			o := &outcomes[i]
+			o.Job = job
+			o.Worker = -1
+			if !buckets[job.Tenant].take(sim.Now()) {
+				o.ShedErr = ErrTenantRate
+				mShed.Inc()
+				reg.Emit("cluster", "shed", job.ID+": tenant over rate")
+				return
+			}
+			wid := rt.pick(sim.Now(), c.sigs[job.Workload], workers)
+			w := workers[wid]
+			if w.busy && len(w.queue) >= c.spec.QueueDepth {
+				o.ShedErr = ErrQueueFull
+				mShed.Inc()
+				reg.Emit("cluster", "shed", job.ID+": queue full")
+				return
+			}
+			o.Accepted = true
+			o.Worker = wid
+			mAccepted.Inc()
+			if w.busy {
+				w.queue = append(w.queue, i)
+				w.backlog += c.results[i].dur
+				return
+			}
+			dispatch(w, i)
+		})
+	}
+	sim.Run()
+
+	res := &Result{Policy: policy, Outcomes: outcomes}
+	res.Report = c.buildReport(policy, outcomes, workers, sim.Now())
+	return res, nil
+}

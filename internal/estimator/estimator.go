@@ -121,7 +121,11 @@ func New(w *workloads.Workload, opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("estimator: compiling eval graph: %w", err)
 	}
-	dev := tpu.NewDevice(tpu.NewChipSpec(opts.Version), seed)
+	cspec := tpu.NewChipSpec(opts.Version)
+	if err := cspec.Validate(); err != nil {
+		return nil, err
+	}
+	dev := tpu.NewDevice(cspec, seed)
 	if err := dev.LoadProgram(trainProg); err != nil {
 		return nil, err
 	}

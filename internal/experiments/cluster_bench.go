@@ -1,0 +1,144 @@
+package experiments
+
+// The fleet-scheduling benchmark behind `paperbench -cluster-bench`: the
+// scale contract for the multi-tenant cluster simulation. Each sweep
+// point prepares a cluster preset once (the expensive per-job isolated
+// pipelines, run in parallel) and then replays the scheduling layer under
+// every routing policy, measuring scheduler throughput (jobs scheduled
+// per wall second) and the simulated-time fairness surface: Jain's index
+// over per-tenant service and the worst tenant's p99 queueing delay.
+// Simulated-time metrics are deterministic for a fixed seed, so their
+// benchdiff gates can be tight; wall-clock throughput gets the usual
+// loose floor. The zero-loss contract is asserted inline: every accepted
+// job must produce a listed archive and the store must be fsck-clean.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/repo"
+	"repro/internal/storage"
+)
+
+// ClusterBenchPresets is the sweep: the contended 8-worker scenario and
+// the 64-worker / 8-tenant / 1000-job acceptance scenario.
+var ClusterBenchPresets = []string{"rush", "fleet"}
+
+// clusterBenchSeed keeps the simulated-time metrics identical across
+// runs, so benchdiff compares like with like.
+const clusterBenchSeed = 42
+
+// RunClusterBench drives the preset×policy sweep and returns the report.
+// quick drops the 1000-job acceptance point for CI smoke runs; the
+// remaining points keep their exact configuration so they stay
+// comparable against a full baseline.
+func RunClusterBench(presets []string, quick bool) (*AnalyzerBenchReport, error) {
+	if len(presets) == 0 {
+		presets = ClusterBenchPresets
+		if quick && len(presets) > 1 {
+			presets = presets[:len(presets)-1]
+		}
+	}
+	rep := &AnalyzerBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Speedups:   map[string]float64{},
+	}
+	for _, preset := range presets {
+		if err := runClusterCase(rep, preset); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// runClusterCase is one sweep point: a preset prepared once, scheduled
+// and archived under every policy.
+func runClusterCase(rep *AnalyzerBenchReport, preset string) error {
+	spec, err := cluster.Preset(preset, clusterBenchSeed)
+	if err != nil {
+		return err
+	}
+	prepStart := time.Now()
+	c, err := cluster.New(spec)
+	if err != nil {
+		return fmt.Errorf("cluster-bench: preset %s: %w", preset, err)
+	}
+	prep := time.Since(prepStart)
+	jobs := len(c.Jobs())
+
+	for _, policy := range cluster.Policies() {
+		reg := obs.NewRegistry(16)
+		schedStart := time.Now()
+		res, err := c.Schedule(policy, reg)
+		if err != nil {
+			return fmt.Errorf("cluster-bench: %s/%s: %w", preset, policy, err)
+		}
+		schedWall := time.Since(schedStart)
+
+		svc := storage.NewService()
+		bucket, err := svc.CreateBucket(fmt.Sprintf("cluster-%s-%s", preset, policy))
+		if err != nil {
+			return err
+		}
+		r := repo.New(bucket)
+		saved, err := c.SaveArchives(r, res, policy)
+		if err != nil {
+			return err
+		}
+
+		// Zero-loss contract: accepted ⇒ archived, shed jobs accounted,
+		// store clean. A bench run that lost a job is a failure, not a
+		// data point.
+		fr := res.Report
+		if saved != fr.Accepted {
+			return fmt.Errorf("cluster-bench: %s/%s: accepted %d but archived %d",
+				preset, policy, fr.Accepted, saved)
+		}
+		if fr.Submitted != fr.Accepted+fr.Shed {
+			return fmt.Errorf("cluster-bench: %s/%s: submitted %d != accepted %d + shed %d",
+				preset, policy, fr.Submitted, fr.Accepted, fr.Shed)
+		}
+		if got := reg.Snapshot().C("cluster.jobs.shed"); got != int64(fr.Shed) {
+			return fmt.Errorf("cluster-bench: %s/%s: obs shed %d != report shed %d",
+				preset, policy, got, fr.Shed)
+		}
+		listed, err := r.List(repo.Filter{})
+		if err != nil {
+			return err
+		}
+		if len(listed) != saved {
+			return fmt.Errorf("cluster-bench: %s/%s: %d archived but %d listed",
+				preset, policy, saved, len(listed))
+		}
+		frep, err := r.Fsck(false)
+		if err != nil {
+			return err
+		}
+		if !frep.Clean() {
+			return fmt.Errorf("cluster-bench: %s/%s: fsck issues: %+v", preset, policy, frep.Issues)
+		}
+
+		mode := fmt.Sprintf("%s_%s", preset, policy)
+		// Scheduler throughput amortizes the one-time pipeline prep over
+		// the policies that reuse it.
+		wall := schedWall + prep/time.Duration(len(cluster.Policies()))
+		rep.Entries = append(rep.Entries, AnalyzerBenchEntry{
+			Kernel:      "cluster_schedule",
+			Mode:        mode,
+			N:           jobs,
+			Workers:     spec.Workers,
+			Iters:       jobs,
+			NsPerOp:     float64(schedWall.Nanoseconds()) / float64(jobs),
+			StepsPerSec: float64(jobs) / wall.Seconds(), // jobs scheduled per wall second
+		})
+		rep.Speedups["cluster_jain_"+mode] = fr.JainIndex
+		rep.Speedups["cluster_p99_wait_us_"+mode] = float64(fr.MaxWaitP99)
+		rep.Speedups["cluster_shed_"+mode] = float64(fr.Shed)
+		rep.Speedups["cluster_util_"+mode] = fr.MeanUtilization
+	}
+	return nil
+}

@@ -59,6 +59,48 @@ type Spec struct {
 	EpochRestartUs float64
 }
 
+// ErrBadSpec rejects host hardware specs that cannot describe a real
+// machine (non-positive core counts or bandwidths). Before validation these
+// produced silently nonsensical simulations — zero-bandwidth links turn
+// into divide-by-zero infinities that propagate into every stage time.
+var ErrBadSpec = errors.New("host: invalid host spec")
+
+// Validate rejects hardware specs with non-positive core counts or
+// bandwidths, and negative fixed overheads.
+func (s Spec) Validate() error {
+	if s.Cores < 1 {
+		return fmt.Errorf("%w: Cores = %d, must be >= 1", ErrBadSpec, s.Cores)
+	}
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"ReadMBps", s.ReadMBps},
+		{"DecodeMBpsPerThread", s.DecodeMBpsPerThread},
+		{"MemGBps", s.MemGBps},
+		{"PCIeGBps", s.PCIeGBps},
+	}
+	for _, r := range rates {
+		if !(r.v > 0) { // rejects zero, negatives, and NaN
+			return fmt.Errorf("%w: %s = %g, must be > 0", ErrBadSpec, r.name, r.v)
+		}
+	}
+	overheads := []struct {
+		name string
+		v    float64
+	}{
+		{"PerRecordOverheadUs", s.PerRecordOverheadUs},
+		{"TransferLockUs", s.TransferLockUs},
+		{"EpochRestartUs", s.EpochRestartUs},
+	}
+	for _, o := range overheads {
+		if o.v < 0 || o.v != o.v {
+			return fmt.Errorf("%w: %s = %g, must be >= 0", ErrBadSpec, o.name, o.v)
+		}
+	}
+	return nil
+}
+
 // DefaultSpec returns the paper's host instance.
 func DefaultSpec() Spec {
 	return Spec{
@@ -208,24 +250,30 @@ type Host struct {
 	nextReady simclock.Time
 }
 
-// New builds a host with the given configuration. Params are validated.
+// New builds a host with the given configuration. Spec and Params are
+// validated.
 func New(spec Spec, params Params, input InputSpec, seed uint64) (*Host, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
 	if input.BatchSize < 1 || input.RecordBytes < 1 || input.DecodedBytes < 1 || input.Records < 1 {
 		return nil, fmt.Errorf("host: invalid input spec %+v", input)
 	}
+	// Params.Validate guarantees positive thread counts, so resource
+	// construction cannot fail here.
 	return &Host{
 		spec:       spec,
 		params:     params,
 		input:      input,
 		rng:        prng.New(seed),
-		readers:    simclock.NewResource("readers", params.ReaderThreads),
-		decoders:   simclock.NewResource("decoders", 1),
-		linearize:  simclock.NewResource("linearize", params.InfeedThreads),
-		transfer:   simclock.NewResource("infeed-link", 1),
-		outfeedRes: simclock.NewResource("outfeed-link", 1),
+		readers:    simclock.MustResource("readers", params.ReaderThreads),
+		decoders:   simclock.MustResource("decoders", 1),
+		linearize:  simclock.MustResource("linearize", params.InfeedThreads),
+		transfer:   simclock.MustResource("infeed-link", 1),
+		outfeedRes: simclock.MustResource("outfeed-link", 1),
 	}, nil
 }
 
@@ -244,11 +292,11 @@ func (h *Host) SetParams(p Params) error {
 	}
 	at := h.nextReady
 	h.params = p
-	h.readers = simclock.NewResource("readers", p.ReaderThreads)
-	h.decoders = simclock.NewResource("decoders", 1)
-	h.linearize = simclock.NewResource("linearize", p.InfeedThreads)
-	h.transfer = simclock.NewResource("infeed-link", 1)
-	h.outfeedRes = simclock.NewResource("outfeed-link", 1)
+	h.readers = simclock.MustResource("readers", p.ReaderThreads)
+	h.decoders = simclock.MustResource("decoders", 1)
+	h.linearize = simclock.MustResource("linearize", p.InfeedThreads)
+	h.transfer = simclock.MustResource("infeed-link", 1)
+	h.outfeedRes = simclock.MustResource("outfeed-link", 1)
 	h.readers.Reset(at)
 	h.decoders.Reset(at)
 	h.linearize.Reset(at)

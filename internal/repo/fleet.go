@@ -258,6 +258,7 @@ type OpenRequest struct {
 	RunID      string `json:"run_id"`
 	Workload   string `json:"workload"`
 	Label      string `json:"label,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
 	HostSpec   string `json:"host_spec,omitempty"`
 	TPUVersion string `json:"tpu_version,omitempty"`
 }
@@ -318,6 +319,7 @@ func (f *Fleet) handleOpen(body []byte) ([]byte, error) {
 		RunID:      req.RunID,
 		Workload:   req.Workload,
 		Label:      req.Label,
+		Tenant:     req.Tenant,
 		HostSpec:   req.HostSpec,
 		TPUVersion: req.TPUVersion,
 		CreatedSeq: seq,

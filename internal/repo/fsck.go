@@ -365,6 +365,7 @@ func (r *Repo) entryFor(a *archive.Archive, base RunInfo) RunInfo {
 		RunID:      base.RunID,
 		Workload:   meta.Workload,
 		Label:      meta.Label,
+		Tenant:     meta.Tenant,
 		HostSpec:   meta.HostSpec,
 		TPUVersion: meta.TPUVersion,
 		CreatedSeq: meta.CreatedSeq,

@@ -94,6 +94,7 @@ type RunInfo struct {
 	RunID      string        `json:"run_id"`
 	Workload   string        `json:"workload"`
 	Label      string        `json:"label,omitempty"`
+	Tenant     string        `json:"tenant,omitempty"`
 	HostSpec   string        `json:"host_spec,omitempty"`
 	TPUVersion string        `json:"tpu_version,omitempty"`
 	CreatedSeq uint64        `json:"created_seq"`
@@ -341,6 +342,7 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 		RunID:      meta.RunID,
 		Workload:   meta.Workload,
 		Label:      meta.Label,
+		Tenant:     meta.Tenant,
 		HostSpec:   meta.HostSpec,
 		TPUVersion: meta.TPUVersion,
 		CreatedSeq: meta.CreatedSeq,
@@ -428,6 +430,7 @@ func (r *Repo) Save(blob []byte) (RunInfo, error) {
 type Filter struct {
 	Workload string
 	Label    string
+	Tenant   string
 }
 
 func (f Filter) match(info RunInfo) bool {
@@ -435,6 +438,9 @@ func (f Filter) match(info RunInfo) bool {
 		return false
 	}
 	if f.Label != "" && info.Label != f.Label {
+		return false
+	}
+	if f.Tenant != "" && info.Tenant != f.Tenant {
 		return false
 	}
 	return true

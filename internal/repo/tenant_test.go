@@ -1,0 +1,67 @@
+package repo
+
+import (
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/core/analyzer"
+)
+
+func tenantBlob(t *testing.T, runID, tenant string, seq uint64) []byte {
+	t.Helper()
+	recs := synthRecords(10, 0)
+	rep, err := analyzer.Analyze("synthetic", recs, analyzer.OLSAlgo, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := archive.NewWriter(archive.Meta{
+		RunID: runID, Workload: "synthetic", Label: "test",
+		Tenant: tenant, TPUVersion: "v2", CreatedSeq: seq,
+	})
+	for _, r := range recs {
+		w.Add(r)
+	}
+	return w.Finalize(archive.SummarizeReport(rep))
+}
+
+// Tenant must survive the full archive→manifest→filter round trip.
+func TestTenantRoundTrip(t *testing.T) {
+	r := newTestRepo(t)
+	if _, err := r.Save(tenantBlob(t, "run-t1", "team-vision", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Save(tenantBlob(t, "run-t2", "team-nlp", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Save(tenantBlob(t, "run-t3", "team-vision", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The manifest carries the tenant.
+	info, a, err := r.Get("run-t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tenant != "team-vision" {
+		t.Fatalf("manifest tenant = %q, want team-vision", info.Tenant)
+	}
+	// So does the archive meta itself.
+	if got := a.Meta().Tenant; got != "team-vision" {
+		t.Fatalf("archive tenant = %q, want team-vision", got)
+	}
+
+	runs, err := r.List(Filter{Tenant: "team-vision"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].RunID != "run-t1" || runs[1].RunID != "run-t3" {
+		t.Fatalf("tenant filter = %+v", runs)
+	}
+	if got, _ := r.List(Filter{Tenant: "nobody"}); len(got) != 0 {
+		t.Fatalf("unknown tenant matched %+v", got)
+	}
+	// Tenant composes with the other filter axes.
+	if got, _ := r.List(Filter{Tenant: "team-nlp", Workload: "synthetic"}); len(got) != 1 {
+		t.Fatalf("combined filter = %+v", got)
+	}
+}

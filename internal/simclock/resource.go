@@ -1,5 +1,10 @@
 package simclock
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Resource models a serially-shared facility (an MXU, a PCIe link, a host
 // pipeline stage with N workers). Work items queue FIFO per unit of
 // capacity; Acquire returns the time at which the work completes.
@@ -15,13 +20,29 @@ type Resource struct {
 	acquires uint64
 }
 
+// ErrBadCapacity rejects non-positive resource capacities. A zero-capacity
+// resource used to be silently promoted to capacity 1, which turned spec
+// bugs (an unset thread count, a negative override) into quietly wrong
+// simulations; now the construction fails loudly instead.
+var ErrBadCapacity = errors.New("simclock: resource capacity must be positive")
+
 // NewResource creates a resource with the given parallel capacity.
-// Capacity below 1 is treated as 1.
-func NewResource(name string, capacity int) *Resource {
+// Capacity below 1 is rejected with ErrBadCapacity.
+func NewResource(name string, capacity int) (*Resource, error) {
 	if capacity < 1 {
-		capacity = 1
+		return nil, fmt.Errorf("%w: %q has capacity %d", ErrBadCapacity, name, capacity)
 	}
-	return &Resource{name: name, freeAt: make([]Time, capacity)}
+	return &Resource{name: name, freeAt: make([]Time, capacity)}, nil
+}
+
+// MustResource is NewResource for capacities known valid at the call site
+// (literals, pre-validated parameters); it panics on a bad capacity.
+func MustResource(name string, capacity int) *Resource {
+	r, err := NewResource(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // Name returns the resource's diagnostic name.

@@ -13,6 +13,7 @@
 package tpu
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/simclock"
@@ -105,6 +106,43 @@ func NewChipSpec(v Version) ChipSpec {
 			IssueOverhead: 2 * simclock.Microsecond,
 		}
 	}
+}
+
+// ErrBadSpec rejects chip specs that cannot describe hardware: non-positive
+// unit counts, memory sizes, clock-rate-derived throughputs, or bandwidths.
+// Before validation a zero-bandwidth spec divided through the roofline into
+// Inf/NaN instruction times and the simulation silently produced nonsense.
+var ErrBadSpec = errors.New("tpu: invalid chip spec")
+
+// Validate rejects non-physical chip specs with a typed error.
+func (c ChipSpec) Validate() error {
+	if c.MXUs < 1 {
+		return fmt.Errorf("%w: MXUs = %d, must be >= 1", ErrBadSpec, c.MXUs)
+	}
+	if c.HBMBytes < 1 {
+		return fmt.Errorf("%w: HBMBytes = %d, must be >= 1", ErrBadSpec, c.HBMBytes)
+	}
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"PeakTFLOPS", c.PeakTFLOPS},
+		{"MXUEfficiency", c.MXUEfficiency},
+		{"HBMGBps", c.HBMGBps},
+		{"InfeedGBps", c.InfeedGBps},
+	}
+	for _, r := range rates {
+		if !(r.v > 0) { // rejects zero, negatives, and NaN
+			return fmt.Errorf("%w: %s = %g, must be > 0", ErrBadSpec, r.name, r.v)
+		}
+	}
+	if c.MXUEfficiency > 1 {
+		return fmt.Errorf("%w: MXUEfficiency = %g, must be <= 1", ErrBadSpec, c.MXUEfficiency)
+	}
+	if c.IssueOverhead < 0 {
+		return fmt.Errorf("%w: IssueOverhead = %d, must be >= 0", ErrBadSpec, c.IssueOverhead)
+	}
+	return nil
 }
 
 // flopsPerMicro returns effective matrix throughput in FLOP/µs.

@@ -1,0 +1,46 @@
+package tpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChipSpecValidate(t *testing.T) {
+	mutate := func(f func(*ChipSpec)) ChipSpec {
+		c := NewChipSpec(V2)
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name    string
+		spec    ChipSpec
+		wantErr bool
+	}{
+		{"v2-default", NewChipSpec(V2), false},
+		{"v3-default", NewChipSpec(V3), false},
+		{"zero-mxus", mutate(func(c *ChipSpec) { c.MXUs = 0 }), true},
+		{"negative-mxus", mutate(func(c *ChipSpec) { c.MXUs = -2 }), true},
+		{"zero-hbm", mutate(func(c *ChipSpec) { c.HBMBytes = 0 }), true},
+		{"zero-peak", mutate(func(c *ChipSpec) { c.PeakTFLOPS = 0 }), true},
+		{"negative-peak", mutate(func(c *ChipSpec) { c.PeakTFLOPS = -45 }), true},
+		{"zero-efficiency", mutate(func(c *ChipSpec) { c.MXUEfficiency = 0 }), true},
+		{"efficiency-over-one", mutate(func(c *ChipSpec) { c.MXUEfficiency = 1.5 }), true},
+		{"zero-hbm-bandwidth", mutate(func(c *ChipSpec) { c.HBMGBps = 0 }), true},
+		{"negative-infeed", mutate(func(c *ChipSpec) { c.InfeedGBps = -10 }), true},
+		{"negative-issue-overhead", mutate(func(c *ChipSpec) { c.IssueOverhead = -1 }), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.wantErr {
+				if !errors.Is(err, ErrBadSpec) {
+					t.Fatalf("Validate() = %v, want ErrBadSpec", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Validate() unexpected error: %v", err)
+			}
+		})
+	}
+}

@@ -7,7 +7,10 @@
 # beating the quadratic reference by at least MIN_GRID_SPEEDUP, when the
 # streaming analyzer's fidelity against batch OLS falls outside the
 # MIN_STREAM_F1 / MAX_SHARE_MAPE floors, or when the sharded
-# repository's p99 save latency regresses past MAX_INGEST_P99_REGRESS.
+# repository's p99 save latency regresses past MAX_INGEST_P99_REGRESS,
+# or when the cluster scheduler's throughput falls below
+# MIN_CLUSTER_THROUGHPUT or its simulated-time fairness surface (p99
+# queueing delay, Jain's index) drifts past MAX_CLUSTER_P99_REGRESS.
 #
 # Environment:
 #   BENCH_TOLERANCE      allowed ns/op regression fraction (default 0.25;
@@ -31,10 +34,20 @@
 #                        latency tails are noisy on shared CI runners, so
 #                        the gate catches order-of-magnitude contention
 #                        collapses, not scheduling jitter)
+#   MIN_CLUSTER_THROUGHPUT required cluster scheduler throughput in
+#                        jobs/sec (default 50 — a loose wall-clock floor
+#                        that catches the scheduling loop going
+#                        quadratic, not a runner benchmark)
+#   MAX_CLUSTER_P99_REGRESS allowed drift fraction for the cluster
+#                        scheduler's per-preset×policy p99 queueing
+#                        delay and Jain fairness index (default 0.25 —
+#                        simulated-time quantities, deterministic for a
+#                        fixed seed, so the gate stays tight)
 #   BENCH_BASELINE       analyzer baseline (default BENCH_analyzer.json)
 #   ARCHIVE_BASELINE     archive baseline (default BENCH_archive.json)
 #   STREAM_BASELINE      stream baseline (default BENCH_stream.json)
 #   INGEST_BASELINE      ingest baseline (default BENCH_ingest.json)
+#   CLUSTER_BASELINE     cluster baseline (default BENCH_cluster.json)
 #
 # Run directly or via `BENCH_GATE=1 make check`.
 set -euo pipefail
@@ -45,6 +58,7 @@ baseline="${BENCH_BASELINE:-BENCH_analyzer.json}"
 archive_baseline="${ARCHIVE_BASELINE:-BENCH_archive.json}"
 stream_baseline="${STREAM_BASELINE:-BENCH_stream.json}"
 ingest_baseline="${INGEST_BASELINE:-BENCH_ingest.json}"
+cluster_baseline="${CLUSTER_BASELINE:-BENCH_cluster.json}"
 tolerance="${BENCH_TOLERANCE:-0.25}"
 alloc_tolerance="${ALLOC_TOLERANCE:-0.10}"
 min_grid="${MIN_GRID_SPEEDUP:-2}"
@@ -53,8 +67,10 @@ min_alloc_reduction="${MIN_ALLOC_REDUCTION:-0.5}"
 min_stream_f1="${MIN_STREAM_F1:-0.9}"
 max_share_mape="${MAX_SHARE_MAPE:-0.10}"
 max_ingest_p99_regress="${MAX_INGEST_P99_REGRESS:-3.0}"
+min_cluster_throughput="${MIN_CLUSTER_THROUGHPUT:-50}"
+max_cluster_p99_regress="${MAX_CLUSTER_P99_REGRESS:-0.25}"
 
-for b in "$baseline" "$archive_baseline" "$stream_baseline" "$ingest_baseline"; do
+for b in "$baseline" "$archive_baseline" "$stream_baseline" "$ingest_baseline" "$cluster_baseline"; do
     if [ ! -f "$b" ]; then
         echo "benchdiff.sh: baseline $b not found" >&2
         exit 1
@@ -65,7 +81,8 @@ fresh="$(mktemp /tmp/bench_analyzer.XXXXXX.json)"
 fresh_archive="$(mktemp /tmp/bench_archive.XXXXXX.json)"
 fresh_stream="$(mktemp /tmp/bench_stream.XXXXXX.json)"
 fresh_ingest="$(mktemp /tmp/bench_ingest.XXXXXX.json)"
-trap 'rm -f "$fresh" "$fresh_archive" "$fresh_stream" "$fresh_ingest"' EXIT
+fresh_cluster="$(mktemp /tmp/bench_cluster.XXXXXX.json)"
+trap 'rm -f "$fresh" "$fresh_archive" "$fresh_stream" "$fresh_ingest" "$fresh_cluster"' EXIT
 
 echo "== paperbench -analyzer-bench (quick)"
 go run ./cmd/paperbench -analyzer-bench "$fresh" -bench-quick
@@ -116,3 +133,21 @@ echo "== benchdiff vs $ingest_baseline (p99 ceiling ${max_ingest_p99_regress})"
 go run ./cmd/benchdiff -old "$ingest_baseline" -new "$fresh_ingest" \
     -tolerance 10 -min-grid-speedup 0 \
     -max-ingest-p99-regress "$max_ingest_p99_regress"
+
+echo "== paperbench -cluster-bench (quick)"
+go run ./cmd/paperbench -cluster-bench "$fresh_cluster" -bench-quick
+
+# Cluster scheduler gate: every preset×policy point must schedule at
+# least MIN_CLUSTER_THROUGHPUT jobs/sec of wall clock, and the
+# simulated-time fairness surface — worst-tenant p99 queueing delay and
+# Jain's index per preset×policy — must stay within
+# MAX_CLUSTER_P99_REGRESS of the baseline. Quick mode drops the
+# 64-worker fleet acceptance point, so CI holds the contended rush
+# preset; the full run before committing a new baseline covers fleet.
+# The generic ns/op comparison is disabled (-tolerance 10): throughput
+# has its own floor and the fairness numbers are exact.
+echo "== benchdiff vs $cluster_baseline (throughput floor ${min_cluster_throughput} jobs/sec, fairness drift ${max_cluster_p99_regress})"
+go run ./cmd/benchdiff -old "$cluster_baseline" -new "$fresh_cluster" \
+    -tolerance 10 -min-grid-speedup 0 \
+    -min-cluster-throughput "$min_cluster_throughput" \
+    -max-cluster-p99-regress "$max_cluster_p99_regress"

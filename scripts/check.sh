@@ -70,6 +70,13 @@ echo "== stream smoke"
 echo "== ingest smoke"
 ./scripts/ingest_smoke.sh
 
+# Cluster-scheduler gate: the determinism/zero-loss/work-conservation
+# tests under -race, then a CLI fleet round trip with a per-tenant
+# listing, cross-tenant diff, and a bit-identical replay of the
+# archived fleet.
+echo "== cluster smoke"
+./scripts/cluster_smoke.sh
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh

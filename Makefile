@@ -81,6 +81,12 @@ ingest-smoke:
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
+# Replicated-collection smoke: replica failover suites under -race,
+# then two real collector replicas over one shared store — 64 agents,
+# a kill -9 and restart mid-fleet, and an offline zero-loss audit.
+replicated-smoke:
+	./scripts/replicated_smoke.sh
+
 # The full gate: everything must build, pass gofmt and vet (plus the
 # vet-filter selftest), and pass the test suite with the race detector
 # on. CI and pre-commit both run this. BENCH_GATE=1 additionally runs
@@ -95,4 +101,5 @@ check: build fmt vet
 	./scripts/stream_smoke.sh
 	./scripts/ingest_smoke.sh
 	./scripts/cluster_smoke.sh
+	./scripts/replicated_smoke.sh
 	@if [ "$(BENCH_GATE)" = "1" ]; then ./scripts/benchdiff.sh; fi

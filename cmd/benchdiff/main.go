@@ -29,7 +29,16 @@
 //     sharded ingest repository (ingest reports), held relative to the
 //     baseline's latency at the same agent count rather than to an
 //     absolute floor, so a contention regression at 256 agents cannot
-//     hide behind a healthy small-scale number.
+//     hide behind a healthy small-scale number. Latency is a property
+//     of the runner, so the gate only holds when both reports recorded
+//     the same GOMAXPROCS — a baseline from a different machine class
+//     is noise, not a contract.
+//   - -min-replica-scaling: the largest-agent-count
+//     "ingest_replica_scaling" ratio (ingest reports) — replicated
+//     ingest throughput at the deepest replica sweep point over the
+//     single-replica baseline. Like -min-decode-speedup it is enforced
+//     only when the candidate ran with GOMAXPROCS >= 4: replica lanes
+//     scale with cores, and on fewer the ratio degenerates to ~1x.
 //   - -min-cluster-throughput: wall-clock scheduler throughput (jobs
 //     scheduled per second) of every cluster_schedule entry (cluster
 //     reports). An absolute floor, kept loose: it exists to catch the
@@ -74,7 +83,8 @@ func main() {
 		minAlloc  = flag.Float64("min-alloc-reduction", 0, "required wire_marshal allocation-reduction fraction at the largest measured n (0 disables)")
 		minF1     = flag.Float64("min-stream-f1", 0, "required streaming phase-boundary F1 vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
 		maxMAPE   = flag.Float64("max-share-mape", 0, "allowed streaming per-phase time-share MAPE vs the batch analyzer at duty cycle 1/10, largest measured n (0 disables)")
-		maxP99    = flag.Float64("max-ingest-p99-regress", 0, "allowed p99 save-latency regression fraction per ingest agent count, old vs new (0 disables)")
+		maxP99    = flag.Float64("max-ingest-p99-regress", 0, "allowed p99 save-latency regression fraction per ingest agent count, old vs new; only enforced when both reports recorded the same GOMAXPROCS (0 disables)")
+		minScale  = flag.Float64("min-replica-scaling", 0, "required replicated-ingest throughput ratio (max replicas vs 1 replica) at the largest measured agent count; only enforced when the candidate ran with GOMAXPROCS >= 4 (0 disables)")
 		minSched  = flag.Float64("min-cluster-throughput", 0, "required wall-clock scheduler throughput in jobs/sec for every cluster_schedule entry (0 disables)")
 		maxWait   = flag.Float64("max-cluster-p99-regress", 0, "allowed regression fraction for per-preset×policy cluster p99 queueing delay and Jain fairness, old vs new (0 disables)")
 	)
@@ -98,6 +108,7 @@ func main() {
 	failures = append(failures, checkAllocReduction(newRep, *minAlloc)...)
 	failures = append(failures, checkStreamFidelity(newRep, *minF1, *maxMAPE)...)
 	failures = append(failures, checkIngestLatency(oldRep, newRep, *maxP99)...)
+	failures = append(failures, checkReplicaScaling(newRep, *minScale)...)
 	failures = append(failures, checkClusterThroughput(newRep, *minSched)...)
 	failures = append(failures, checkClusterFairness(oldRep, newRep, *maxWait)...)
 	if len(failures) > 0 {
@@ -327,6 +338,14 @@ func checkIngestLatency(oldRep, newRep *experiments.AnalyzerBenchReport, maxRegr
 	if maxRegress <= 0 {
 		return nil
 	}
+	// Latency ceilings only transfer between same-shaped runners: a
+	// baseline recorded on a different core count measures a different
+	// contention regime (mirrors the -min-decode-speedup core guard).
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("ingest p99 ceilings skipped: baseline GOMAXPROCS=%d, candidate GOMAXPROCS=%d\n",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+		return nil
+	}
 	const prefix = "ingest_p99_us_agents"
 	var agentCounts []int
 	for key := range oldRep.Speedups {
@@ -364,6 +383,34 @@ func checkIngestLatency(oldRep, newRep *experiments.AnalyzerBenchReport, maxRegr
 		failures = append(failures, "candidate report shares no ingest agent counts with the baseline")
 	}
 	return failures
+}
+
+// checkReplicaScaling asserts the structural win replicated collection
+// exists for: at the largest measured agent count, ingest throughput
+// with the full replica set must beat the single-replica lane by the
+// floor. The replicated bench routes every run to its owning lane the
+// way a placement-aware fleet does, so the ratio isolates the
+// horizontal knob — and like parallel decode it only means something
+// with cores to fan the lanes across, hence the GOMAXPROCS >= 4 guard.
+func checkReplicaScaling(rep *experiments.AnalyzerBenchReport, minScale float64) []string {
+	if minScale <= 0 {
+		return nil
+	}
+	if rep.GOMAXPROCS < 4 {
+		fmt.Printf("replica scaling floor skipped: candidate ran with GOMAXPROCS=%d (< 4)\n", rep.GOMAXPROCS)
+		return nil
+	}
+	bestN, scale := largestN(rep, "ingest_replica_scaling_agents")
+	if bestN < 0 {
+		return []string{"candidate report has no ingest_replica_scaling ratio"}
+	}
+	fmt.Printf("replicated ingest scaling at %d agents: %.2fx (floor %.2fx)\n", bestN, scale, minScale)
+	if scale < minScale {
+		return []string{fmt.Sprintf(
+			"replicated ingest scaling at %d agents is %.2fx, below the %.2fx floor",
+			bestN, scale, minScale)}
+	}
+	return nil
 }
 
 // checkClusterThroughput holds every cluster_schedule entry's wall-clock

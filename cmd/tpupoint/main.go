@@ -35,12 +35,12 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
 	tpupoint "repro"
+	"repro/internal/cliflag"
 	"repro/internal/core/analyzer"
 	"repro/internal/core/profiler"
 	"repro/internal/estimator"
@@ -73,23 +73,28 @@ func main() {
 		label       = flag.String("label", "", "free-form run label recorded in the archive (e.g. an experiment tag)")
 		csvOut      = flag.Bool("csv", false, "runs diff: emit machine-readable CSV instead of the table")
 		keep        = flag.Int("keep", 3, "runs gc: newest runs to keep per workload")
-		collect     = flag.String("collect", "", "stream profile records to a fleet collection server at this address instead of the local bucket")
+		collect     = flag.String("collect", "", "stream profile records to the fleet collection server(s) at this comma-separated address list instead of the local bucket (multiple addresses = a replica set; the client follows redirects and fails over)")
 		collectSrv  = flag.String("collect-serve", "", "run a fleet collection server at this TCP address writing into -archive")
 		maxSessions = flag.Int("max-sessions", 0, "collection server: concurrent session cap (0 = default)")
 		maxConns    = flag.Int("max-conns", 0, "served RPC endpoints: connection cap; excess connections get a transient busy error (0 = unlimited)")
 		codecPar    = flag.Int("codec-parallelism", 0, "archive codec worker pool size for repository reads (0 = GOMAXPROCS, 1 = serial; decoded runs are bit-identical for any value)")
 		shards      = flag.Int("shards", 0, "manifest shard count for the profile repository: 0 keeps the existing layout, N > 1 migrates a legacy single-manifest repository to N shards on open")
 		compactEach = flag.Int("compact-every", 0, "collection server: run a background compaction pass every N finalized sessions (0 = never; on demand via `runs compact`)")
+
+		replicaID = flag.Int("replica-id", 0, "collection server: this replica's index in the replica set (with -replicas > 1)")
+		replicas  = flag.Int("replicas", 1, "collection server: replica-set size; each replica owns the manifest shards s with s %% replicas == replica-id and redirects misplaced sessions to their owner")
+		peersF    = flag.String("peers", "", "collection server: comma-separated replica endpoints in replica-id order (entry i is replica i's address), used to redirect misplaced sessions and to probe fleet readiness")
 	)
 	flag.Parse()
 
 	var reg *obs.Registry
 	health := obs.NewHealth()
+	fleetView := obs.NewFleetView()
 	flush := func() {}
 	if *metrics != "" {
 		reg = obs.NewRegistry(0)
 		var err error
-		if flush, err = metricsSink(*metrics, reg, health); err != nil {
+		if flush, err = cliflag.MetricsSink("tpupoint", *metrics, reg, health, fleetView); err != nil {
 			fatal(err)
 		}
 		defer flush()
@@ -117,7 +122,18 @@ func main() {
 	}
 
 	if *collectSrv != "" {
-		if err := collectServe(*collectSrv, *archiveDir, *maxSessions, *maxConns, *codecPar, *shards, *compactEach, reg, health); err != nil {
+		peers, err := cliflag.Endpoints(*peersF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := collectConfig{
+			Addr: *collectSrv, Dir: *archiveDir,
+			MaxSessions: *maxSessions, MaxConns: *maxConns,
+			CodecPar: *codecPar, Shards: *shards, CompactEvery: *compactEach,
+			ReplicaID: *replicaID, Replicas: *replicas, Peers: peers,
+			Reg: reg, Health: health, Fleet: fleetView,
+		}
+		if err := collectServe(cfg); err != nil {
 			fatal(err)
 		}
 		return
@@ -195,21 +211,29 @@ func main() {
 	}
 
 	var p *profiler.Profiler
-	var fc *repo.FleetClient
+	var fc *repo.ResilientClient
 	if *collect != "" {
-		// Stream records to the fleet collection server as they are
+		// Stream records to the fleet collection server(s) as they are
 		// produced; the server archives and indexes them at finalize.
-		addr := *collect
+		// -collect accepts a comma-separated replica set: the endpoint-set
+		// client follows placement redirects to the run's owner and fails
+		// over on transport errors, while the resilient session layer
+		// resumes by durable token and resends the unacknowledged tail —
+		// a replica crash costs a reconnect, never a record.
+		endpoints, err := cliflag.Endpoints(*collect)
+		if err != nil {
+			fatal(err)
+		}
 		client, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
-			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
-			Obs:  reg,
+			Endpoints: endpoints,
+			Obs:       reg,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer client.Close()
 		spec := s.Workload().Spec()
-		fc, err = repo.OpenSession(client, repo.OpenRequest{
+		fc, err = repo.OpenResilient(client, repo.OpenRequest{
 			RunID: rid, Workload: s.Workload().Name, Label: *label,
 			HostSpec:   fmt.Sprintf("%dc %gMBps", spec.Cores, spec.ReadMBps),
 			TPUVersion: ver.String(),
@@ -378,33 +402,6 @@ func serveProfile(workload string, ver tpupoint.Version, steps int, addr string,
 		runner.TotalTime().Seconds(), 100*runner.IdleFraction(), 100*runner.MXUUtilization())
 	fmt.Println("profile windows remain available; ctrl-c to stop")
 	select {} // serve until interrupted
-}
-
-// metricsSink interprets the -metrics destination. A parseable host:port
-// serves live JSON snapshots over HTTP (metrics at /, liveness at
-// /healthz, readiness at /readyz); anything else is treated as a file
-// path and the returned flush writes the final snapshot there.
-func metricsSink(dest string, reg *obs.Registry, health *obs.Health) (flush func(), err error) {
-	if _, _, splitErr := net.SplitHostPort(dest); splitErr == nil {
-		l, err := net.Listen("tcp", dest)
-		if err != nil {
-			return nil, fmt.Errorf("metrics listener: %w", err)
-		}
-		fmt.Printf("metrics:     serving JSON snapshots at http://%s/ (health at /healthz, /readyz)\n", l.Addr())
-		go http.Serve(l, obs.Mux(reg, health)) //nolint:errcheck // serves until process exit
-		return func() {}, nil
-	}
-	return func() {
-		f, err := os.Create(dest)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tpupoint: writing metrics:", err)
-			return
-		}
-		defer f.Close()
-		if err := reg.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "tpupoint: writing metrics:", err)
-		}
-	}, nil
 }
 
 func fatal(err error) {

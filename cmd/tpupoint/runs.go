@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core/viz"
 	"repro/internal/obs"
@@ -279,23 +280,100 @@ func runsCmd(args []string, dir string, keep int, csv bool, codecPar, shards int
 	}
 }
 
+// collectConfig bundles the collection server's flag surface: one
+// process = one replica (or the whole fleet when Replicas <= 1).
+type collectConfig struct {
+	Addr, Dir string
+
+	MaxSessions, MaxConns, CodecPar, Shards, CompactEvery int
+
+	// ReplicaID/Replicas/Peers configure replicated collection: this
+	// process owns the manifest shards s with s % Replicas == ReplicaID
+	// and answers misplaced sessions with a redirect to Peers[owner].
+	ReplicaID, Replicas int
+	Peers               []string
+
+	Reg    *obs.Registry
+	Health *obs.Health
+	Fleet  *obs.FleetView
+}
+
 // collectServe runs the fleet collection server: profilers stream
 // records in over RPC (tpupoint -collect <addr>), every finalized
 // session becomes an indexed archive in the -archive directory.
 // Interrupted sessions are durable: their state is parked in the
 // repository and clients reattach with fleet.Resume after a restart.
-func collectServe(addr, dir string, maxSessions, maxConns, codecPar, shards, compactEvery int, reg *obs.Registry, health *obs.Health) error {
-	if dir == "" {
+//
+// Standalone (-replicas 1, the default) the repository is imported
+// into memory and synced back at shutdown. Replicated (-replicas N)
+// the -archive directory is opened as a live shared DirStore — every
+// mutation lands on disk immediately, because peer replicas and a
+// restarted self read the same files — and saves flow through a
+// group-commit Ingestor that amortizes journal+manifest writes across
+// concurrent finalizes.
+func collectServe(cfg collectConfig) error {
+	if cfg.Dir == "" {
 		return errors.New("-collect-serve needs -archive <dir> for the repository")
 	}
+	reg, health := cfg.Reg, cfg.Health
 	health.SetFailing("repository", "opening")
 	health.SetFailing("collector", "starting")
-	r, bucket, err := openRepoDir(dir, codecPar, shards)
-	if err != nil {
-		return err
+
+	var (
+		r       *repo.Repo
+		bucket  *storage.Bucket // standalone mode only (nil when replicated)
+		rc      *repo.ReplicaConfig
+		ingest  *repo.Ingestor
+		owned   []int
+		fleetID = "collector"
+	)
+	if cfg.Replicas > 1 {
+		rc = &repo.ReplicaConfig{ID: cfg.ReplicaID, Replicas: cfg.Replicas, Peers: cfg.Peers}
+		if err := rc.Validate(); err != nil {
+			return err
+		}
+		shards := cfg.Shards
+		if shards == 0 {
+			// Every replica needs shards to own; default to a few per
+			// replica so reconfiguration has room to rebalance.
+			shards = 4 * cfg.Replicas
+		}
+		if shards < cfg.Replicas {
+			return fmt.Errorf("-shards %d < -replicas %d leaves replicas owning nothing", shards, cfg.Replicas)
+		}
+		store, err := storage.OpenDir(cfg.Dir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		owned = rc.OwnedShards(shards)
+		var rec *repo.RecoveryReport
+		r, rec, err = repo.OpenShardsOwned(store, shards, owned)
+		if err != nil {
+			return fmt.Errorf("recovering repository %s: %w", cfg.Dir, err)
+		}
+		if !rec.Clean() {
+			fmt.Printf("recovery: replayed %d interrupted mutations (%d completed, %d rolled back, %d orphans reclaimed)\n",
+				rec.OpenIntents, rec.Completed, rec.RolledBack, len(rec.OrphansReclaimed))
+		}
+		r.SetCodecParallelism(cfg.CodecPar)
+		ingest = repo.NewIngestor(r, repo.IngestorOptions{Replica: rc, Obs: reg})
+		defer ingest.Close()
+		fleetID = fmt.Sprintf("replica-%d", rc.ID)
+		reg.SetLabel("replica", fmt.Sprint(rc.ID))
+		cfg.Fleet.Set(fleetID, obs.ReplicaUp)
+	} else {
+		var err error
+		r, bucket, err = openRepoDir(cfg.Dir, cfg.CodecPar, cfg.Shards)
+		if err != nil {
+			return err
+		}
 	}
 	r.SetObs(reg)
-	fleet := repo.NewFleet(r, repo.FleetOptions{MaxSessions: maxSessions, CompactEvery: compactEvery, Obs: reg})
+	fleet := repo.NewFleet(r, repo.FleetOptions{
+		MaxSessions: cfg.MaxSessions, CompactEvery: cfg.CompactEvery,
+		Obs: reg, Replica: rc, Ingest: ingest,
+	})
 	parked, err := fleet.RecoverSessions()
 	if err != nil {
 		return err
@@ -305,25 +383,38 @@ func collectServe(addr, dir string, maxSessions, maxConns, codecPar, shards, com
 	}
 	health.SetReady("repository")
 	srv := rpc.NewServer()
-	if maxConns > 0 {
-		srv.SetConnLimit(maxConns)
+	if cfg.MaxConns > 0 {
+		srv.SetConnLimit(cfg.MaxConns)
 	}
 	fleet.Register(srv)
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
 	defer l.Close()
-	fmt.Printf("fleet collection server on %s (max %d sessions), repository %s\n",
-		l.Addr(), maxSessions, dir)
+	if rc != nil {
+		fmt.Printf("fleet collection server on %s (replica %d of %d, shards %v), repository %s\n",
+			l.Addr(), rc.ID, rc.Replicas, owned, cfg.Dir)
+	} else {
+		fmt.Printf("fleet collection server on %s (max %d sessions), repository %s\n",
+			l.Addr(), cfg.MaxSessions, cfg.Dir)
+	}
 	go srv.Serve(l)
 	health.SetReady("collector")
+
+	// Probe peer replicas so /fleetz answers for the whole set.
+	stopProbe := make(chan struct{})
+	if rc != nil && len(rc.Peers) > 0 {
+		go probePeers(rc, cfg.Fleet, stopProbe)
+	}
 
 	// Serve until interrupted, then flush the repository to disk.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopProbe)
 	health.SetFailing("collector", "shutting down")
+	cfg.Fleet.Set(fleetID, obs.ReplicaDown)
 	srv.Close()
 	if n := fleet.ActiveSessions(); n > 0 {
 		fmt.Printf("%d sessions still open; their accepted records are parked durably (clients resume by token)\n", n)
@@ -331,11 +422,46 @@ func collectServe(addr, dir string, maxSessions, maxConns, codecPar, shards, com
 	// Drain any in-flight background compaction before the final sync so
 	// the exported directory reflects a settled repository.
 	fleet.WaitBackground()
-	if err := syncRepoDir(bucket, dir); err != nil {
-		return err
+	if bucket != nil {
+		if err := syncRepoDir(bucket, cfg.Dir); err != nil {
+			return err
+		}
+		fmt.Printf("repository synced to %s\n", cfg.Dir)
 	}
-	fmt.Printf("repository synced to %s\n", dir)
 	return nil
+}
+
+// probePeers pings every peer replica on a short cadence and feeds the
+// fleet readiness view: "up" on a healthy ping, "down" on a refused
+// dial or failed call. Probing is best-effort observability — placement
+// and redirects never consult it.
+func probePeers(rc *repo.ReplicaConfig, view *obs.FleetView, stop <-chan struct{}) {
+	probe := func() {
+		for id, addr := range rc.Peers {
+			if id == rc.ID {
+				continue
+			}
+			state := obs.ReplicaDown
+			if c, err := rpc.Dial(addr); err == nil {
+				if _, perr := repo.PingEndpoint(c); perr == nil {
+					state = obs.ReplicaUp
+				}
+				c.Close()
+			}
+			view.Set(fmt.Sprintf("replica-%d", id), state)
+		}
+	}
+	probe()
+	t := time.NewTicker(2 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			probe()
+		}
+	}
 }
 
 // printRunInfo summarizes a freshly archived run. dir is the local

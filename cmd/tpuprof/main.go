@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/estimator"
 	"repro/internal/obs"
 	"repro/internal/rpc"
@@ -34,49 +35,58 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "bert-squad", "workload for the in-process demo run")
-		addr     = flag.String("addr", "", "profile a remote TPU service at this TCP address instead")
-		steps    = flag.Int("steps", 200, "demo run train steps")
-		retries  = flag.Int("retries", 3, "transport retries per request before giving up")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = wait forever)")
-		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base reconnect backoff (doubles per attempt)")
-		sessions = flag.Int("sessions", 1, "concurrent profile sessions against -addr, one connection each (exercises the server's -max-conns cap; busy refusals are retried with backoff)")
-		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (RPC calls, retries, redials) to this file at exit")
+		workload  = flag.String("workload", "bert-squad", "workload for the in-process demo run")
+		addr      = flag.String("addr", "", "profile a remote TPU service at this TCP address instead")
+		steps     = flag.Int("steps", 200, "demo run train steps")
+		retries   = flag.Int("retries", 3, "transport retries per request before giving up")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = wait forever)")
+		backoff   = flag.Duration("backoff", 50*time.Millisecond, "base reconnect backoff (doubles per attempt)")
+		sessions  = flag.Int("sessions", 1, "concurrent profile sessions against -addr, one connection each (exercises the server's -max-conns cap; busy refusals are retried with backoff)")
+		endpoints = flag.String("endpoints", "", "comma-separated replica endpoints to profile against; the client fails over between them and follows redirects (mutually exclusive with -addr)")
+		metrics   = flag.String("metrics", "", "observability sink: a host:port serves live JSON snapshots over HTTP, anything else is a file the final snapshot is written to")
 	)
 	flag.Parse()
 
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.NewRegistry(0)
-		defer func() {
-			f, err := os.Create(*metrics)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tpuprof: writing metrics:", err)
-				return
-			}
-			defer f.Close()
-			if err := reg.WriteJSON(f); err != nil {
-				fmt.Fprintln(os.Stderr, "tpuprof: writing metrics:", err)
-			}
-		}()
+		flush, err := cliflag.MetricsSink("tpuprof", *metrics, reg, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer flush()
+	}
+	if *addr != "" && *endpoints != "" {
+		fatal(fmt.Errorf("-addr and -endpoints are mutually exclusive"))
+	}
+	eps, err := cliflag.Endpoints(*endpoints)
+	if err != nil {
+		fatal(err)
 	}
 
 	var resp *tpu.ProfileResponse
-	if *addr != "" {
+	if *addr != "" || len(eps) > 0 {
 		// The resilient path: redial on transport failure with capped
 		// exponential backoff; a circuit breaker turns a dead endpoint
-		// into a prompt error instead of a retry storm. With -sessions N,
-		// N clients each hold their own connection, the way a fleet of
-		// profiling hosts would; a conn-capped server answers the excess
-		// with a transient busy refusal they back off and retry.
+		// into a prompt error instead of a retry storm. With -endpoints,
+		// the client holds the whole replica set and fails over between
+		// members. With -sessions N, N clients each hold their own
+		// connection, the way a fleet of profiling hosts would; a
+		// conn-capped server answers the excess with a transient busy
+		// refusal they back off and retry.
 		fetch := func() (*tpu.ProfileResponse, error) {
-			client, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
-				Dial:        func() (net.Conn, error) { return net.Dial("tcp", *addr) },
+			opts := rpc.ReconnectOptions{
 				CallTimeout: *timeout,
 				MaxRetries:  *retries,
 				BaseBackoff: *backoff,
 				Obs:         reg,
-			})
+			}
+			if len(eps) > 0 {
+				opts.Endpoints = eps
+			} else {
+				opts.Dial = func() (net.Conn, error) { return net.Dial("tcp", *addr) }
+			}
+			client, err := rpc.NewReconnectClient(opts)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +98,6 @@ func main() {
 			return tpu.UnmarshalProfileResponse(raw)
 		}
 		if *sessions <= 1 {
-			var err error
 			if resp, err = fetch(); err != nil {
 				fatal(err)
 			}

@@ -38,11 +38,30 @@ var IngestBenchAgents = []int{8, 64, 256}
 // keys with the committed baseline and benchdiff can match them.
 const ingestRunsPerAgent = 4
 
+// Replicated-mode sweep: the horizontal scale-out acceptance point.
+// Full mode drives 1024 agents against 1, 2, and 4 collector replicas
+// over ONE shared store; quick mode drops to 256 agents and the {1, 4}
+// endpoints of the sweep. The scaling headline
+// (ingest_replica_scaling_agents<N> = throughput(Rmax)/throughput(R1))
+// is gated by benchdiff -min-replica-scaling on multi-core runners.
+var (
+	ingestReplicaSweepFull  = []int{1, 2, 4}
+	ingestReplicaSweepQuick = []int{1, 4}
+)
+
+const (
+	ingestReplicatedAgentsFull  = 1024
+	ingestReplicatedAgentsQuick = 256
+)
+
 // RunIngestBench drives the concurrent-ingest sweep and returns the
 // report. quick drops the 256-agent acceptance point for CI smoke runs
 // — the remaining sweep points keep their exact configuration, so they
-// stay comparable against a full baseline.
+// stay comparable against a full baseline. With the default (nil)
+// sweep it also runs the replicated modes: 1024 agents (256 quick)
+// fanned over 1/2/4 replica ingest lanes sharing one store.
 func RunIngestBench(agents []int, quick bool) (*AnalyzerBenchReport, error) {
+	replicated := len(agents) == 0
 	if len(agents) == 0 {
 		agents = IngestBenchAgents
 		if quick && len(agents) > 1 {
@@ -58,6 +77,26 @@ func RunIngestBench(agents []int, quick bool) (*AnalyzerBenchReport, error) {
 	for _, n := range agents {
 		if err := runIngestCase(rep, n, runsPer); err != nil {
 			return nil, err
+		}
+	}
+	if replicated {
+		repAgents, sweep := ingestReplicatedAgentsFull, ingestReplicaSweepFull
+		if quick {
+			repAgents, sweep = ingestReplicatedAgentsQuick, ingestReplicaSweepQuick
+		}
+		var base, last float64
+		for _, replicas := range sweep {
+			thr, err := runReplicatedIngestCase(rep, repAgents, replicas)
+			if err != nil {
+				return nil, err
+			}
+			if replicas == 1 {
+				base = thr
+			}
+			last = thr
+		}
+		if base > 0 {
+			rep.Speedups[fmt.Sprintf("ingest_replica_scaling_agents%d", repAgents)] = last / base
 		}
 	}
 	return rep, nil
@@ -151,6 +190,119 @@ func runIngestCase(rep *AnalyzerBenchReport, n, runsPer int) error {
 	rep.Speedups["ingest_p99_us_"+mode] = float64(p99.Microseconds())
 	rep.Speedups["ingest_cas_retries_"+mode] = float64(reg.Counter("repo.manifest.cas.retries").Value())
 	return nil
+}
+
+// runReplicatedIngestCase is one replicated sweep point: n agents each
+// saving one small archive, fanned over `replicas` collector ingest
+// lanes that share one store. Each lane is what a collector replica
+// runs: a Repo scoped to its owned shards plus a group-commit Ingestor
+// that is the sole writer of those shards, so lanes never contend on a
+// manifest CAS and throughput scales with the replica count (up to the
+// machine's cores). Agents route each run to its owner with the same
+// placement function the fleet uses — no redirects in the hot loop,
+// exactly like a placement-aware client. Returns the sustained
+// saves/sec for the scaling headline.
+func runReplicatedIngestCase(rep *AnalyzerBenchReport, n, replicas int) (float64, error) {
+	svc := storage.NewService()
+	bucket, err := svc.CreateBucket(fmt.Sprintf("ingest-rep-%d-%d", n, replicas))
+	if err != nil {
+		return 0, err
+	}
+	reg := obs.NewRegistry(16)
+
+	lanes := make([]*repo.Ingestor, replicas)
+	for id := 0; id < replicas; id++ {
+		rc := &repo.ReplicaConfig{ID: id, Replicas: replicas}
+		r, _, err := repo.OpenShardsOwned(bucket, repo.DefaultShards, rc.OwnedShards(repo.DefaultShards))
+		if err != nil {
+			return 0, err
+		}
+		r.SetObs(reg)
+		lanes[id] = repo.NewIngestor(r, repo.IngestorOptions{Replica: rc, Obs: reg})
+	}
+	defer func() {
+		for _, g := range lanes {
+			g.Close()
+		}
+	}()
+
+	place := &repo.ReplicaConfig{Replicas: replicas}
+	type routed struct {
+		blob []byte
+		lane int
+	}
+	jobs := make([]routed, n)
+	for i := range jobs {
+		runID := fmt.Sprintf("fleet-agent-%04d", i)
+		jobs[i] = routed{
+			blob: ingestBenchBlob(runID, uint64(i+1)),
+			lane: place.OwnerOfRun(runID, repo.DefaultShards),
+		}
+	}
+
+	latencies := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := lanes[jobs[i].lane].Save(jobs[i].blob)
+			latencies[i] = time.Since(t0)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("ingest-bench: replicated agents=%d replicas=%d agent %d: %w", n, replicas, i, err)
+		}
+	}
+
+	// Zero-loss contract, verified through an INDEPENDENT reader over
+	// the shared store: every acked save is listed and fsck is clean.
+	reader, _, err := repo.OpenShards(bucket, repo.DefaultShards)
+	if err != nil {
+		return 0, err
+	}
+	listed, err := reader.List(repo.Filter{})
+	if err != nil {
+		return 0, err
+	}
+	if len(listed) != n {
+		return 0, fmt.Errorf("ingest-bench: replicas=%d acked %d saves but %d listed", replicas, n, len(listed))
+	}
+	frep, err := reader.Fsck(false)
+	if err != nil {
+		return 0, err
+	}
+	if !frep.Clean() {
+		return 0, fmt.Errorf("ingest-bench: replicas=%d left fsck issues: %+v", replicas, frep.Issues)
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := sorted[(len(sorted)-1)*99/100]
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	thr := float64(n) / wall.Seconds()
+	mode := fmt.Sprintf("agents%d_replicas%d", n, replicas)
+	rep.Entries = append(rep.Entries, AnalyzerBenchEntry{
+		Kernel:      "ingest_replicated",
+		Mode:        mode,
+		N:           n,
+		Workers:     replicas,
+		Iters:       n,
+		NsPerOp:     float64(sum.Nanoseconds()) / float64(n),
+		StepsPerSec: thr,
+	})
+	rep.Speedups["ingest_p99_us_"+mode] = float64(p99.Microseconds())
+	return thr, nil
 }
 
 // ingestBenchBlob builds the small archive each simulated agent saves:

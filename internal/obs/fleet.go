@@ -1,0 +1,156 @@
+// Fleet-wide readiness: one collector replica's view of the whole
+// replica set. Each replica tracks its peers (via periodic pings or
+// gossip — the probing loop lives with the collector, not here) and
+// serves the aggregate at /fleetz so an operator or load balancer can
+// ask any single replica "how many collectors are actually up?"
+// without scraping all of them.
+//
+// Nil-safe like the rest of the package: a nil *FleetView swallows
+// updates and reports an empty fleet.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Replica states a FleetView distinguishes. "Degraded" is alive but
+// impaired — reachable yet reporting unready components — so routers
+// can deprioritize it without declaring it dead.
+const (
+	ReplicaUp       = "up"
+	ReplicaDegraded = "degraded"
+	ReplicaDown     = "down"
+)
+
+// FleetView tracks per-replica liveness states keyed by replica ID.
+type FleetView struct {
+	mu     sync.Mutex
+	states map[string]string // replica id -> ReplicaUp/Degraded/Down
+}
+
+// NewFleetView returns an empty fleet view.
+func NewFleetView() *FleetView {
+	return &FleetView{states: make(map[string]string)}
+}
+
+// Set records one replica's state (any unknown state string counts as
+// degraded — a probe must never make the fleet look healthier than it
+// knows). Nil-safe.
+func (v *FleetView) Set(replica, state string) {
+	if v == nil || replica == "" {
+		return
+	}
+	switch state {
+	case ReplicaUp, ReplicaDegraded, ReplicaDown:
+	default:
+		state = ReplicaDegraded
+	}
+	v.mu.Lock()
+	v.states[replica] = state
+	v.mu.Unlock()
+}
+
+// Counts reports how many tracked replicas are up, degraded, and down.
+func (v *FleetView) Counts() (up, degraded, down int) {
+	if v == nil {
+		return 0, 0, 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, st := range v.states {
+		switch st {
+		case ReplicaUp:
+			up++
+		case ReplicaDegraded:
+			degraded++
+		default:
+			down++
+		}
+	}
+	return up, degraded, down
+}
+
+// Replicas returns the tracked replica IDs sorted, for deterministic
+// operator output.
+func (v *FleetView) Replicas() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.states))
+	for id := range v.states {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fleetStatus is the JSON document /fleetz serves.
+type fleetStatus struct {
+	Status   string            `json:"status"`
+	Up       int               `json:"up"`
+	Degraded int               `json:"degraded"`
+	Down     int               `json:"down"`
+	Replicas map[string]string `json:"replicas,omitempty"`
+}
+
+func (v *FleetView) snapshot() fleetStatus {
+	st := fleetStatus{Status: "ok"}
+	if v == nil {
+		return st
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.states) > 0 {
+		st.Replicas = make(map[string]string, len(v.states))
+	}
+	for id, state := range v.states {
+		st.Replicas[id] = state
+		switch state {
+		case ReplicaUp:
+			st.Up++
+		case ReplicaDegraded:
+			st.Degraded++
+		default:
+			st.Down++
+		}
+	}
+	if st.Down > 0 || st.Degraded > 0 {
+		st.Status = "degraded"
+	}
+	if st.Up == 0 && len(v.states) > 0 {
+		st.Status = "down"
+	}
+	return st
+}
+
+// Handler serves the fleet readiness document: 200 while at least one
+// replica is up (or nothing is tracked yet), 503 once the whole fleet
+// is down — so /fleetz doubles as a load-balancer health check for the
+// set, not just this process.
+func (v *FleetView) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		st := v.snapshot()
+		code := http.StatusOK
+		if st.Status == "down" {
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}
+
+// FleetMux is Mux plus the fleet readiness view at /fleetz. Any
+// argument may be nil.
+func FleetMux(r *Registry, h *Health, v *FleetView) *http.ServeMux {
+	mux := Mux(r, h)
+	mux.Handle("/fleetz", v.Handler())
+	return mux
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRegistryLabels(t *testing.T) {
+	r := NewRegistry(4)
+	r.SetLabel("replica", "2")
+	r.SetLabel("role", "collector")
+	r.SetLabel("replica", "3") // overwrite wins
+	r.Counter("fleet.records.in").Add(7)
+
+	if got := r.Label("replica"); got != "3" {
+		t.Fatalf("Label(replica) = %q, want 3", got)
+	}
+	snap := r.Snapshot()
+	if snap.Labels["replica"] != "3" || snap.Labels["role"] != "collector" {
+		t.Fatalf("snapshot labels = %v", snap.Labels)
+	}
+
+	// Labels survive the JSON round trip the CLI metrics sink uses.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Labels["replica"] != "3" {
+		t.Fatalf("labels lost in round trip: %v", back.Labels)
+	}
+
+	// Nil-safety and empty-key guard.
+	var nilReg *Registry
+	nilReg.SetLabel("replica", "9")
+	if got := nilReg.Label("replica"); got != "" {
+		t.Fatalf("nil registry label = %q", got)
+	}
+	r.SetLabel("", "ignored")
+	if _, ok := r.Snapshot().Labels[""]; ok {
+		t.Fatal("empty label key stored")
+	}
+}
+
+func TestFleetViewCountsAndStatus(t *testing.T) {
+	v := NewFleetView()
+	v.Set("0", ReplicaUp)
+	v.Set("1", ReplicaDegraded)
+	v.Set("2", ReplicaDown)
+	v.Set("3", "gibberish") // unknown states degrade, never upgrade
+
+	up, degraded, down := v.Counts()
+	if up != 1 || degraded != 2 || down != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 1/2/1", up, degraded, down)
+	}
+	if got := v.Replicas(); len(got) != 4 || got[0] != "0" || got[3] != "3" {
+		t.Fatalf("replicas = %v", got)
+	}
+
+	rec := httptest.NewRecorder()
+	v.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d with one replica up", rec.Code)
+	}
+	var st struct {
+		Status   string            `json:"status"`
+		Up       int               `json:"up"`
+		Replicas map[string]string `json:"replicas"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "degraded" || st.Up != 1 || st.Replicas["2"] != ReplicaDown {
+		t.Fatalf("fleet doc = %+v", st)
+	}
+
+	// Whole fleet down: /fleetz turns 503 so load balancers see it.
+	v.Set("0", ReplicaDown)
+	v.Set("1", ReplicaDown)
+	v.Set("3", ReplicaDown)
+	rec = httptest.NewRecorder()
+	v.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("status = %d with the whole fleet down, want 503", rec.Code)
+	}
+}
+
+func TestFleetViewNilSafe(t *testing.T) {
+	var v *FleetView
+	v.Set("0", ReplicaUp)
+	if up, deg, down := v.Counts(); up+deg+down != 0 {
+		t.Fatal("nil view counted replicas")
+	}
+	if v.Replicas() != nil {
+		t.Fatal("nil view returned replicas")
+	}
+	rec := httptest.NewRecorder()
+	v.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/fleetz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil view status = %d", rec.Code)
+	}
+}
+
+func TestFleetMuxServesAllSurfaces(t *testing.T) {
+	reg := NewRegistry(4)
+	h := NewHealth()
+	h.SetReady("repository")
+	v := NewFleetView()
+	v.Set("0", ReplicaUp)
+	mux := FleetMux(reg, h, v)
+	for _, path := range []string{"/", "/healthz", "/readyz", "/fleetz"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s = %d", path, rec.Code)
+		}
+	}
+}

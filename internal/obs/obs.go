@@ -221,6 +221,7 @@ const DefaultEventCapacity = 256
 // exports everything as one deterministic structure.
 type Registry struct {
 	mu       sync.Mutex
+	labels   map[string]string
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -245,6 +246,33 @@ func NewRegistry(eventCap int) *Registry {
 		evCap:    eventCap,
 		now:      time.Now,
 	}
+}
+
+// SetLabel attaches an identity label to every snapshot this registry
+// exports — which process, which collector replica, which role the
+// numbers came from. Metric names stay identical across replicas; the
+// labels are what tells an aggregator whose fleet.records.in it is
+// reading. Nil-safe; an empty key is ignored.
+func (r *Registry) SetLabel(key, value string) {
+	if r == nil || key == "" {
+		return
+	}
+	r.mu.Lock()
+	if r.labels == nil {
+		r.labels = make(map[string]string)
+	}
+	r.labels[key] = value
+	r.mu.Unlock()
+}
+
+// Label reads an identity label ("" when absent). Nil-safe.
+func (r *Registry) Label(key string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labels[key]
 }
 
 // SetClock overrides the event timestamp source (deterministic tests).
@@ -341,6 +369,7 @@ func (r *Registry) Events() []Event {
 // serialize sorted (encoding/json), so identical state yields identical
 // bytes — the property regression gates depend on.
 type Snapshot struct {
+	Labels        map[string]string            `json:"labels,omitempty"`
 	Counters      map[string]int64             `json:"counters"`
 	Gauges        map[string]int64             `json:"gauges"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms"`
@@ -360,6 +389,12 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	r.mu.Lock()
+	if len(r.labels) > 0 {
+		s.Labels = make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			s.Labels[k] = v
+		}
+	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}

@@ -78,6 +78,17 @@ type FleetOptions struct {
 	Obs *obs.Registry
 	// Now is the lease clock (testing knob; default time.Now).
 	Now func() time.Time
+	// Replica places this collector inside an N-replica fleet sharing
+	// one store (see replica.go): Open/Resume for runs this replica
+	// does not own answer with a transient redirect to the owner, and
+	// session tokens gain an "r<id>." namespace prefix. Nil means
+	// standalone. An invalid config is a programming error — run
+	// Validate on operator input before it reaches NewFleet.
+	Replica *ReplicaConfig
+	// Ingest, when set, routes finalized archives through group-commit
+	// ingest lanes (one writer goroutine per owned shard subset)
+	// instead of calling Repo.Save inline from each finalize handler.
+	Ingest *Ingestor
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -151,6 +162,9 @@ type Fleet struct {
 // NewFleet builds a collection endpoint writing into repo.
 func NewFleet(r *Repo, opts FleetOptions) *Fleet {
 	opts = opts.withDefaults()
+	if err := opts.Replica.Validate(); err != nil {
+		panic(err)
+	}
 	return &Fleet{
 		repo:     r,
 		opts:     opts,
@@ -169,6 +183,7 @@ func (f *Fleet) Register(s *rpc.Server) {
 	s.Register(MethodFleetFinalize, f.handleFinalize)
 	s.Register(MethodFleetAbort, f.handleAbort)
 	s.Register(MethodFleetResume, f.handleResume)
+	s.Register(MethodFleetPing, f.handlePing)
 }
 
 // session is one in-flight collection stream. The session holds no
@@ -311,6 +326,11 @@ func (f *Fleet) handleOpen(body []byte) ([]byte, error) {
 	if req.RunID == "" {
 		return nil, fmt.Errorf("fleet: open without run_id")
 	}
+	// Placement before any allocation: a misplaced Open must leave no
+	// trace here — the owner allocates the sequence and the session.
+	if err := f.placeRun(req.RunID); err != nil {
+		return nil, err
+	}
 	seq, err := f.repo.NextSeq()
 	if err != nil {
 		return nil, err
@@ -325,7 +345,7 @@ func (f *Fleet) handleOpen(body []byte) ([]byte, error) {
 		CreatedSeq: seq,
 	}
 	s := &session{
-		token:      sessionToken(meta.RunID, meta.CreatedSeq),
+		token:      f.tokenFor(meta.RunID, meta.CreatedSeq),
 		meta:       meta,
 		w:          archive.NewWriter(meta),
 		stream:     f.newSessionStream(meta),
@@ -533,7 +553,13 @@ func (f *Fleet) handleFinalize(body []byte) ([]byte, error) {
 		// Gap-only streams (no steps) archive without a summary
 		// rather than failing the whole session.
 	}
-	info, err := f.repo.Save(s.w.Finalize(sum))
+	blob := s.w.Finalize(sum)
+	var info RunInfo
+	if f.opts.Ingest != nil {
+		info, err = f.opts.Ingest.Save(blob)
+	} else {
+		info, err = f.repo.Save(blob)
+	}
 	if err != nil {
 		return nil, err
 	}

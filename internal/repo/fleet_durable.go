@@ -177,6 +177,13 @@ func (f *Fleet) handleResume(body []byte) ([]byte, error) {
 	if err := json.Unmarshal(metaObj.Data, &mrec); err != nil {
 		return nil, fmt.Errorf("fleet: session %q meta corrupt: %w", req.Token, err)
 	}
+	// Route by the run's CURRENT owner, not the replica named in the
+	// token prefix: any replica can read the shared meta, but only the
+	// owner may append to the shard — after a reconfiguration, that may
+	// be a different replica than the one that opened the session.
+	if err := f.placeRun(mrec.Meta.RunID); err != nil {
+		return nil, err
+	}
 
 	// Evict any live session with this token: the resuming client owns
 	// it now, and the durable log supersedes the old session's memory.
@@ -264,6 +271,14 @@ func (f *Fleet) RecoverSessions() ([]string, error) {
 		}
 		var mrec sessionMetaRecord
 		if err := json.Unmarshal(obj.Data, &mrec); err != nil || mrec.Token == "" {
+			continue
+		}
+		// Replica mode: adopt only sessions whose shard this replica
+		// currently owns. That filter IS cross-replica recovery — when a
+		// replica is removed and the survivors' configs shrink, its
+		// orphaned sessions hash to surviving owners, who retire or park
+		// them here exactly as if they had opened them.
+		if owned, oerr := f.ownsRun(mrec.Meta.RunID); oerr != nil || !owned {
 			continue
 		}
 		info, err := f.repo.Info(mrec.Meta.RunID)

@@ -67,6 +67,11 @@ const (
 	opDelete  = "delete"
 	opGC      = "gc"
 	opCompact = "compact"
+	// opSaveBatch is a group-commit round's intent (ingestor.go): its
+	// Members list carries one {RunID, Object} pair per save in the
+	// round, and recovery replays it member-wise as k independent save
+	// intents.
+	opSaveBatch = "save-batch"
 
 	phaseIntent = "intent"
 	phaseDone   = "done"
@@ -256,6 +261,39 @@ type journalState struct {
 	name string
 	recs []journalRecord
 	torn int
+	// done maps intent seqs to their done records WITHIN this journal.
+	// Matching must stay per-journal: every writer logs an intent and
+	// its done to the same journal object, but two replica processes
+	// each start their own journalSeq counter — a seq is only unique
+	// per (process, journal), so a global map could let replica A's
+	// done mask replica B's open intent.
+	done map[uint64]bool
+}
+
+// recoverJournals lists the journals Recover may replay. A standalone
+// repository replays everything; a replica-scoped one (OpenShardsOwned)
+// replays only its owned shards' journals — peers may be alive with
+// open intents in theirs, and rolling those back would destroy
+// in-flight saves. Legacy debris is also skipped in scoped mode: it
+// predates the replica layout and belongs to a full (sole-writer) Open.
+func (r *Repo) recoverJournals(ss shardSet) []string {
+	names := r.journalObjects(ss)
+	if r.recoverOwned == nil || ss.legacy {
+		return names
+	}
+	owned := make(map[string]bool, len(r.recoverOwned))
+	for _, si := range r.recoverOwned {
+		if si >= 0 && si < ss.n {
+			owned[ss.journalObject(si)] = true
+		}
+	}
+	scoped := names[:0]
+	for _, name := range names {
+		if owned[name] {
+			scoped = append(scoped, name)
+		}
+	}
+	return scoped
 }
 
 // Recover replays every intent journal and reconciles every open
@@ -271,7 +309,7 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 	}
 	rep := &RecoveryReport{}
 	var states []journalState
-	for _, name := range r.journalObjects(ss) {
+	for _, name := range r.recoverJournals(ss) {
 		recs, torn, err := readJournalObject(r.store, name)
 		if err != nil {
 			return nil, err
@@ -282,14 +320,15 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 	}
 
 	maxSeq := uint64(0)
-	done := make(map[uint64]bool)
-	for _, st := range states {
+	for i := range states {
+		st := &states[i]
+		st.done = make(map[uint64]bool)
 		for _, rec := range st.recs {
 			if rec.Seq > maxSeq {
 				maxSeq = rec.Seq
 			}
 			if rec.Phase == phaseDone {
-				done[rec.Seq] = true
+				st.done[rec.Seq] = true
 			}
 		}
 	}
@@ -308,7 +347,7 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 	var open, openCompacts []journalRecord
 	for _, st := range states {
 		for _, rec := range st.recs {
-			if rec.Phase != phaseIntent || done[rec.Seq] {
+			if rec.Phase != phaseIntent || st.done[rec.Seq] {
 				continue
 			}
 			if rec.Op == opCompact {
@@ -363,6 +402,25 @@ func (r *Repo) Recover() (*RecoveryReport, error) {
 					return nil, err
 				}
 				rep.RolledBack++
+			}
+		case opSaveBatch:
+			// Member-wise replay: each member is an independent save —
+			// committed if its run reached the manifest, otherwise its
+			// blob is reclaimed.
+			rolled := false
+			for _, mb := range intent.Members {
+				if findRun(ms, mb.RunID) != nil {
+					continue
+				}
+				if err := reclaim(mb.Object); err != nil {
+					return nil, err
+				}
+				rolled = true
+			}
+			if rolled {
+				rep.RolledBack++
+			} else {
+				rep.Completed++
 			}
 		case opDelete:
 			if findRun(ms, intent.RunID) != nil {
@@ -543,7 +601,10 @@ func (r *Repo) compactJournalIfSettled(threshold int) {
 	if err != nil {
 		return
 	}
-	for _, name := range r.journalObjects(ss) {
+	// Same scoping as Recover: a replica truncates only its own
+	// journals (the generation-checked swap already tolerates races,
+	// but a peer's journal is simply not ours to rewrite).
+	for _, name := range r.recoverJournals(ss) {
 		r.compactJournalObject(name, threshold)
 	}
 }

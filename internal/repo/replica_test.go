@@ -1,0 +1,611 @@
+package repo
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+// runOwnedBy finds a run ID that hashes to a shard owned by the given
+// replica under an n-shard, k-replica layout.
+func runOwnedBy(t *testing.T, label string, shards int, rc *ReplicaConfig) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("%s-%d", label, i)
+		if rc.Owner(shardIndex(id, shards)) == rc.ID {
+			return id
+		}
+	}
+	t.Fatalf("no run ID found for replica %d/%d", rc.ID, rc.Replicas)
+	return ""
+}
+
+func TestReplicaConfigValidateAndOwnership(t *testing.T) {
+	bad := []ReplicaConfig{
+		{ID: 0, Replicas: 0},
+		{ID: -1, Replicas: 2},
+		{ID: 2, Replicas: 2},
+		{ID: 0, Replicas: 3, Peers: []string{"a", "b"}},
+	}
+	for i, rc := range bad {
+		if err := rc.Validate(); err == nil {
+			t.Fatalf("config %d (%+v) validated", i, rc)
+		}
+	}
+	var nilCfg *ReplicaConfig
+	if err := nilCfg.Validate(); err != nil {
+		t.Fatalf("nil config: %v", err)
+	}
+
+	rc := &ReplicaConfig{ID: 1, Replicas: 2, Peers: []string{"a", "b"}}
+	if err := rc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mod-N placement: shard s -> replica s%2, and the owned sets of
+	// the two replicas partition the shard space.
+	owned := rc.OwnedShards(8)
+	if len(owned) != 4 {
+		t.Fatalf("replica 1 owns %v of 8 shards", owned)
+	}
+	for _, s := range owned {
+		if s%2 != 1 {
+			t.Fatalf("replica 1 owns shard %d", s)
+		}
+	}
+	if rc.Endpoint(0) != "a" || rc.Endpoint(1) != "b" || rc.Endpoint(7) != "" {
+		t.Fatal("endpoint lookup broken")
+	}
+}
+
+// twoReplicaFleet builds one replica's fleet over the shared bucket.
+// Each replica opens the store scoped to its owned shards, exactly as
+// a real collector process would.
+func twoReplicaFleet(t *testing.T, bucket *storage.Bucket, id int, opts FleetOptions) (*Fleet, *rpc.Server, *Repo) {
+	t.Helper()
+	rc := &ReplicaConfig{ID: id, Replicas: 2, Peers: []string{"replica-a", "replica-b"}}
+	r, _, err := OpenShardsOwned(bucket, 4, rc.OwnedShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Replica = rc
+	f := NewFleet(r, opts)
+	srv := rpc.NewServer()
+	f.Register(srv)
+	t.Cleanup(srv.Close)
+	return f, srv, r
+}
+
+func TestReplicaOpenRedirectsToOwner(t *testing.T) {
+	bucket := newBucket(t)
+	// Replica 0 creates the layout first; replica 1 adopts it.
+	_, srv0, _ := twoReplicaFleet(t, bucket, 0, FleetOptions{})
+	_, srv1, _ := twoReplicaFleet(t, bucket, 1, FleetOptions{})
+
+	cfg1 := &ReplicaConfig{ID: 1, Replicas: 2}
+	foreign := runOwnedBy(t, "owned-by-b", 4, cfg1)
+
+	// Misplaced open: replica 0 must redirect to replica 1's endpoint
+	// without allocating anything.
+	c0 := rpc.Pipe(srv0)
+	defer c0.Close()
+	_, err := OpenSession(c0, OpenRequest{RunID: foreign, Workload: "synthetic"})
+	ep, ok := IsRedirect(err)
+	if !ok {
+		t.Fatalf("open on the wrong replica: err = %v, want redirect", err)
+	}
+	if ep != "replica-b" {
+		t.Fatalf("redirect endpoint = %q, want replica-b", ep)
+	}
+	if !rpc.IsTransient(err) {
+		t.Fatal("placement redirect must classify transient")
+	}
+
+	// The owner accepts the same open, and scopes the token.
+	c1 := rpc.Pipe(srv1)
+	defer c1.Close()
+	fc, err := OpenSession(c1, OpenRequest{RunID: foreign, Workload: "synthetic"})
+	if err != nil {
+		t.Fatalf("open on the owner: %v", err)
+	}
+	if !strings.HasPrefix(fc.Token(), "r1.") {
+		t.Fatalf("token %q not in replica 1's namespace", fc.Token())
+	}
+	if err := fc.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dialFabric maps endpoint names to live rpc servers; nil entries
+// refuse dials. Remapping a name models a replica crash + restart.
+type dialFabric struct {
+	mu      sync.Mutex
+	servers map[string]*rpc.Server
+}
+
+func (d *dialFabric) set(name string, s *rpc.Server) {
+	d.mu.Lock()
+	d.servers[name] = s
+	d.mu.Unlock()
+}
+
+func (d *dialFabric) dial(name string) (net.Conn, error) {
+	d.mu.Lock()
+	s := d.servers[name]
+	d.mu.Unlock()
+	if s == nil {
+		return nil, errors.New("dial " + name + ": connection refused")
+	}
+	cc, sc := net.Pipe()
+	go s.ServeConn(sc)
+	return cc, nil
+}
+
+// TestReplicaEndpointSetFollowsRedirect drives a session through an
+// endpoint-set ReconnectClient aimed at the WRONG replica: the typed
+// redirect re-aims it at the owner and the whole session — open,
+// append, finalize — lands there.
+func TestReplicaEndpointSetFollowsRedirect(t *testing.T) {
+	bucket := newBucket(t)
+	_, srv0, _ := twoReplicaFleet(t, bucket, 0, FleetOptions{})
+	_, srv1, r1 := twoReplicaFleet(t, bucket, 1, FleetOptions{})
+	fab := &dialFabric{servers: map[string]*rpc.Server{"replica-a": srv0, "replica-b": srv1}}
+
+	rc, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
+		Endpoints:    []string{"replica-a"},
+		DialEndpoint: fab.dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	foreign := runOwnedBy(t, "redirected", 4, &ReplicaConfig{ID: 1, Replicas: 2})
+	fc, err := OpenSession(rc, OpenRequest{RunID: foreign, Workload: "synthetic"})
+	if err != nil {
+		t.Fatalf("open through the endpoint set: %v", err)
+	}
+	const n = 25
+	for _, rec := range sessionRecords(0, n) {
+		if err := fc.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := fc.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != n {
+		t.Fatalf("archived %d records, want %d", info.Records, n)
+	}
+	if got := rc.CurrentEndpoint(); got != "replica-b" {
+		t.Fatalf("session served from %q, want the owner", got)
+	}
+	if _, _, err := r1.Get(foreign); err != nil {
+		t.Fatalf("run not in the shared store: %v", err)
+	}
+}
+
+// TestReplicaRecoverSessionsAdoptsOwnedOnly parks one session per
+// replica, then runs each survivor's RecoverSessions: each must adopt
+// exactly its own shard subset's sessions.
+func TestReplicaRecoverSessionsAdoptsOwnedOnly(t *testing.T) {
+	bucket := newBucket(t)
+	f0, srv0, _ := twoReplicaFleet(t, bucket, 0, FleetOptions{})
+	f1, srv1, _ := twoReplicaFleet(t, bucket, 1, FleetOptions{})
+
+	runA := runOwnedBy(t, "park-a", 4, &ReplicaConfig{ID: 0, Replicas: 2})
+	runB := runOwnedBy(t, "park-b", 4, &ReplicaConfig{ID: 1, Replicas: 2})
+	var tokens []string
+	for _, p := range []struct {
+		srv *rpc.Server
+		run string
+	}{{srv0, runA}, {srv1, runB}} {
+		c := rpc.Pipe(p.srv)
+		fc, err := OpenSession(c, OpenRequest{RunID: p.run, Workload: "synthetic"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range sessionRecords(0, 5) {
+			if err := fc.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tokens = append(tokens, fc.Token())
+		c.Close() // abandon mid-session: parked, not finalized
+	}
+
+	parked0, err := f0.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked1, err := f1.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parked0) != 1 || parked0[0] != tokens[0] {
+		t.Fatalf("replica 0 adopted %v, want [%s]", parked0, tokens[0])
+	}
+	if len(parked1) != 1 || parked1[0] != tokens[1] {
+		t.Fatalf("replica 1 adopted %v, want [%s]", parked1, tokens[1])
+	}
+}
+
+// TestReplicaRemovalSurvivorAdopts reconfigures a 2-replica fleet down
+// to one: the survivor's RecoverSessions must adopt the removed
+// replica's parked session (its token keeps the dead replica's "r1."
+// prefix — ownership is recomputed, not parsed), and the client's
+// resume must complete the run on the survivor.
+func TestReplicaRemovalSurvivorAdopts(t *testing.T) {
+	bucket := newBucket(t)
+	_, srv1, _ := twoReplicaFleet(t, bucket, 1, FleetOptions{})
+
+	run := runOwnedBy(t, "orphaned", 4, &ReplicaConfig{ID: 1, Replicas: 2})
+	c := rpc.Pipe(srv1)
+	fc, err := OpenSession(c, OpenRequest{RunID: run, Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sessionRecords(2, 30)
+	for _, rec := range recs[:12] {
+		if err := fc.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	token := fc.Token()
+	c.Close()
+	srv1.Close() // replica 1 is gone for good
+
+	// Survivor reconfigured to own everything.
+	solo := &ReplicaConfig{ID: 0, Replicas: 1, Peers: []string{"replica-a"}}
+	r0, _, err := OpenShardsOwned(bucket, 4, solo.OwnedShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := NewFleet(r0, FleetOptions{Replica: solo})
+	srv0 := rpc.NewServer()
+	f0.Register(srv0)
+	defer srv0.Close()
+
+	parked, err := f0.RecoverSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parked) != 1 || parked[0] != token {
+		t.Fatalf("survivor adopted %v, want [%s]", parked, token)
+	}
+
+	c0 := rpc.Pipe(srv0)
+	defer c0.Close()
+	fc2, accepted, err := ResumeSession(c0, token)
+	if err != nil {
+		t.Fatalf("resume on the survivor: %v", err)
+	}
+	if accepted != 12 {
+		t.Fatalf("survivor has %d durable records, want 12", accepted)
+	}
+	for _, rec := range recs[accepted:] {
+		if err := fc2.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := fc2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != int64(len(recs)) {
+		t.Fatalf("archived %d records, want %d (exactly once)", info.Records, len(recs))
+	}
+}
+
+// TestReplicaKillFailoverExactlyOnce is the acceptance-criteria test:
+// an agent streams through an endpoint-set client while its run's
+// owning replica is killed and restarted mid-stream. The ResilientClient
+// resumes from the server's durable count; the archived run must hold
+// every record exactly once.
+func TestReplicaKillFailoverExactlyOnce(t *testing.T) {
+	bucket := newBucket(t)
+	reg := obs.NewRegistry(64)
+	_, srv0, _ := twoReplicaFleet(t, bucket, 0, FleetOptions{})
+	_, srv1, _ := twoReplicaFleet(t, bucket, 1, FleetOptions{Obs: reg})
+	fab := &dialFabric{servers: map[string]*rpc.Server{"replica-a": srv0, "replica-b": srv1}}
+
+	ns := 0
+	rc, err := rpc.NewReconnectClient(rpc.ReconnectOptions{
+		Endpoints:    []string{"replica-a", "replica-b"},
+		DialEndpoint: fab.dial,
+		MaxRetries:   8,
+		Sleep:        func(time.Duration) { ns++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	run := runOwnedBy(t, "failover", 4, &ReplicaConfig{ID: 1, Replicas: 2})
+	agent, err := OpenResilient(rc, OpenRequest{RunID: run, Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sessionRecords(3, 60)
+	for _, rec := range recs[:25] {
+		if err := agent.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill the owner: the process dies, its in-memory sessions with it.
+	// Only the shared store survives.
+	fab.set("replica-b", nil)
+	srv1.Close()
+
+	// Restart it: fresh repo (scoped recovery), fresh fleet, recovered
+	// sessions, same endpoint name.
+	f1b, srv1b, _ := twoReplicaFleet(t, bucket, 1, FleetOptions{})
+	if _, err := f1b.RecoverSessions(); err != nil {
+		t.Fatal(err)
+	}
+	fab.set("replica-b", srv1b)
+
+	// The stream continues: the dead conn fails over, the restarted
+	// owner answers "unknown session", and the agent resumes + resends
+	// the unacked tail.
+	for _, rec := range recs[25:] {
+		if err := agent.Append(rec); err != nil {
+			t.Fatalf("append across the kill: %v", err)
+		}
+	}
+	info, err := agent.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != int64(len(recs)) {
+		t.Fatalf("archived %d records, want %d (no loss, no duplicates)", info.Records, len(recs))
+	}
+	if agent.Resumes() == 0 {
+		t.Fatal("the kill never exercised a resume")
+	}
+
+	// Independent verification over the shared store: the archived run
+	// decodes to exactly the sent records, and the repository is
+	// structurally clean.
+	r, _, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a, err := r.Get(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecordCount() != int64(len(recs)) {
+		t.Fatalf("stored archive holds %d records, want %d", a.RecordCount(), len(recs))
+	}
+	fr, err := r.Fsck(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Clean() {
+		t.Fatalf("fsck after failover: %+v", fr.Issues)
+	}
+}
+
+// TestLeaseExpirySweepVsConcurrentResume races a lease-expiry sweep
+// against concurrent fleet.Resume calls for the SAME token through two
+// collector handles over one shared store. Whatever interleaving the
+// scheduler picks, no records may be lost and the run must finalize
+// with the full count.
+func TestLeaseExpirySweepVsConcurrentResume(t *testing.T) {
+	bucket := newBucket(t)
+	now := time.Unix(2000, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		nowMu.Lock()
+		now = now.Add(d)
+		nowMu.Unlock()
+	}
+
+	mk := func() (*Fleet, *rpc.Server) {
+		r, _, err := Open(bucket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewFleet(r, FleetOptions{Lease: 50 * time.Millisecond, Now: clock})
+		srv := rpc.NewServer()
+		f.Register(srv)
+		t.Cleanup(srv.Close)
+		return f, srv
+	}
+	_, srvA := mk()
+	_, srvB := mk()
+
+	cA := rpc.Pipe(srvA)
+	defer cA.Close()
+	fc, err := OpenSession(cA, OpenRequest{RunID: "sweep-race", Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sessionRecords(4, 40)
+	for _, rec := range recs[:10] {
+		if err := fc.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	token := fc.Token()
+
+	// Hammer: both handles resume the same token while the lease clock
+	// jumps past expiry between rounds, so sweeps at handler entry race
+	// the resume's evict-and-register on both fleets.
+	var wg sync.WaitGroup
+	for w, srv := range map[int]*rpc.Server{0: srvA, 1: srvB} {
+		wg.Add(1)
+		go func(w int, srv *rpc.Server) {
+			defer wg.Done()
+			c := rpc.Pipe(srv)
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				advance(60 * time.Millisecond) // every lease is now expired
+				fc, accepted, err := ResumeSession(c, token)
+				if err != nil {
+					// Losing the eviction race to the other handle's
+					// resume is fine; losing the durable state is not.
+					if strings.Contains(err.Error(), "unknown session token") {
+						t.Errorf("worker %d: durable session state vanished: %v", w, err)
+						return
+					}
+					continue
+				}
+				if accepted < 10 {
+					t.Errorf("worker %d: resume regressed to %d durable records", w, accepted)
+					return
+				}
+				_ = fc
+			}
+		}(w, srv)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// One final resume owns the session; stream the tail and land it.
+	cB := rpc.Pipe(srvB)
+	defer cB.Close()
+	fcFinal, accepted, err := ResumeSession(cB, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 10 {
+		t.Fatalf("final resume at %d durable records, want 10", accepted)
+	}
+	for _, rec := range recs[10:] {
+		if err := fcFinal.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := fcFinal.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != int64(len(recs)) {
+		t.Fatalf("archived %d records, want %d", info.Records, len(recs))
+	}
+}
+
+// TestRecoverPerJournalDoneMatching is the cross-replica seq-collision
+// regression: two replica processes each start their own journal seq
+// counter, so (seq) alone is ambiguous across journals. Replica A's
+// CLOSED intent seq 1 in journal-0 must not mask replica B's OPEN
+// intent seq 1 in journal-1.
+func TestRecoverPerJournalDoneMatching(t *testing.T) {
+	bucket := newBucket(t)
+	r0, _, err := OpenShards(bucket, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One real save makes the 2-shard layout durable (a fresh store
+	// defers the layout object to the first mutation).
+	if _, err := r0.Save(archiveBlob(t, "seed", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two independent processes over the shared store, each with a
+	// fresh seq counter.
+	ra := New(bucket)
+	rb := New(bucket)
+	ss := shardSet{n: 2, saved: true}
+
+	// Replica A: a completed save in journal-0 (intent + done, seq 1).
+	seqA, err := ra.logIntentAt(ss.journalObject(0), journalRecord{Op: opSave, RunID: "a-run", Object: runObject("a-run")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.logDoneAt(ss.journalObject(0), seqA, opSave)
+
+	// Replica B: an OPEN intent in journal-1 with the SAME seq number,
+	// blob written but never indexed — a crash mid-save.
+	seqB, err := rb.logIntentAt(ss.journalObject(1), journalRecord{Op: opSave, RunID: "b-run", Object: runObject("b-run")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqA != seqB {
+		t.Fatalf("test premise broken: seqs %d vs %d should collide", seqA, seqB)
+	}
+	if _, err := bucket.Put(runObject("b-run"), []byte("orphan bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RolledBack != 1 {
+		t.Fatalf("rolled back %d intents, want 1 (B's open save)", rep.RolledBack)
+	}
+	if bucket.Exists(runObject("b-run")) {
+		t.Fatal("orphan blob survived: A's done record masked B's open intent")
+	}
+}
+
+// TestOpenShardsOwnedScopesRecovery proves a starting replica cannot
+// roll back a live peer's in-flight save: it replays only its owned
+// shards' journals.
+func TestOpenShardsOwnedScopesRecovery(t *testing.T) {
+	bucket := newBucket(t)
+	r0, _, err := OpenShards(bucket, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r0.Save(archiveBlob(t, "seed", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ss := shardSet{n: 2, saved: true}
+
+	// A "live peer" (replica 0) holds an open intent in journal-0 with
+	// its blob already written — mid-save, not crashed. The peer opened
+	// scoped to its shard like any replica, which seeds its seq counter
+	// above journal-0's history.
+	peer, _, err := OpenShardsOwned(bucket, 2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.logIntentAt(ss.journalObject(0), journalRecord{Op: opSave, RunID: "inflight", Object: runObject("inflight")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bucket.Put(runObject("inflight"), []byte("peer bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica 1 starts up owning only shard 1: the peer's intent must
+	// survive untouched.
+	_, rep, err := OpenShardsOwned(bucket, 2, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpenIntents != 0 || rep.RolledBack != 0 {
+		t.Fatalf("scoped recovery touched the peer's journal: %+v", rep)
+	}
+	if !bucket.Exists(runObject("inflight")) {
+		t.Fatal("scoped recovery reclaimed a live peer's in-flight blob")
+	}
+
+	// A FULL open (sole writer, e.g. offline fsck) still reconciles it.
+	_, rep, err = Open(bucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RolledBack != 1 {
+		t.Fatalf("full recovery rolled back %d, want 1", rep.RolledBack)
+	}
+}

@@ -62,7 +62,10 @@ type Store interface {
 	List(prefix string) []string
 }
 
-var _ Store = (*storage.Bucket)(nil)
+var (
+	_ Store = (*storage.Bucket)(nil)
+	_ Store = (*storage.DirStore)(nil)
+)
 
 // ManifestObject is the bucket object holding the run index in the v1
 // single-shard layout.
@@ -170,6 +173,11 @@ type Repo struct {
 	layoutMu   sync.Mutex // guards shards
 	shards     *shardSet  // cached layout; nil until resolved
 
+	// recoverOwned scopes journal replay and truncation to these shard
+	// indices (OpenShardsOwned). Nil means all journals — the
+	// standalone, sole-writer default.
+	recoverOwned []int
+
 	seqMu      sync.Mutex // guards the seq lease state below
 	lease      seqLease
 	leaseShard int    // rotation cursor for the next block lease
@@ -237,6 +245,36 @@ func OpenShards(store Store, shards int) (*Repo, *RecoveryReport, error) {
 		// Finish an interrupted migration's cleanup (the layout object
 		// committed but the legacy objects lingered).
 		r.cleanupLegacy()
+	}
+	return r, rep, nil
+}
+
+// OpenShardsOwned is OpenShards for one replica of a collector fleet
+// sharing the store: journal replay (and later opportunistic journal
+// truncation) touches ONLY the owned shards' journals, because peer
+// replicas may be alive with open intents in theirs — a full replay
+// would roll back their in-flight saves. It never migrates layouts
+// (migration needs a sole writer); a fresh store still initializes
+// the sharded layout via the usual PutIf(gen 0) race, which concurrent
+// replicas lose gracefully.
+//
+// Ownership changes are the caller's contract: a replica must be
+// opened with exactly the shards its current ReplicaConfig assigns
+// (OwnedShards), so an adopted shard's journal is recovered by its new
+// owner before that owner writes to it.
+func OpenShardsOwned(store Store, shards int, owned []int) (*Repo, *RecoveryReport, error) {
+	if shards > MaxShards {
+		return nil, nil, fmt.Errorf("repo: %d shards exceeds the %d maximum", shards, MaxShards)
+	}
+	r := New(store)
+	r.wantShards = shards
+	r.recoverOwned = append([]int{}, owned...)
+	rep, err := r.Recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := r.resolveShards(); err != nil {
+		return nil, nil, err
 	}
 	return r, rep, nil
 }

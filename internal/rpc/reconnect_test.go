@@ -362,6 +362,7 @@ func TestIsTransientClassification(t *testing.T) {
 		{ErrTimeout, true},
 		{errors.New("connection reset by peer"), true},
 		{&RemoteError{Msg: "bad arg"}, false},
+		{&RedirectError{Endpoint: "replica-1:8471"}, true},
 		{ErrCircuitOpen, false},
 		{ErrFrameTooLarge, false},
 	}

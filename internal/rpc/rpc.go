@@ -48,10 +48,23 @@ var (
 var ErrBusy = errors.New("rpc: server busy")
 
 const (
-	statusOK   = 0
-	statusErr  = 1
-	statusBusy = 2
+	statusOK       = 0
+	statusErr      = 1
+	statusBusy     = 2
+	statusRedirect = 3
 )
+
+// RedirectError is the placement-routing status: the server is alive
+// and healthy but does not own the resource the call addresses, and
+// Endpoint names the replica that does. A handler returns (or wraps) a
+// RedirectError to ship the dedicated redirect status; clients decode
+// it back into a typed error. Redirects are transient (IsTransient):
+// the cure is re-issuing the call against Endpoint, which
+// ReconnectClient does automatically when it is configured with an
+// endpoint set.
+type RedirectError struct{ Endpoint string }
+
+func (e *RedirectError) Error() string { return "rpc: redirected to " + e.Endpoint }
 
 // Handler serves one method: body in, body out.
 type Handler func(body []byte) ([]byte, error)
@@ -154,11 +167,16 @@ func (s *Server) ServeConn(conn net.Conn) {
 			status, out = statusErr, []byte(fmt.Sprintf("%s: %q", ErrUnknownMethod, method))
 		default:
 			res, herr := safeCall(h, body)
+			var redir *RedirectError
 			switch {
 			case herr == nil:
 				status, out = statusOK, res
 			case errors.Is(herr, ErrBusy):
 				status, out = statusBusy, []byte(herr.Error())
+			case errors.As(herr, &redir):
+				// The redirect body is the bare endpoint so the client
+				// can reconstruct the typed error without parsing prose.
+				status, out = statusRedirect, []byte(redir.Endpoint)
 			default:
 				status, out = statusErr, []byte(herr.Error())
 			}
@@ -333,7 +351,9 @@ func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 // manifest contention (repo.ErrManifestContention wraps ErrBusy) rides
 // the same classification: every failed CAS means another writer
 // committed, so the losing agent should back off and retry, not fail
-// its run. Application-level RemoteErrors, oversized frames (a local
+// its run. Placement redirects (RedirectError) are transient too: the
+// server is healthy, the call just belongs on the replica the error
+// names. Application-level RemoteErrors, oversized frames (a local
 // encoding bug), and an open circuit breaker are not transient.
 func IsTransient(err error) bool {
 	if err == nil {
@@ -401,6 +421,8 @@ func (c *Client) finish(resp response, ok bool) ([]byte, error) {
 		return resp.body, nil
 	case statusBusy:
 		return nil, fmt.Errorf("%w: %s", ErrBusy, string(resp.body))
+	case statusRedirect:
+		return nil, &RedirectError{Endpoint: string(resp.body)}
 	default:
 		return nil, &RemoteError{Msg: string(resp.body)}
 	}

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestDirStorePutGetDelete(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.Get("runs/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing: %v, want ErrNotFound", err)
+	}
+	obj, err := d.Put("runs/a", []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Generation != 1 {
+		t.Fatalf("first put generation %d, want 1", obj.Generation)
+	}
+	obj, err = d.Put("runs/a", []byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Generation != 2 {
+		t.Fatalf("second put generation %d, want 2", obj.Generation)
+	}
+	got, err := d.Get("runs/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "two" || got.Generation != 2 {
+		t.Fatalf("get = %q gen %d", got.Data, got.Generation)
+	}
+	if !d.Exists("runs/a") || d.Exists("runs/b") {
+		t.Fatal("Exists disagrees with Put")
+	}
+	if err := d.Delete("runs/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("runs/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+	// Generation history does not survive deletion: recreation restarts.
+	obj, err = d.Put("runs/a", []byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Generation != 1 {
+		t.Fatalf("post-delete put generation %d, want 1", obj.Generation)
+	}
+}
+
+func TestDirStorePutIfGenerations(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.PutIf("m", []byte("v1"), 1); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("create at gen 1: %v, want ErrGenerationMismatch", err)
+	}
+	obj, err := d.PutIf("m", []byte("v1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Generation != 1 {
+		t.Fatalf("created at generation %d, want 1", obj.Generation)
+	}
+	if _, err := d.PutIf("m", []byte("again"), 0); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("re-create: %v, want ErrGenerationMismatch", err)
+	}
+	if _, err := d.PutIf("m", []byte("stale"), 2); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("stale CAS: %v, want ErrGenerationMismatch", err)
+	}
+	obj, err = d.PutIf("m", []byte("v2"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Generation != 2 {
+		t.Fatalf("CAS advanced to generation %d, want 2", obj.Generation)
+	}
+	got, _ := d.Get("m")
+	if string(got.Data) != "v2" {
+		t.Fatalf("after CAS data = %q", got.Data)
+	}
+}
+
+func TestDirStoreAppend(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.Append("log", []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := d.Append("log", []byte("bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(obj.Data) != "aabb" || obj.Generation != 2 {
+		t.Fatalf("append = %q gen %d", obj.Data, obj.Generation)
+	}
+}
+
+func TestDirStoreListSkipsBookkeeping(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for _, name := range []string{"runs/z", "runs/a/idx", "other/x"} {
+		if _, err := d.Put(name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := d.List("runs/"), []string{"runs/a/idx", "runs/z"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("List(runs/) = %v, want %v", got, want)
+	}
+	for _, name := range d.List("") {
+		if name == "" || name[0] == '.' {
+			t.Fatalf("bookkeeping leaked into listing: %q", name)
+		}
+	}
+	if got := len(d.List("")); got != 3 {
+		t.Fatalf("full listing holds %d objects, want 3", got)
+	}
+}
+
+// TestDirStoreSecondHandleSeesState stands in for the second replica
+// process: a fresh OpenDir over the same directory must observe data
+// AND generations, so a CAS raced from two handles conflicts instead
+// of silently double-writing.
+func TestDirStoreSecondHandleSeesState(t *testing.T) {
+	root := t.TempDir()
+	a, err := OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.PutIf("m", []byte("from-a"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got, err := b.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "from-a" || got.Generation != 1 {
+		t.Fatalf("second handle sees %q gen %d", got.Data, got.Generation)
+	}
+	if _, err := b.PutIf("m", []byte("from-b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The first handle's view advanced too — and its stale CAS loses.
+	if _, err := a.PutIf("m", []byte("stale-a"), 1); !errors.Is(err, ErrGenerationMismatch) {
+		t.Fatalf("stale cross-handle CAS: %v, want ErrGenerationMismatch", err)
+	}
+}
+
+// TestDirStoreAdoptsExportedTree: raw files dropped into the directory
+// (an ExportDir snapshot, an rsync) are objects at generation 1.
+func TestDirStoreAdoptsExportedTree(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "runs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "runs", "manifest.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := d.Get("runs/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 1 {
+		t.Fatalf("adopted object at generation %d, want 1", got.Generation)
+	}
+	if _, err := d.PutIf("runs/manifest.json", []byte("{\"v\":2}"), 1); err != nil {
+		t.Fatalf("CAS over adopted object: %v", err)
+	}
+}
+
+func TestDirStoreRejectsEscapingNames(t *testing.T) {
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, name := range []string{"", "../escape", ".dirstore/lock", "a/../../b"} {
+		if _, err := d.Put(name, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", name)
+		}
+	}
+}
+
+// TestDirStoreImportDirCompatible: the on-disk layout doubles as an
+// ImportDir tree — raw bytes at object paths — so offline tooling
+// (`runs list -dir`, fsck) reads a live DirStore directory directly.
+func TestDirStoreImportDirCompatible(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Put("runs/r1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewService().CreateBucket("import")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ImportDir(root); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("runs/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "payload" {
+		t.Fatalf("imported %q", got.Data)
+	}
+}

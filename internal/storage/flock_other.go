@@ -1,0 +1,12 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// Without flock, DirStore still serializes goroutines within one
+// process via its mutex; concurrent processes on non-unix platforms
+// are the operator's problem (documented on OpenDir's package comment).
+func flockExclusive(*os.File) error { return nil }
+
+func flockRelease(*os.File) error { return nil }

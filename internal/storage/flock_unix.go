@@ -1,0 +1,20 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive blocks until this file description holds the
+// exclusive advisory lock — the cross-process half of DirStore's
+// serialization (goroutines within a process are handled by a mutex,
+// since flock does not exclude the lock holder's own process).
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+func flockRelease(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -33,7 +33,13 @@
 #                        per ingest agent count (default 3.0 — concurrent
 #                        latency tails are noisy on shared CI runners, so
 #                        the gate catches order-of-magnitude contention
-#                        collapses, not scheduling jitter)
+#                        collapses, not scheduling jitter; benchdiff
+#                        additionally skips the ceiling when baseline and
+#                        candidate recorded different GOMAXPROCS)
+#   MIN_REPLICA_SCALING  required replicated-ingest throughput ratio, max
+#                        replicas vs 1 replica at the largest agent count
+#                        (default 2.5; benchdiff only enforces it when
+#                        the run had GOMAXPROCS >= 4)
 #   MIN_CLUSTER_THROUGHPUT required cluster scheduler throughput in
 #                        jobs/sec (default 50 — a loose wall-clock floor
 #                        that catches the scheduling loop going
@@ -67,6 +73,7 @@ min_alloc_reduction="${MIN_ALLOC_REDUCTION:-0.5}"
 min_stream_f1="${MIN_STREAM_F1:-0.9}"
 max_share_mape="${MAX_SHARE_MAPE:-0.10}"
 max_ingest_p99_regress="${MAX_INGEST_P99_REGRESS:-3.0}"
+min_replica_scaling="${MIN_REPLICA_SCALING:-2.5}"
 min_cluster_throughput="${MIN_CLUSTER_THROUGHPUT:-50}"
 max_cluster_p99_regress="${MAX_CLUSTER_P99_REGRESS:-0.25}"
 
@@ -128,11 +135,14 @@ go run ./cmd/paperbench -ingest-bench "$fresh_ingest" -bench-quick
 # covers 256. The generic ns/op comparison is disabled (-tolerance 10)
 # for the same reason the p99 ceiling is generous: concurrent save
 # latency on a shared runner is noisy, and the per-point p99 ceiling is
-# the contract that matters.
-echo "== benchdiff vs $ingest_baseline (p99 ceiling ${max_ingest_p99_regress})"
+# the contract that matters. The replicated sweep adds the horizontal
+# floor: with >= 4 cores, ingest over the full replica set must beat
+# the single-replica lane by MIN_REPLICA_SCALING.
+echo "== benchdiff vs $ingest_baseline (p99 ceiling ${max_ingest_p99_regress}, replica scaling floor ${min_replica_scaling}x)"
 go run ./cmd/benchdiff -old "$ingest_baseline" -new "$fresh_ingest" \
     -tolerance 10 -min-grid-speedup 0 \
-    -max-ingest-p99-regress "$max_ingest_p99_regress"
+    -max-ingest-p99-regress "$max_ingest_p99_regress" \
+    -min-replica-scaling "$min_replica_scaling"
 
 echo "== paperbench -cluster-bench (quick)"
 go run ./cmd/paperbench -cluster-bench "$fresh_cluster" -bench-quick

@@ -77,6 +77,14 @@ echo "== ingest smoke"
 echo "== cluster smoke"
 ./scripts/cluster_smoke.sh
 
+# Replicated-collection gate: the replica placement/failover/lease
+# suites under -race, then two real collector replica processes over
+# one shared on-disk store with 64 streaming agents, a kill -9 plus
+# restart of one replica mid-fleet, and an offline list/fsck audit
+# proving zero record loss.
+echo "== replicated smoke"
+./scripts/replicated_smoke.sh
+
 if [ "${BENCH_GATE:-0}" = "1" ]; then
     echo "== benchmark gate (BENCH_GATE=1)"
     ./scripts/benchdiff.sh
